@@ -1,0 +1,348 @@
+//! The one-call facade: pick the paper's right algorithm for `(n, t)`.
+//!
+//! Section 5 of the paper lays out the regime map this module encodes:
+//!
+//! * `n = 2t + 1` — Algorithm 1 (or Algorithm 2 when transferable proofs
+//!   are wanted);
+//! * `2t + 1 < n < α` (with `α` the smallest square above `6t`) — "one can
+//!   extend the first Algorithm by 1 phase and `(t+1)(n−2t−1) = O(t²)`
+//!   messages and still achieve an `O(n + t²)` upper bound": the first
+//!   `2t + 1` processors agree, then the first `t + 1` of them hand every
+//!   remaining processor a *valid message* (the common value with `t + 1`
+//!   signatures, which no faulty coalition can fabricate for another
+//!   value). Implemented by [`run_small_n`] on top of Algorithm 2.
+//! * `n ≥ α` — Algorithm 5 with tree size `s ≈ t` (Theorem 7's
+//!   `O(n + t²)`).
+//!
+//! [`agree`] dispatches accordingly and returns a uniform summary.
+
+use crate::algorithm1::Algo1Params;
+use crate::algorithm2::Algo2Actor;
+use crate::algorithm5::{self, is_valid_message};
+use crate::bounds;
+use crate::common::{into_report, Board};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value};
+use ba_sim::actor::{Actor, Envelope, Outbox};
+use ba_sim::engine::Simulation;
+use ba_sim::{AgreementViolation, Metrics, RunVerdict};
+use std::sync::Arc;
+
+/// Which algorithm the facade selected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Selected {
+    /// `n = 2t + 1`: Algorithm 1.
+    Algorithm1,
+    /// `2t + 1 < n < α`: the Algorithm 2 + hand-off extension.
+    SmallN,
+    /// `n ≥ α`: Algorithm 5.
+    Algorithm5,
+}
+
+/// Uniform result of [`agree`].
+#[derive(Debug)]
+pub struct AgreeReport {
+    /// Which algorithm ran.
+    pub selected: Selected,
+    /// The checked agreement verdict.
+    pub verdict: RunVerdict,
+    /// Traffic accounting.
+    pub metrics: Metrics,
+}
+
+/// Options for [`agree`] and [`run_small_n`].
+#[derive(Debug, Default)]
+pub struct AgreeOptions {
+    /// Registry seed.
+    pub seed: u64,
+    /// Signature scheme.
+    pub scheme: SchemeKind,
+}
+
+/// A processor of the small-`n` extension: the first `2t + 1` run
+/// Algorithm 2; at phase `3t + 4` the first `t + 1` send their valid
+/// message to processors `2t + 1 .. n`, who decide on the first valid
+/// message received.
+#[derive(Debug)]
+pub struct SmallNActor {
+    n: usize,
+    t: usize,
+    me: ProcessId,
+    signer: Signer,
+    core: Option<Algo2Actor>,
+    params: Arc<Algo1Params>,
+    decided: Option<Value>,
+}
+
+impl SmallNActor {
+    /// Creates the actor (`own_value` only for the transmitter).
+    pub fn new(
+        n: usize,
+        t: usize,
+        me: ProcessId,
+        signer: Signer,
+        own_value: Option<Value>,
+        params: Arc<Algo1Params>,
+        scratch: Arc<Board<Chain>>,
+    ) -> Self {
+        let core = (me.index() < 2 * t + 1)
+            .then(|| Algo2Actor::new(params.clone(), me, signer.clone(), own_value, scratch));
+        SmallNActor {
+            n,
+            t,
+            me,
+            signer,
+            core,
+            params,
+            decided: None,
+        }
+    }
+
+    /// Total phases: Algorithm 2 plus the hand-off.
+    pub fn phases(t: usize) -> usize {
+        3 * t + 4
+    }
+}
+
+impl Actor<Chain> for SmallNActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        let t = self.t;
+        if phase <= 3 * t + 3 {
+            if let Some(core) = &mut self.core {
+                core.step(phase, inbox, out);
+            }
+            return;
+        }
+        // Phase 3t + 4: hand-off.
+        if let Some(core) = &mut self.core {
+            core.finalize(inbox);
+            self.decided = core.decision();
+            if self.me.index() < t + 1 {
+                let mut valid = core
+                    .proof()
+                    .expect("Theorem 4: correct core processors hold proofs")
+                    .clone();
+                if !valid.contains_signer(self.me) {
+                    valid.sign_and_append(&self.signer);
+                }
+                for p in 2 * t + 1..self.n {
+                    out.send(ProcessId(p as u32), valid.clone());
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<Chain>]) {
+        if self.core.is_some() {
+            return;
+        }
+        for env in inbox {
+            if self.decided.is_none()
+                && is_valid_message(&env.payload, self.t, &self.params.verifier)
+            {
+                self.decided = Some(env.payload.value());
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decided
+    }
+}
+
+/// Runs the small-`n` extension (`n ≥ 2t + 1`).
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`].
+///
+/// # Panics
+/// Panics if `t == 0`, `n < 2t + 1`, or `value` is not binary.
+pub fn run_small_n(
+    n: usize,
+    t: usize,
+    value: Value,
+    options: AgreeOptions,
+) -> Result<AgreeReport, AgreementViolation> {
+    assert!(t >= 1 && n > 2 * t, "small-n extension needs n >= 2t + 1");
+    assert!(value == Value::ZERO || value == Value::ONE);
+    let registry = KeyRegistry::new(n, options.seed, options.scheme);
+    let params = Arc::new(Algo1Params {
+        t,
+        verifier: registry.verifier(),
+    });
+    let scratch = Board::new(2 * t + 1);
+
+    let actors: Vec<Box<dyn Actor<Chain>>> = (0..n as u32)
+        .map(|p| {
+            Box::new(SmallNActor::new(
+                n,
+                t,
+                ProcessId(p),
+                registry.signer(ProcessId(p)),
+                (p == 0).then_some(value),
+                params.clone(),
+                scratch.clone(),
+            )) as Box<dyn Actor<Chain>>
+        })
+        .collect();
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(SmallNActor::phases(t));
+    let report = into_report(outcome, ProcessId(0), value)?;
+    Ok(AgreeReport {
+        selected: Selected::SmallN,
+        verdict: report.verdict,
+        metrics: report.outcome.metrics,
+    })
+}
+
+/// Reaches Byzantine Agreement with the paper's regime-appropriate
+/// algorithm (see the module docs).
+///
+/// ```
+/// use ba_algos::{agree, AgreeOptions, Selected};
+/// use ba_crypto::Value;
+///
+/// let r = agree(12, 1, Value::ONE, AgreeOptions::default())?;
+/// assert_eq!(r.verdict.agreed, Some(Value::ONE));
+/// assert_eq!(r.selected, Selected::Algorithm5); // 12 >= alpha(1) = 9
+/// # Ok::<(), ba_sim::AgreementViolation>(())
+/// ```
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`].
+///
+/// # Panics
+/// Panics if `t == 0`, `n < 2t + 1`, or `value` is not binary.
+pub fn agree(
+    n: usize,
+    t: usize,
+    value: Value,
+    options: AgreeOptions,
+) -> Result<AgreeReport, AgreementViolation> {
+    assert!(t >= 1 && n > 2 * t, "byzantine agreement needs n >= 2t + 1");
+    let alpha = bounds::alpha(t as u64) as usize;
+    if n == 2 * t + 1 {
+        let r = crate::algorithm1::run(
+            t,
+            value,
+            crate::algorithm1::Algo1Options {
+                seed: options.seed,
+                scheme: options.scheme,
+                ..Default::default()
+            },
+        )?;
+        Ok(AgreeReport {
+            selected: Selected::Algorithm1,
+            verdict: r.verdict,
+            metrics: r.outcome.metrics,
+        })
+    } else if n < alpha {
+        run_small_n(n, t, value, options)
+    } else {
+        // Largest tree size 2^λ − 1 not exceeding max(t, 1).
+        let mut s = 1;
+        while 2 * s < t.max(1) {
+            s = 2 * s + 1;
+        }
+        let r = algorithm5::run(
+            n,
+            t,
+            s,
+            value,
+            algorithm5::Alg5Options {
+                seed: options.seed,
+                scheme: options.scheme,
+                ..Default::default()
+            },
+        )?;
+        Ok(AgreeReport {
+            selected: Selected::Algorithm5,
+            verdict: r.verdict,
+            metrics: r.outcome.metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_n_extension_agrees_with_bounded_extra_messages() {
+        for t in [1usize, 2, 3] {
+            let core = 2 * t + 1;
+            for extra in [1usize, 3, 2 * t] {
+                let n = core + extra;
+                for v in [Value::ZERO, Value::ONE] {
+                    let r = run_small_n(n, t, v, AgreeOptions::default()).unwrap();
+                    assert_eq!(r.verdict.agreed, Some(v), "n={n} t={t}");
+                    // Algorithm 2 bound plus the hand-off term.
+                    let bound = bounds::alg2_max_messages(t as u64)
+                        + (t as u64 + 1) * (n as u64 - core as u64);
+                    assert!(r.metrics.messages_by_correct <= bound);
+                    assert_eq!(r.metrics.phases, 3 * t + 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn facade_selects_per_regime() {
+        let t = 1; // alpha = 9
+        let a = agree(3, t, Value::ONE, AgreeOptions::default()).unwrap();
+        assert_eq!(a.selected, Selected::Algorithm1);
+        let b = agree(5, t, Value::ONE, AgreeOptions::default()).unwrap();
+        assert_eq!(b.selected, Selected::SmallN);
+        let c = agree(20, t, Value::ONE, AgreeOptions::default()).unwrap();
+        assert_eq!(c.selected, Selected::Algorithm5);
+        for r in [a, b, c] {
+            assert_eq!(r.verdict.agreed, Some(Value::ONE));
+        }
+    }
+
+    #[test]
+    fn facade_message_counts_are_o_n_plus_t_squared() {
+        // Across the regime map the counts stay within a uniform
+        // c·(n + t²) envelope (the paper's O(n + t²) claim end to end).
+        for (n, t) in [(3usize, 1usize), (7, 1), (9, 4), (12, 4), (30, 1), (60, 3)] {
+            let r = agree(n, t, Value::ONE, AgreeOptions::default()).unwrap();
+            assert_eq!(r.verdict.agreed, Some(Value::ONE));
+            let budget = 30 * (n as u64 + (t * t) as u64) + 200;
+            assert!(
+                r.metrics.messages_by_correct <= budget,
+                "n={n} t={t}: {} > {budget}",
+                r.metrics.messages_by_correct
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2t + 1")]
+    fn facade_rejects_too_many_faults() {
+        let _ = agree(6, 3, Value::ONE, AgreeOptions::default());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn prop_facade_always_agrees(
+                t in 1usize..4,
+                extra in 0usize..30,
+                seed in any::<u64>(),
+                v in 0u64..2,
+            ) {
+                let n = 2 * t + 1 + extra;
+                let r = agree(
+                    n, t, Value(v),
+                    AgreeOptions { seed, scheme: SchemeKind::Fast },
+                ).unwrap();
+                prop_assert_eq!(r.verdict.agreed, Some(Value(v)));
+            }
+        }
+    }
+}

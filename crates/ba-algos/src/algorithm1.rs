@@ -1,0 +1,812 @@
+//! Algorithm 1 — the bipartite signature-chain algorithm (Theorem 3).
+//!
+//! Setting: `n = 2t + 1` processors; the transmitter `q` is processor `0`;
+//! the remaining `2t` processors are partitioned into sides `A`
+//! (`1..=t`) and `B` (`t+1..=2t`). Let `G` be the complete bipartite graph
+//! on `A × B` plus edges from `q` to everyone.
+//!
+//! * **Phase 1** — the transmitter signs and sends its value to everyone.
+//! * **Phases 2..=t+2** — when a processor in `A` (resp. `B`) receives a
+//!   *correct 1-message* for the first time, it signs it and sends it to
+//!   everybody in `B` (resp. `A`).
+//! * **Decision** — value `1` iff a correct 1-message arrived by phase
+//!   `t + 2`, else `0`.
+//!
+//! A message received by `p` at phase `k` is a *correct 1-message* if it is
+//! the value `1` with signatures forming a simple path of length `k` from
+//! `q` to `p` in `G` (so: signed first by `q`, alternating sides afterward,
+//! no repeats, `p` itself not on the path, ending at a neighbour of `p`).
+//!
+//! Bounds (Theorem 3): `t + 2` phases and at most `2t² + 2t` messages.
+//!
+//! The module also ships the adversaries that drive the algorithm's
+//! interesting executions: an equivocating transmitter and a
+//! chain-withholding coalition that releases a correct 1-message as late as
+//! possible.
+
+use crate::common::{domains, into_report, AlgoReport};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value, Verifier};
+use ba_sim::actor::{Actor, Envelope, Outbox};
+use ba_sim::engine::Simulation;
+use ba_sim::AgreementViolation;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Which side of the bipartite graph a processor belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Side {
+    /// The transmitter `q` (processor 0).
+    Transmitter,
+    /// Side `A`: processors `1..=t`.
+    A,
+    /// Side `B`: processors `t+1..=2t`.
+    B,
+}
+
+/// Returns the side of `p` in the `n = 2t + 1` layout.
+pub fn side(p: ProcessId, t: usize) -> Side {
+    let i = p.index();
+    if i == 0 {
+        Side::Transmitter
+    } else if i <= t {
+        Side::A
+    } else {
+        Side::B
+    }
+}
+
+/// Static parameters shared by all actors of one Algorithm 1 run.
+#[derive(Debug)]
+pub struct Algo1Params {
+    /// Fault tolerance; `n = 2t + 1`.
+    pub t: usize,
+    /// Verifier over the run's key registry.
+    pub verifier: Verifier,
+}
+
+impl Algo1Params {
+    /// Number of processors (`2t + 1`).
+    pub fn n(&self) -> usize {
+        2 * self.t + 1
+    }
+
+    /// All processors on the opposite side of `p` (for the transmitter:
+    /// everyone else).
+    pub fn relay_targets(&self, p: ProcessId) -> Vec<ProcessId> {
+        match side(p, self.t) {
+            Side::Transmitter => (1..self.n() as u32).map(ProcessId).collect(),
+            Side::A => (self.t as u32 + 1..self.n() as u32)
+                .map(ProcessId)
+                .collect(),
+            Side::B => (1..=self.t as u32).map(ProcessId).collect(),
+        }
+    }
+
+    /// Whether `chain`, received by `me` as a phase-`k` message, is a
+    /// correct 1-message per the definition above.
+    pub fn is_correct_one_message(&self, chain: &Chain, k: usize, me: ProcessId) -> bool {
+        if chain.domain() != domains::ALG1
+            || chain.value() != Value::ONE
+            || chain.len() != k
+            || chain.verify_simple_path(&self.verifier).is_err()
+        {
+            return false;
+        }
+        let signers: Vec<ProcessId> = chain.signers().collect();
+        if signers[0] != ProcessId(0) {
+            return false;
+        }
+        // No signer may be out of range, be the transmitter again, or be me.
+        for &s in &signers[1..] {
+            if s.index() >= self.n() || s == ProcessId(0) || s == me {
+                return false;
+            }
+        }
+        if signers.contains(&me) {
+            return false;
+        }
+        // Consecutive non-transmitter signers must alternate sides.
+        for w in signers[1..].windows(2) {
+            if side(w[0], self.t) == side(w[1], self.t) {
+                return false;
+            }
+        }
+        // The last signer must be adjacent to me in G.
+        let last = *signers.last().expect("chain verified non-empty");
+        last == ProcessId(0) || side(last, self.t) != side(me, self.t)
+    }
+}
+
+/// An honest Algorithm 1 processor (transmitter or relay).
+#[derive(Debug)]
+pub struct Algo1Actor {
+    params: Arc<Algo1Params>,
+    me: ProcessId,
+    signer: Signer,
+    /// `Some` iff this actor is the transmitter.
+    own_value: Option<Value>,
+    /// First correct 1-message received, if any.
+    got_one: Option<Chain>,
+    /// Last phase this actor stepped (finalize validates against it).
+    phase: usize,
+}
+
+impl Algo1Actor {
+    /// Creates the actor for `me`; `own_value` is `Some` for the
+    /// transmitter only.
+    pub fn new(
+        params: Arc<Algo1Params>,
+        me: ProcessId,
+        signer: Signer,
+        own_value: Option<Value>,
+    ) -> Self {
+        debug_assert_eq!(signer.id(), me);
+        Algo1Actor {
+            params,
+            me,
+            signer,
+            own_value,
+            got_one: None,
+            phase: 0,
+        }
+    }
+
+    /// Scans `inbox` (phase `k` receipts) for a first correct 1-message.
+    fn absorb(&mut self, inbox: &[Envelope<Chain>], k: usize) {
+        if self.got_one.is_some() {
+            return;
+        }
+        for env in inbox {
+            // The path must actually have been relayed by the sender: the
+            // chain's last signer is the sender itself.
+            if env.payload.last_signer() == Some(env.from)
+                && self.params.is_correct_one_message(&env.payload, k, self.me)
+            {
+                self.got_one = Some(env.payload.clone());
+                return;
+            }
+        }
+    }
+
+    /// The first correct 1-message this processor accepted, if any.
+    pub fn accepted_chain(&self) -> Option<&Chain> {
+        self.got_one.as_ref()
+    }
+}
+
+impl Actor<Chain> for Algo1Actor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        self.phase = phase;
+        let t = self.params.t;
+
+        if phase == 1 {
+            if let Some(v) = self.own_value {
+                // Transmitter: sign and send the value to everyone.
+                let mut chain = Chain::new(domains::ALG1, v);
+                chain.sign_and_append(&self.signer);
+                out.broadcast(self.params.relay_targets(self.me), chain);
+            }
+            return;
+        }
+
+        if self.own_value.is_some() {
+            return; // The transmitter only acts in phase 1.
+        }
+
+        // Inbox holds phase-(k-1) messages: correct 1-message chains of
+        // length k-1.
+        let had_one = self.got_one.is_some();
+        self.absorb(inbox, phase - 1);
+
+        // Relay on first receipt, during phases 2..=t+2.
+        if !had_one && self.got_one.is_some() && phase <= t + 2 {
+            let mut relay = self.got_one.clone().expect("just set");
+            relay.sign_and_append(&self.signer);
+            out.broadcast(self.params.relay_targets(self.me), relay);
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<Chain>]) {
+        if self.own_value.is_none() {
+            self.absorb(inbox, self.phase);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        if let Some(v) = self.own_value {
+            return Some(v);
+        }
+        Some(if self.got_one.is_some() {
+            Value::ONE
+        } else {
+            Value::ZERO
+        })
+    }
+}
+
+/// Adversaries for Algorithm 1.
+pub mod adversaries {
+    use super::*;
+
+    /// A faulty transmitter that sends a signed `1` to `ones`, a signed `0`
+    /// to `zeros`, and nothing to anyone else.
+    #[derive(Debug)]
+    pub struct EquivocatingTransmitter {
+        signer: Signer,
+        ones: BTreeSet<ProcessId>,
+        zeros: BTreeSet<ProcessId>,
+    }
+
+    impl EquivocatingTransmitter {
+        /// Creates the adversary; `signer` must be the transmitter's.
+        pub fn new(
+            signer: Signer,
+            ones: impl IntoIterator<Item = ProcessId>,
+            zeros: impl IntoIterator<Item = ProcessId>,
+        ) -> Self {
+            EquivocatingTransmitter {
+                signer,
+                ones: ones.into_iter().collect(),
+                zeros: zeros.into_iter().collect(),
+            }
+        }
+    }
+
+    impl Actor<Chain> for EquivocatingTransmitter {
+        fn step(&mut self, phase: usize, _inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+            if phase != 1 {
+                return;
+            }
+            let mut one = Chain::new(domains::ALG1, Value::ONE);
+            one.sign_and_append(&self.signer);
+            for &p in &self.ones {
+                out.send(p, one.clone());
+            }
+            let mut zero = Chain::new(domains::ALG1, Value::ZERO);
+            zero.sign_and_append(&self.signer);
+            for &p in &self.zeros {
+                out.send(p, zero.clone());
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            None
+        }
+        fn is_correct(&self) -> bool {
+            false
+        }
+    }
+
+    /// A coalition member in the chain-withholding attack: the faulty
+    /// transmitter starts a 1-chain that crawls through the coalition
+    /// (one private hop per phase) and is released to all correct
+    /// processors of the appropriate side only at `release_phase` — the
+    /// latest-possible honest-looking delivery, exercising the algorithm's
+    /// tail phases.
+    #[derive(Debug)]
+    pub struct WithholdingMember {
+        params: Arc<Algo1Params>,
+        signer: Signer,
+        /// Coalition in release order; `coalition[0]` is the transmitter.
+        coalition: Vec<ProcessId>,
+        /// My position in the coalition.
+        position: usize,
+        release_phase: usize,
+        chain: Option<Chain>,
+    }
+
+    impl WithholdingMember {
+        /// Creates coalition member `position` (0 = transmitter). The
+        /// coalition must alternate sides so the private chain stays a
+        /// valid path in `G`.
+        pub fn new(
+            params: Arc<Algo1Params>,
+            signer: Signer,
+            coalition: Vec<ProcessId>,
+            position: usize,
+            release_phase: usize,
+        ) -> Self {
+            WithholdingMember {
+                params,
+                signer,
+                coalition,
+                position,
+                release_phase,
+                chain: None,
+            }
+        }
+    }
+
+    impl Actor<Chain> for WithholdingMember {
+        fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+            // Receive the private chain from the previous coalition member.
+            for env in inbox {
+                if self.chain.is_none() && env.payload.value() == Value::ONE {
+                    self.chain = Some(env.payload.clone());
+                }
+            }
+
+            if self.position == 0 && phase == 1 {
+                // Transmitter: start the chain, sending only to the next
+                // coalition member (or release immediately if alone).
+                let mut chain = Chain::new(domains::ALG1, Value::ONE);
+                chain.sign_and_append(&self.signer);
+                if self.coalition.len() > 1 {
+                    out.send(self.coalition[1], chain);
+                } else {
+                    out.broadcast(self.params.relay_targets(self.signer.id()), chain);
+                }
+                return;
+            }
+
+            if self.position > 0 && phase == self.position + 1 {
+                // My turn: extend the chain and pass it on (or hold it).
+                if let Some(chain) = &self.chain {
+                    let mut extended = chain.clone();
+                    extended.sign_and_append(&self.signer);
+                    if self.position + 1 < self.coalition.len() {
+                        out.send(self.coalition[self.position + 1], extended.clone());
+                    }
+                    self.chain = Some(extended);
+                }
+            }
+
+            // The last member releases the (now long) chain to all correct
+            // processors of the opposite side at the release phase.
+            if self.position + 1 == self.coalition.len() && phase == self.release_phase {
+                if let Some(chain) = &self.chain {
+                    // The stored chain already carries my signature (added
+                    // at my turn); release as-is.
+                    out.broadcast(self.params.relay_targets(self.signer.id()), chain.clone());
+                }
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            None
+        }
+        fn is_correct(&self) -> bool {
+            false
+        }
+    }
+}
+
+/// Fault scenarios for [`run`].
+#[derive(Debug, Default)]
+pub enum Algo1Fault {
+    /// All processors correct.
+    #[default]
+    None,
+    /// Transmitter faulty and completely silent.
+    SilentTransmitter,
+    /// Transmitter sends `1` to the given processors, `0` to the others.
+    Equivocate {
+        /// Recipients of the signed `1`.
+        ones: Vec<ProcessId>,
+    },
+    /// A coalition (transmitter plus `extra_members` alternating-side
+    /// processors) builds a private 1-chain and releases it at
+    /// `release_phase`.
+    Withhold {
+        /// Number of faulty processors beyond the transmitter.
+        extra_members: usize,
+        /// Phase at which the chain is released to correct processors.
+        release_phase: usize,
+    },
+    /// The given relays crash before phase 1 (silent faults).
+    CrashedRelays {
+        /// The crashed processors (must not include the transmitter).
+        relays: Vec<ProcessId>,
+    },
+}
+
+/// Options for [`run`].
+#[derive(Debug, Default)]
+pub struct Algo1Options {
+    /// Fault scenario to inject.
+    pub fault: Algo1Fault,
+    /// Key-registry seed (determinism knob).
+    pub seed: u64,
+    /// Signature scheme.
+    pub scheme: SchemeKind,
+    /// Record a full message trace on the outcome.
+    pub trace: bool,
+}
+
+/// Builds and runs an Algorithm 1 scenario with `n = 2t + 1` processors.
+///
+/// # Errors
+/// Returns the [`AgreementViolation`] if the run broke agreement (which
+/// indicates a bug: Algorithm 1 tolerates every scenario constructible
+/// here).
+///
+/// # Panics
+/// Panics if `t == 0`, if a fault plan names out-of-range processors, or
+/// if `value` is not binary (Algorithm 1 is specified for `V = {0, 1}`).
+pub fn run(
+    t: usize,
+    value: Value,
+    options: Algo1Options,
+) -> Result<AlgoReport<Chain>, AgreementViolation> {
+    assert!(t >= 1, "algorithm 1 needs t >= 1");
+    assert!(
+        value == Value::ZERO || value == Value::ONE,
+        "algorithm 1 is binary"
+    );
+    let n = 2 * t + 1;
+    let registry = KeyRegistry::new(n, options.seed, options.scheme);
+    let params = Arc::new(Algo1Params {
+        t,
+        verifier: registry.verifier(),
+    });
+
+    let honest = |p: u32, own: Option<Value>| -> Box<dyn Actor<Chain>> {
+        Box::new(Algo1Actor::new(
+            params.clone(),
+            ProcessId(p),
+            registry.signer(ProcessId(p)),
+            own,
+        ))
+    };
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(n);
+    match &options.fault {
+        Algo1Fault::None => {
+            actors.push(honest(0, Some(value)));
+            for p in 1..n as u32 {
+                actors.push(honest(p, None));
+            }
+        }
+        Algo1Fault::SilentTransmitter => {
+            actors.push(Box::new(ba_sim::adversary::Silent));
+            for p in 1..n as u32 {
+                actors.push(honest(p, None));
+            }
+        }
+        Algo1Fault::Equivocate { ones } => {
+            let ones: BTreeSet<ProcessId> = ones.iter().copied().collect();
+            assert!(ones.iter().all(|p| p.index() > 0 && p.index() < n));
+            let zeros: Vec<ProcessId> = (1..n as u32)
+                .map(ProcessId)
+                .filter(|p| !ones.contains(p))
+                .collect();
+            actors.push(Box::new(adversaries::EquivocatingTransmitter::new(
+                registry.signer(ProcessId(0)),
+                ones,
+                zeros,
+            )));
+            for p in 1..n as u32 {
+                actors.push(honest(p, None));
+            }
+        }
+        Algo1Fault::Withhold {
+            extra_members,
+            release_phase,
+        } => {
+            assert!(*extra_members < t, "coalition must stay within t faults");
+            // Coalition alternates sides: transmitter, a1, b1, a2, b2, …
+            let mut coalition = vec![ProcessId(0)];
+            for i in 0..*extra_members {
+                let id = if i % 2 == 0 {
+                    ProcessId(1 + (i / 2) as u32) // side A
+                } else {
+                    ProcessId((t + 1 + i / 2) as u32) // side B
+                };
+                coalition.push(id);
+            }
+            let coalition_set: BTreeSet<ProcessId> = coalition.iter().copied().collect();
+            assert!(
+                *release_phase >= coalition.len(),
+                "chain must exist before release"
+            );
+            for p in 0..n as u32 {
+                let id = ProcessId(p);
+                if let Some(pos) = coalition.iter().position(|&c| c == id) {
+                    actors.push(Box::new(adversaries::WithholdingMember::new(
+                        params.clone(),
+                        registry.signer(id),
+                        coalition.clone(),
+                        pos,
+                        *release_phase,
+                    )));
+                } else {
+                    debug_assert!(!coalition_set.contains(&id));
+                    actors.push(honest(p, None));
+                }
+            }
+        }
+        Algo1Fault::CrashedRelays { relays } => {
+            let crashed: BTreeSet<ProcessId> = relays.iter().copied().collect();
+            assert!(crashed.len() <= t);
+            assert!(crashed.iter().all(|p| p.index() > 0 && p.index() < n));
+            actors.push(honest(0, Some(value)));
+            for p in 1..n as u32 {
+                if crashed.contains(&ProcessId(p)) {
+                    actors.push(Box::new(ba_sim::adversary::Silent));
+                } else {
+                    actors.push(honest(p, None));
+                }
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(actors);
+    if options.trace {
+        sim = sim.with_trace();
+    }
+    let outcome = sim.run(t + 2);
+    into_report(outcome, ProcessId(0), value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn fault_free_value_one_agrees_within_bounds() {
+        for t in 1..=6 {
+            let report = run(t, Value::ONE, Algo1Options::default()).unwrap();
+            assert_eq!(report.verdict.agreed, Some(Value::ONE), "t={t}");
+            let msgs = report.outcome.metrics.messages_by_correct;
+            assert_eq!(
+                msgs,
+                bounds::alg1_max_messages(t as u64),
+                "t={t}: worst case is exact"
+            );
+            assert!(report.outcome.metrics.phases as u64 <= bounds::alg1_phases(t as u64));
+        }
+    }
+
+    #[test]
+    fn fault_free_value_zero_agrees_with_minimal_traffic() {
+        for t in 1..=6 {
+            let report = run(t, Value::ZERO, Algo1Options::default()).unwrap();
+            assert_eq!(report.verdict.agreed, Some(Value::ZERO));
+            // Only the transmitter's 2t messages: 0-chains are never relayed.
+            assert_eq!(report.outcome.metrics.messages_by_correct, 2 * t as u64);
+        }
+    }
+
+    #[test]
+    fn silent_transmitter_agrees_on_zero() {
+        let report = run(
+            3,
+            Value::ONE,
+            Algo1Options {
+                fault: Algo1Fault::SilentTransmitter,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.verdict.agreed, Some(Value::ZERO));
+        assert!(!report.verdict.transmitter_correct);
+        assert_eq!(report.outcome.metrics.messages_by_correct, 0);
+    }
+
+    #[test]
+    fn equivocating_transmitter_still_agrees() {
+        for t in 1..=5 {
+            let n = 2 * t + 1;
+            for ones_count in 1..n - 1 {
+                let ones: Vec<ProcessId> = (1..=ones_count as u32).map(ProcessId).collect();
+                let report = run(
+                    t,
+                    Value::ONE,
+                    Algo1Options {
+                        fault: Algo1Fault::Equivocate { ones },
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                // Whatever the agreed value, it must be common (checked by
+                // into_report); with at least one 1-receipt it will be ONE.
+                assert_eq!(
+                    report.verdict.agreed,
+                    Some(Value::ONE),
+                    "t={t} ones={ones_count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn withholding_coalition_cannot_break_agreement() {
+        for t in 2..=5 {
+            for extra in 1..t {
+                let release = extra + 1; // earliest honest-looking release
+                let report = run(
+                    t,
+                    Value::ONE,
+                    Algo1Options {
+                        fault: Algo1Fault::Withhold {
+                            extra_members: extra,
+                            release_phase: release,
+                        },
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    report.verdict.agreed,
+                    Some(Value::ONE),
+                    "t={t} extra={extra}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn late_release_still_converges_by_t_plus_2() {
+        // Coalition of t (transmitter + t-1) releases at the last phase the
+        // chain can still be extended by correct relays.
+        let t = 4;
+        let report = run(
+            t,
+            Value::ONE,
+            Algo1Options {
+                fault: Algo1Fault::Withhold {
+                    extra_members: t - 1,
+                    release_phase: t,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.verdict.agreed, Some(Value::ONE));
+        assert_eq!(report.outcome.metrics.phases, t + 2);
+    }
+
+    #[test]
+    fn crashed_relays_tolerated() {
+        let t = 3;
+        let report = run(
+            t,
+            Value::ONE,
+            Algo1Options {
+                fault: Algo1Fault::CrashedRelays {
+                    relays: vec![ProcessId(1), ProcessId(4), ProcessId(6)],
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.verdict.agreed, Some(Value::ONE));
+        assert!(report.verdict.transmitter_correct);
+    }
+
+    #[test]
+    fn one_message_validation_rejects_bad_chains() {
+        let t = 2;
+        let registry = KeyRegistry::new(5, 0, SchemeKind::Hmac);
+        let params = Algo1Params {
+            t,
+            verifier: registry.verifier(),
+        };
+        let sign = |ids: &[u32], v: Value| {
+            let mut c = Chain::new(domains::ALG1, v);
+            for &i in ids {
+                c.sign_and_append(&registry.signer(ProcessId(i)));
+            }
+            c
+        };
+
+        // Good: q -> p1(A) received by p3(B) at phase 2.
+        assert!(params.is_correct_one_message(&sign(&[0, 1], Value::ONE), 2, ProcessId(3)));
+        // Wrong value.
+        assert!(!params.is_correct_one_message(&sign(&[0, 1], Value::ZERO), 2, ProcessId(3)));
+        // Wrong length for the phase.
+        assert!(!params.is_correct_one_message(&sign(&[0, 1], Value::ONE), 3, ProcessId(3)));
+        // Does not start at the transmitter.
+        assert!(!params.is_correct_one_message(&sign(&[1, 3], Value::ONE), 2, ProcessId(2)));
+        // Same-side consecutive signers (p1,p2 both in A).
+        assert!(!params.is_correct_one_message(&sign(&[0, 1, 2], Value::ONE), 3, ProcessId(3)));
+        // Receiver on the path.
+        assert!(!params.is_correct_one_message(&sign(&[0, 3], Value::ONE), 2, ProcessId(3)));
+        // Last signer not adjacent to receiver (p1 in A, receiver p2 in A).
+        assert!(!params.is_correct_one_message(&sign(&[0, 1], Value::ONE), 2, ProcessId(2)));
+        // Wrong domain.
+        let mut wrong = Chain::new(domains::ALG2, Value::ONE);
+        wrong.sign_and_append(&registry.signer(ProcessId(0)));
+        assert!(!params.is_correct_one_message(&wrong, 1, ProcessId(1)));
+        // Direct from transmitter is fine for anyone.
+        assert!(params.is_correct_one_message(&sign(&[0], Value::ONE), 1, ProcessId(2)));
+    }
+
+    #[test]
+    fn sides_partition_processors() {
+        let t = 3;
+        assert_eq!(side(ProcessId(0), t), Side::Transmitter);
+        for p in 1..=3u32 {
+            assert_eq!(side(ProcessId(p), t), Side::A);
+        }
+        for p in 4..=6u32 {
+            assert_eq!(side(ProcessId(p), t), Side::B);
+        }
+    }
+
+    #[test]
+    fn trace_option_records_envelopes() {
+        let report = run(
+            2,
+            Value::ONE,
+            Algo1Options {
+                trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            report.outcome.trace.message_count() as u64,
+            report.outcome.metrics.messages_total()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_value_rejected() {
+        let _ = run(2, Value(7), Algo1Options::default());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Agreement and validity hold for random equivocation patterns.
+            #[test]
+            fn prop_equivocation_never_breaks_agreement(
+                t in 1usize..5,
+                mask in any::<u32>(),
+                seed in any::<u64>(),
+            ) {
+                let n = 2 * t + 1;
+                let ones: Vec<ProcessId> = (1..n as u32)
+                    .filter(|p| mask & (1 << (p % 31)) != 0)
+                    .map(ProcessId)
+                    .collect();
+                let fault = if ones.is_empty() {
+                    Algo1Fault::SilentTransmitter
+                } else {
+                    Algo1Fault::Equivocate { ones }
+                };
+                let report = run(
+                    t,
+                    Value::ONE,
+                    Algo1Options { fault, seed, scheme: SchemeKind::Fast, ..Default::default() },
+                ).unwrap();
+                prop_assert!(report.verdict.agreed.is_some());
+            }
+
+            /// The message bound of Theorem 3 holds for every scenario.
+            #[test]
+            fn prop_message_bound_holds(
+                t in 1usize..5,
+                value in 0u64..2,
+                crash_mask in any::<u16>(),
+                seed in any::<u64>(),
+            ) {
+                let n = 2 * t + 1;
+                let relays: Vec<ProcessId> = (1..n as u32)
+                    .filter(|p| crash_mask & (1 << (p % 16)) != 0)
+                    .take(t)
+                    .map(ProcessId)
+                    .collect();
+                let report = run(
+                    t,
+                    Value(value),
+                    Algo1Options {
+                        fault: Algo1Fault::CrashedRelays { relays },
+                        seed,
+                        scheme: SchemeKind::Fast,
+                        ..Default::default()
+                    },
+                ).unwrap();
+                prop_assert!(
+                    report.outcome.metrics.messages_by_correct
+                        <= crate::bounds::alg1_max_messages(t as u64)
+                );
+            }
+        }
+    }
+}

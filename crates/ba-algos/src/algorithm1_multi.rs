@@ -1,0 +1,383 @@
+//! The multi-valued modification of Algorithm 1.
+//!
+//! Section 5 notes that the algorithms are stated for `V = {0, 1}` and
+//! that "if the transmitter can send more than two values, one has to
+//! modify the algorithms slightly". This module implements the standard
+//! modification for Algorithm 1:
+//!
+//! * a *correct `v`-message* is defined exactly like a correct 1-message
+//!   but for any value `v` (a signed simple path from the transmitter in
+//!   the bipartite graph `G`);
+//! * a processor relays the **first** correct `v`-message it receives for
+//!   each of the first **two** distinct values (two distinct signed values
+//!   already prove the transmitter faulty, so further values add nothing);
+//! * decision: the unique value for which a correct message arrived, or
+//!   the default `0` when zero or several values arrived.
+//!
+//! Correctness mirrors the binary case: a correct transmitter's signature
+//! exists on exactly one value, so only that value can ever have a correct
+//! message; and the propagation argument of Theorem 3 applies to each
+//! value independently, so all correct processors end with the same value
+//! *set*. Messages at most double: `2 · (2t² + 2t)`.
+
+use crate::algorithm1::Algo1Params;
+use crate::common::{domains, into_report, AlgoReport};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value};
+use ba_sim::actor::{Actor, Envelope, Outbox};
+use ba_sim::engine::Simulation;
+use ba_sim::AgreementViolation;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Whether `chain`, received by `me` at phase `k`, is a correct
+/// `v`-message for *some* value `v` (returned on success).
+pub fn correct_value_message(
+    params: &Algo1Params,
+    chain: &Chain,
+    k: usize,
+    me: ProcessId,
+) -> Option<Value> {
+    // Reuse the binary validator by checking the structural rules
+    // directly: same path/length/signature discipline, any value.
+    if chain.domain() != domains::ALG1
+        || chain.len() != k
+        || chain.verify_simple_path(&params.verifier).is_err()
+    {
+        return None;
+    }
+    let signers: Vec<ProcessId> = chain.signers().collect();
+    if signers[0] != ProcessId(0) || signers.contains(&me) {
+        return None;
+    }
+    for &s in &signers[1..] {
+        if s.index() >= params.n() || s == ProcessId(0) {
+            return None;
+        }
+    }
+    for w in signers[1..].windows(2) {
+        if crate::algorithm1::side(w[0], params.t) == crate::algorithm1::side(w[1], params.t) {
+            return None;
+        }
+    }
+    let last = *signers.last().expect("non-empty");
+    let adjacent = last == ProcessId(0)
+        || crate::algorithm1::side(last, params.t) != crate::algorithm1::side(me, params.t);
+    adjacent.then(|| chain.value())
+}
+
+/// An honest multi-valued Algorithm 1 processor.
+#[derive(Debug)]
+pub struct Algo1MultiActor {
+    params: Arc<Algo1Params>,
+    me: ProcessId,
+    signer: Signer,
+    own_value: Option<Value>,
+    /// Values for which a correct message has been accepted.
+    seen: BTreeSet<Value>,
+    phase: usize,
+}
+
+impl Algo1MultiActor {
+    /// Creates the actor; `own_value` is `Some` for the transmitter.
+    pub fn new(
+        params: Arc<Algo1Params>,
+        me: ProcessId,
+        signer: Signer,
+        own_value: Option<Value>,
+    ) -> Self {
+        Algo1MultiActor {
+            params,
+            me,
+            signer,
+            own_value,
+            seen: BTreeSet::new(),
+            phase: 0,
+        }
+    }
+
+    fn absorb(&mut self, inbox: &[Envelope<Chain>], k: usize, out: Option<&mut Outbox<Chain>>) {
+        let mut fresh: Vec<Chain> = Vec::new();
+        for env in inbox {
+            if env.payload.last_signer() != Some(env.from) {
+                continue;
+            }
+            if let Some(v) = correct_value_message(&self.params, &env.payload, k, self.me) {
+                if !self.seen.contains(&v) {
+                    // Relay only the first two distinct values.
+                    if self.seen.len() < 2 {
+                        fresh.push(env.payload.clone());
+                    }
+                    self.seen.insert(v);
+                }
+            }
+        }
+        if let Some(out) = out {
+            for chain in fresh {
+                let mut relay = chain;
+                relay.sign_and_append(&self.signer);
+                out.broadcast(self.params.relay_targets(self.me), relay);
+            }
+        }
+    }
+}
+
+impl Actor<Chain> for Algo1MultiActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        self.phase = phase;
+        if phase == 1 {
+            if let Some(v) = self.own_value {
+                let mut chain = Chain::new(domains::ALG1, v);
+                chain.sign_and_append(&self.signer);
+                out.broadcast(self.params.relay_targets(self.me), chain);
+            }
+            return;
+        }
+        if self.own_value.is_some() {
+            return;
+        }
+        if phase <= self.params.t + 2 {
+            self.absorb(inbox, phase - 1, Some(out));
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<Chain>]) {
+        if self.own_value.is_none() {
+            let k = self.phase;
+            self.absorb(inbox, k, None);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        if let Some(v) = self.own_value {
+            return Some(v);
+        }
+        Some(if self.seen.len() == 1 {
+            *self.seen.iter().next().expect("len checked")
+        } else {
+            Value::ZERO
+        })
+    }
+}
+
+/// A transmitter that signs a different value for every receiver — the
+/// strongest equivocation the multi-valued setting allows.
+#[derive(Debug)]
+pub struct RainbowTransmitter {
+    signer: Signer,
+    n: usize,
+}
+
+impl RainbowTransmitter {
+    /// Creates the adversary.
+    pub fn new(signer: Signer, n: usize) -> Self {
+        RainbowTransmitter { signer, n }
+    }
+}
+
+impl Actor<Chain> for RainbowTransmitter {
+    fn step(&mut self, phase: usize, _inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        if phase != 1 {
+            return;
+        }
+        for p in 1..self.n as u32 {
+            let mut chain = Chain::new(domains::ALG1, Value(100 + p as u64));
+            chain.sign_and_append(&self.signer);
+            out.send(ProcessId(p), chain);
+        }
+    }
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+/// Fault scenarios for [`run`].
+#[derive(Debug, Default)]
+pub enum MultiFault {
+    /// All correct.
+    #[default]
+    None,
+    /// The transmitter signs a distinct value per receiver.
+    Rainbow,
+    /// The given relays are silent.
+    SilentRelays {
+        /// The silent relays.
+        set: Vec<ProcessId>,
+    },
+}
+
+/// Runs the multi-valued Algorithm 1 with any `value` (not just binary).
+///
+/// ```
+/// use ba_algos::algorithm1_multi::{run, MultiFault};
+/// use ba_crypto::{SchemeKind, Value};
+///
+/// let r = run(2, Value(42), MultiFault::None, 1, SchemeKind::Fast)?;
+/// assert_eq!(r.verdict.agreed, Some(Value(42)));
+/// # Ok::<(), ba_sim::AgreementViolation>(())
+/// ```
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`].
+///
+/// # Panics
+/// Panics if `t == 0` or the fault set exceeds `t`.
+pub fn run(
+    t: usize,
+    value: Value,
+    fault: MultiFault,
+    seed: u64,
+    scheme: SchemeKind,
+) -> Result<AlgoReport<Chain>, AgreementViolation> {
+    assert!(t >= 1);
+    let n = 2 * t + 1;
+    let registry = KeyRegistry::new(n, seed, scheme);
+    let params = Arc::new(Algo1Params {
+        t,
+        verifier: registry.verifier(),
+    });
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(n);
+    match &fault {
+        MultiFault::None => {
+            for p in 0..n as u32 {
+                actors.push(Box::new(Algo1MultiActor::new(
+                    params.clone(),
+                    ProcessId(p),
+                    registry.signer(ProcessId(p)),
+                    (p == 0).then_some(value),
+                )));
+            }
+        }
+        MultiFault::Rainbow => {
+            actors.push(Box::new(RainbowTransmitter::new(
+                registry.signer(ProcessId(0)),
+                n,
+            )));
+            for p in 1..n as u32 {
+                actors.push(Box::new(Algo1MultiActor::new(
+                    params.clone(),
+                    ProcessId(p),
+                    registry.signer(ProcessId(p)),
+                    None,
+                )));
+            }
+        }
+        MultiFault::SilentRelays { set } => {
+            assert!(set.len() <= t && !set.contains(&ProcessId(0)));
+            for p in 0..n as u32 {
+                if set.contains(&ProcessId(p)) {
+                    actors.push(Box::new(ba_sim::adversary::Silent));
+                } else {
+                    actors.push(Box::new(Algo1MultiActor::new(
+                        params.clone(),
+                        ProcessId(p),
+                        registry.signer(ProcessId(p)),
+                        (p == 0).then_some(value),
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(t + 2);
+    into_report(outcome, ProcessId(0), value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn arbitrary_values_agree_fault_free() {
+        for t in 1..=4 {
+            for v in [Value(0), Value(7), Value(1_000_000), Value(u64::MAX)] {
+                let r = run(t, v, MultiFault::None, 1, SchemeKind::Fast).unwrap();
+                assert_eq!(r.verdict.agreed, Some(v), "t={t} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rainbow_transmitter_forces_default_but_agrees() {
+        for t in 2..=5 {
+            let r = run(t, Value(42), MultiFault::Rainbow, 3, SchemeKind::Fast).unwrap();
+            // Every correct processor sees >= 2 distinct values (its own
+            // direct one plus relayed ones) and defaults.
+            assert_eq!(r.verdict.agreed, Some(Value::ZERO), "t={t}");
+        }
+    }
+
+    #[test]
+    fn message_count_at_most_doubles() {
+        for t in 1..=5 {
+            let r = run(t, Value(9), MultiFault::Rainbow, 1, SchemeKind::Fast).unwrap();
+            assert!(
+                r.outcome.metrics.messages_by_correct <= 2 * bounds::alg1_max_messages(t as u64),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn silent_relays_tolerated_with_nonbinary_value() {
+        let t = 3;
+        let r = run(
+            t,
+            Value(555),
+            MultiFault::SilentRelays {
+                set: vec![ProcessId(2), ProcessId(5)],
+            },
+            9,
+            SchemeKind::Fast,
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value(555)));
+    }
+
+    #[test]
+    fn value_message_validator_accepts_any_value() {
+        let t = 2;
+        let registry = KeyRegistry::new(5, 0, SchemeKind::Hmac);
+        let params = Algo1Params {
+            t,
+            verifier: registry.verifier(),
+        };
+        let mut chain = Chain::new(domains::ALG1, Value(77));
+        chain.sign_and_append(&registry.signer(ProcessId(0)));
+        assert_eq!(
+            correct_value_message(&params, &chain, 1, ProcessId(3)),
+            Some(Value(77))
+        );
+        // Structural rules still enforced: wrong length.
+        assert_eq!(
+            correct_value_message(&params, &chain, 2, ProcessId(3)),
+            None
+        );
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn prop_multivalue_agreement(
+                t in 1usize..5,
+                v in any::<u64>(),
+                seed in any::<u64>(),
+                rainbow in any::<bool>(),
+            ) {
+                let fault = if rainbow { MultiFault::Rainbow } else { MultiFault::None };
+                let r = run(t, Value(v), fault, seed, SchemeKind::Fast).unwrap();
+                prop_assert!(r.verdict.agreed.is_some());
+            }
+        }
+    }
+}

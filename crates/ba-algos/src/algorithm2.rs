@@ -1,0 +1,671 @@
+//! Algorithm 2 — Algorithm 1 plus a transferable proof (Theorem 4).
+//!
+//! After the `t + 2` phases of Algorithm 1, the `2t + 1` processors —
+//! written `p(1), …, p(2t+1)` in label order, label `j` being processor
+//! `j − 1` — run `2t + 1` accumulation phases. A message received by `p(j)`
+//! after phase `t + 2` is *increasing* if it carries the value `p(j)`
+//! committed to in phase `t + 2` together with signatures of processors
+//! with labels less than `j`, in increasing label order.
+//!
+//! * **Phase `t + 2 + j`** (`1 ≤ j ≤ 2t + 1`) — `p(j)` takes `m(j)`, an
+//!   increasing message it has received with the maximum number of
+//!   signatures (or the bare committed value if none), signs it, and sends
+//!   it to everyone if `m(j)` carried at least `t` signatures, otherwise
+//!   only to labels `j + 1 … j + t + 1`.
+//!
+//! Theorem 4: after `3t + 3` phases every correct processor possesses the
+//! common value with at least `t` signatures of *other* processors — a
+//! one-message proof for the outside world — no processor can hold such a
+//! proof for any other value, and at most `5t² + 5t` messages are sent.
+//!
+//! The proof each processor ends with is deposited on a
+//! [`Board`] in [`common`](crate::common) so callers can inspect it after the run.
+
+use crate::algorithm1::{Algo1Actor, Algo1Params};
+use crate::common::{domains, into_report, AlgoReport, Board};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value, Verifier};
+use ba_sim::actor::{Actor, Envelope, Outbox};
+use ba_sim::engine::Simulation;
+use ba_sim::AgreementViolation;
+use std::sync::Arc;
+
+/// Checks that `chain` is a well-formed increasing message for a receiver
+/// with label `upper_label` (all signer labels strictly below it, strictly
+/// increasing) carrying `value`.
+///
+/// Labels are `id + 1`; `upper_label` is exclusive. Pass `usize::MAX` to
+/// accept any strictly-increasing chain (used when harvesting proofs).
+pub fn is_increasing_message(
+    chain: &Chain,
+    value: Value,
+    upper_label: usize,
+    verifier: &Verifier,
+) -> bool {
+    if chain.domain() != domains::ALG2 || chain.value() != value || chain.is_empty() {
+        return false;
+    }
+    if chain.verify(verifier).is_err() {
+        return false;
+    }
+    let mut prev = 0usize; // labels start at 1
+    for signer in chain.signers() {
+        let label = signer.index() + 1;
+        if label <= prev || label >= upper_label {
+            return false;
+        }
+        prev = label;
+    }
+    true
+}
+
+/// Whether `chain` proves `value` to the outside world: it verifies and
+/// carries at least `t` distinct signatures of processors other than
+/// `owner`.
+pub fn is_transferable_proof(
+    chain: &Chain,
+    value: Value,
+    owner: ProcessId,
+    t: usize,
+    verifier: &Verifier,
+) -> bool {
+    if chain.value() != value || chain.verify(verifier).is_err() {
+        return false;
+    }
+    let mut others: Vec<ProcessId> = chain.signers().filter(|&s| s != owner).collect();
+    others.sort_unstable();
+    others.dedup();
+    others.len() >= t
+}
+
+/// An honest Algorithm 2 processor.
+#[derive(Debug)]
+pub struct Algo2Actor {
+    algo1: Algo1Actor,
+    params: Arc<Algo1Params>,
+    me: ProcessId,
+    signer: Signer,
+    committed: Option<Value>,
+    /// Best increasing message received so far (most signatures).
+    best: Option<Chain>,
+    /// Best proof candidate seen (own signed m(j) or received chain).
+    proof: Option<Chain>,
+    proofs: Arc<Board<Chain>>,
+}
+
+impl Algo2Actor {
+    /// Creates the actor for `me`; `own_value` is `Some` for the
+    /// transmitter only.
+    pub fn new(
+        params: Arc<Algo1Params>,
+        me: ProcessId,
+        signer: Signer,
+        own_value: Option<Value>,
+        proofs: Arc<Board<Chain>>,
+    ) -> Self {
+        let algo1 = Algo1Actor::new(params.clone(), me, signer.clone(), own_value);
+        Algo2Actor {
+            algo1,
+            params,
+            me,
+            signer,
+            committed: None,
+            best: None,
+            proof: None,
+            proofs,
+        }
+    }
+
+    /// My 1-based label.
+    fn label(&self) -> usize {
+        self.me.index() + 1
+    }
+
+    fn absorb_increasing(&mut self, inbox: &[Envelope<Chain>]) {
+        let Some(committed) = self.committed else {
+            return;
+        };
+        for env in inbox {
+            if is_increasing_message(&env.payload, committed, self.label(), &self.params.verifier) {
+                let better = self
+                    .best
+                    .as_ref()
+                    .is_none_or(|b| env.payload.len() > b.len());
+                if better {
+                    self.best = Some(env.payload.clone());
+                }
+            }
+            if env.payload.domain() == domains::ALG2
+                && is_transferable_proof(
+                    &env.payload,
+                    committed,
+                    self.me,
+                    self.params.t,
+                    &self.params.verifier,
+                )
+            {
+                let better = self
+                    .proof
+                    .as_ref()
+                    .is_none_or(|p| env.payload.len() > p.len());
+                if better {
+                    self.proof = Some(env.payload.clone());
+                }
+            }
+        }
+    }
+
+    /// The transferable proof held so far, if any.
+    pub fn proof(&self) -> Option<&Chain> {
+        self.proof.as_ref()
+    }
+}
+
+impl Actor<Chain> for Algo2Actor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        let t = self.params.t;
+        let n = self.params.n();
+
+        if phase <= t + 2 {
+            self.algo1.step(phase, inbox, out);
+            return;
+        }
+
+        if phase == t + 3 {
+            // The inbox still holds phase-(t+2) Algorithm 1 traffic.
+            self.algo1.finalize(inbox);
+            self.committed = self.algo1.decision();
+        } else {
+            self.absorb_increasing(inbox);
+        }
+
+        let j = phase - (t + 2);
+        if j == self.label() {
+            let committed = self.committed.expect("committed at phase t+3");
+            let (mut m, received_sigs) = match &self.best {
+                Some(b) => (b.clone(), b.len()),
+                None => (Chain::new(domains::ALG2, committed), 0),
+            };
+            m.sign_and_append(&self.signer);
+            if is_transferable_proof(&m, committed, self.me, t, &self.params.verifier) {
+                let better = self.proof.as_ref().is_none_or(|p| m.len() > p.len());
+                if better {
+                    self.proof = Some(m.clone());
+                }
+            }
+            if received_sigs >= t {
+                out.broadcast((0..n as u32).map(ProcessId), m);
+            } else {
+                let targets = (self.label() + 1..=(self.label() + t + 1).min(n))
+                    .map(|label| ProcessId(label as u32 - 1));
+                out.broadcast(targets, m);
+            }
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<Chain>]) {
+        self.absorb_increasing(inbox);
+        if let Some(proof) = &self.proof {
+            self.proofs.post(self.me, proof.clone());
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.committed.or_else(|| self.algo1.decision())
+    }
+}
+
+/// Adversaries specific to Algorithm 2's accumulation stage.
+pub mod adversaries {
+    use super::*;
+
+    /// A faulty processor that runs Algorithm 1 honestly (so the prefix
+    /// still commits) but gossips a *wrong value* chain signed only by
+    /// itself during its accumulation slot — correct receivers must reject
+    /// it as not increasing for their committed value.
+    #[derive(Debug)]
+    pub struct WrongValueGossip {
+        inner: Algo2Actor,
+        signer: Signer,
+        params: Arc<Algo1Params>,
+        wrong: Value,
+    }
+
+    impl WrongValueGossip {
+        /// Creates the adversary gossiping `wrong` from `me`'s slot.
+        pub fn new(
+            params: Arc<Algo1Params>,
+            me: ProcessId,
+            signer: Signer,
+            proofs: Arc<Board<Chain>>,
+            wrong: Value,
+        ) -> Self {
+            let inner = Algo2Actor::new(params.clone(), me, signer.clone(), None, proofs);
+            WrongValueGossip {
+                inner,
+                signer,
+                params,
+                wrong,
+            }
+        }
+    }
+
+    impl Actor<Chain> for WrongValueGossip {
+        fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+            let t = self.params.t;
+            let n = self.params.n();
+            if phase <= t + 2 {
+                self.inner.step(phase, inbox, out);
+                return;
+            }
+            let j = phase - (t + 2);
+            if j == self.inner.label() {
+                // Broadcast a self-signed wrong-value chain to everyone.
+                let mut m = Chain::new(domains::ALG2, self.wrong);
+                m.sign_and_append(&self.signer);
+                out.broadcast((0..n as u32).map(ProcessId), m);
+            } else {
+                self.inner.step(phase, inbox, out);
+            }
+        }
+        fn finalize(&mut self, inbox: &[Envelope<Chain>]) {
+            self.inner.finalize(inbox);
+        }
+        fn decision(&self) -> Option<Value> {
+            None
+        }
+        fn is_correct(&self) -> bool {
+            false
+        }
+    }
+}
+
+/// Fault scenarios for [`run`].
+#[derive(Debug, Default)]
+pub enum Algo2Fault {
+    /// All processors correct.
+    #[default]
+    None,
+    /// The given processors are silent for the whole run (the transmitter
+    /// may be among them).
+    Silent {
+        /// The silent processors.
+        set: Vec<ProcessId>,
+    },
+    /// The given processors run Algorithm 1 honestly, then crash at the
+    /// start of the accumulation stage.
+    CrashAfterCommit {
+        /// The crashing processors.
+        set: Vec<ProcessId>,
+    },
+    /// The given processors gossip a wrong value during their slots.
+    WrongValueGossip {
+        /// The lying processors (transmitter excluded).
+        set: Vec<ProcessId>,
+        /// The value they push.
+        wrong: Value,
+    },
+}
+
+/// Options for [`run`].
+#[derive(Debug, Default)]
+pub struct Algo2Options {
+    /// Fault scenario.
+    pub fault: Algo2Fault,
+    /// Key-registry seed.
+    pub seed: u64,
+    /// Signature scheme.
+    pub scheme: SchemeKind,
+}
+
+/// Report from an Algorithm 2 run: the base report plus each processor's
+/// deposited transferable proof.
+#[derive(Debug)]
+pub struct Algo2Report {
+    /// Agreement report.
+    pub report: AlgoReport<Chain>,
+    /// Per-processor proofs (index = processor id).
+    pub proofs: Vec<Option<Chain>>,
+    /// Verifier for inspecting the proofs.
+    pub verifier: Verifier,
+}
+
+/// Builds and runs an Algorithm 2 scenario with `n = 2t + 1` processors.
+///
+/// ```
+/// use ba_algos::algorithm2::{run, Algo2Options};
+/// use ba_crypto::Value;
+///
+/// let r = run(2, Value::ONE, Algo2Options::default())?;
+/// assert_eq!(r.report.verdict.agreed, Some(Value::ONE));
+/// assert!(r.proofs.iter().all(Option::is_some));
+/// # Ok::<(), ba_sim::AgreementViolation>(())
+/// ```
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`] (a bug if it happens).
+///
+/// # Panics
+/// Panics if `t == 0`, the fault set exceeds `t`, or `value` is not binary.
+pub fn run(
+    t: usize,
+    value: Value,
+    options: Algo2Options,
+) -> Result<Algo2Report, AgreementViolation> {
+    assert!(t >= 1, "algorithm 2 needs t >= 1");
+    assert!(
+        value == Value::ZERO || value == Value::ONE,
+        "algorithm 2 is binary"
+    );
+    let n = 2 * t + 1;
+    let registry = KeyRegistry::new(n, options.seed, options.scheme);
+    let params = Arc::new(Algo1Params {
+        t,
+        verifier: registry.verifier(),
+    });
+    let proofs = Board::new(n);
+
+    let honest = |p: u32| -> Box<dyn Actor<Chain>> {
+        Box::new(Algo2Actor::new(
+            params.clone(),
+            ProcessId(p),
+            registry.signer(ProcessId(p)),
+            if p == 0 { Some(value) } else { None },
+            proofs.clone(),
+        ))
+    };
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(n);
+    match &options.fault {
+        Algo2Fault::None => {
+            for p in 0..n as u32 {
+                actors.push(honest(p));
+            }
+        }
+        Algo2Fault::Silent { set } => {
+            assert!(set.len() <= t);
+            for p in 0..n as u32 {
+                if set.contains(&ProcessId(p)) {
+                    actors.push(Box::new(ba_sim::adversary::Silent));
+                } else {
+                    actors.push(honest(p));
+                }
+            }
+        }
+        Algo2Fault::CrashAfterCommit { set } => {
+            assert!(set.len() <= t);
+            for p in 0..n as u32 {
+                if set.contains(&ProcessId(p)) {
+                    let inner = Algo2Actor::new(
+                        params.clone(),
+                        ProcessId(p),
+                        registry.signer(ProcessId(p)),
+                        if p == 0 { Some(value) } else { None },
+                        proofs.clone(),
+                    );
+                    actors.push(Box::new(ba_sim::adversary::Crash::new(inner, t + 4)));
+                } else {
+                    actors.push(honest(p));
+                }
+            }
+        }
+        Algo2Fault::WrongValueGossip { set, wrong } => {
+            assert!(set.len() <= t);
+            assert!(
+                !set.contains(&ProcessId(0)),
+                "use Equivocate scenarios for the transmitter"
+            );
+            for p in 0..n as u32 {
+                if set.contains(&ProcessId(p)) {
+                    actors.push(Box::new(adversaries::WrongValueGossip::new(
+                        params.clone(),
+                        ProcessId(p),
+                        registry.signer(ProcessId(p)),
+                        proofs.clone(),
+                        *wrong,
+                    )));
+                } else {
+                    actors.push(honest(p));
+                }
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(3 * t + 3);
+    let report = into_report(outcome, ProcessId(0), value)?;
+    Ok(Algo2Report {
+        report,
+        proofs: proofs.snapshot(),
+        verifier: registry.verifier(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    fn assert_all_correct_hold_proofs(r: &Algo2Report, t: usize) {
+        let common = r.report.verdict.agreed.expect("agreed");
+        for (i, correct) in r.report.outcome.correct.iter().enumerate() {
+            if !correct {
+                continue;
+            }
+            let owner = ProcessId(i as u32);
+            let proof = r.proofs[i]
+                .as_ref()
+                .unwrap_or_else(|| panic!("p{i} holds no proof"));
+            assert!(
+                is_transferable_proof(proof, common, owner, t, &r.verifier),
+                "p{i} proof invalid: {proof}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_gives_everyone_proofs_within_bounds() {
+        for t in 1..=5 {
+            let r = run(t, Value::ONE, Algo2Options::default()).unwrap();
+            assert_eq!(r.report.verdict.agreed, Some(Value::ONE));
+            assert_all_correct_hold_proofs(&r, t);
+            let msgs = r.report.outcome.metrics.messages_by_correct;
+            assert!(
+                msgs <= bounds::alg2_max_messages(t as u64),
+                "t={t}: {msgs} > {}",
+                bounds::alg2_max_messages(t as u64)
+            );
+            assert_eq!(
+                r.report.outcome.metrics.phases as u64,
+                bounds::alg2_phases(t as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_value_zero_also_proves() {
+        let t = 3;
+        let r = run(t, Value::ZERO, Algo2Options::default()).unwrap();
+        assert_eq!(r.report.verdict.agreed, Some(Value::ZERO));
+        assert_all_correct_hold_proofs(&r, t);
+    }
+
+    #[test]
+    fn silent_minority_cannot_block_proofs() {
+        let t = 3;
+        let r = run(
+            t,
+            Value::ONE,
+            Algo2Options {
+                fault: Algo2Fault::Silent {
+                    set: vec![ProcessId(1), ProcessId(3), ProcessId(5)],
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.report.verdict.agreed, Some(Value::ONE));
+        assert_all_correct_hold_proofs(&r, t);
+    }
+
+    #[test]
+    fn crash_after_commit_tolerated() {
+        let t = 4;
+        let r = run(
+            t,
+            Value::ONE,
+            Algo2Options {
+                fault: Algo2Fault::CrashAfterCommit {
+                    set: vec![ProcessId(2), ProcessId(4), ProcessId(7)],
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.report.verdict.agreed, Some(Value::ONE));
+        assert_all_correct_hold_proofs(&r, t);
+    }
+
+    #[test]
+    fn consecutive_silent_run_is_bridged() {
+        // The proof of Theorem 4 relies on gaps of up to t faulty labels
+        // being bridged by the (t+1)-wide send window; make the gap maximal.
+        let t = 3;
+        let r = run(
+            t,
+            Value::ONE,
+            Algo2Options {
+                fault: Algo2Fault::Silent {
+                    set: vec![ProcessId(2), ProcessId(3), ProcessId(4)],
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.report.verdict.agreed, Some(Value::ONE));
+        assert_all_correct_hold_proofs(&r, t);
+    }
+
+    #[test]
+    fn wrong_value_gossip_is_rejected() {
+        let t = 3;
+        let r = run(
+            t,
+            Value::ONE,
+            Algo2Options {
+                fault: Algo2Fault::WrongValueGossip {
+                    set: vec![ProcessId(2), ProcessId(5)],
+                    wrong: Value::ZERO,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.report.verdict.agreed, Some(Value::ONE));
+        assert_all_correct_hold_proofs(&r, t);
+        // No correct processor may hold a proof of the wrong value
+        // (Theorem 4's second claim).
+        for (i, proof) in r.proofs.iter().enumerate() {
+            if let Some(p) = proof {
+                if r.report.outcome.correct[i] {
+                    assert_eq!(p.value(), Value::ONE, "p{i} holds wrong-value proof");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_proof_of_uncommon_value_is_constructible() {
+        // Even pooling every faulty signature, a t-coalition cannot reach
+        // t distinct *other* signatures on a wrong value.
+        let t = 2;
+        let n = 2 * t + 1;
+        let registry = KeyRegistry::new(n, 7, SchemeKind::Hmac);
+        let mut forged = Chain::new(domains::ALG2, Value::ZERO);
+        forged.sign_and_append(&registry.signer(ProcessId(3)));
+        forged.sign_and_append(&registry.signer(ProcessId(4)));
+        assert!(forged.verify(&registry.verifier()).is_ok());
+        assert!(!is_transferable_proof(
+            &forged,
+            Value::ZERO,
+            ProcessId(3),
+            t,
+            &registry.verifier()
+        ));
+    }
+
+    #[test]
+    fn increasing_message_validation() {
+        let n = 5;
+        let registry = KeyRegistry::new(n, 3, SchemeKind::Hmac);
+        let v = registry.verifier();
+        let chain = |ids: &[u32], value: Value, domain: u32| {
+            let mut c = Chain::new(domain, value);
+            for &i in ids {
+                c.sign_and_append(&registry.signer(ProcessId(i)));
+            }
+            c
+        };
+
+        // Labels are id+1: ids [0,2,4] = labels [1,3,5], increasing.
+        let good = chain(&[0, 2, 4], Value::ONE, domains::ALG2);
+        assert!(is_increasing_message(&good, Value::ONE, 7, &v));
+        // Receiver label 5 must reject label-5 signature.
+        assert!(!is_increasing_message(&good, Value::ONE, 5, &v));
+        // Wrong value.
+        assert!(!is_increasing_message(&good, Value::ZERO, 7, &v));
+        // Not increasing.
+        let bad = chain(&[2, 0], Value::ONE, domains::ALG2);
+        assert!(!is_increasing_message(&bad, Value::ONE, 7, &v));
+        // Duplicate label.
+        let dup = chain(&[1, 1], Value::ONE, domains::ALG2);
+        assert!(!is_increasing_message(&dup, Value::ONE, 7, &v));
+        // Wrong domain.
+        let dom = chain(&[0, 2], Value::ONE, domains::ALG1);
+        assert!(!is_increasing_message(&dom, Value::ONE, 7, &v));
+        // Empty chain.
+        assert!(!is_increasing_message(
+            &Chain::new(domains::ALG2, Value::ONE),
+            Value::ONE,
+            7,
+            &v
+        ));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Theorem 4 holds under random silent-fault sets.
+            #[test]
+            fn prop_proofs_survive_random_silence(
+                t in 1usize..5,
+                mask in any::<u32>(),
+                seed in any::<u64>(),
+            ) {
+                let n = 2 * t + 1;
+                let set: Vec<ProcessId> = (1..n as u32)
+                    .filter(|p| mask & (1 << (p % 31)) != 0)
+                    .take(t)
+                    .map(ProcessId)
+                    .collect();
+                let r = run(
+                    t,
+                    Value::ONE,
+                    Algo2Options {
+                        fault: Algo2Fault::Silent { set },
+                        seed,
+                        scheme: SchemeKind::Fast,
+                    },
+                ).unwrap();
+                assert_all_correct_hold_proofs(&r, t);
+                prop_assert!(
+                    r.report.outcome.metrics.messages_by_correct
+                        <= crate::bounds::alg2_max_messages(t as u64)
+                );
+            }
+        }
+    }
+}

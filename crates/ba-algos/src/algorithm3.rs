@@ -1,0 +1,867 @@
+//! Algorithm 3 — the active/passive architecture for large `n`
+//! (Lemma 1, Theorem 5 and the intro's phases/messages trade-off).
+//!
+//! The first `2t + 1` processors (including the transmitter, processor 0)
+//! are *active*; the remaining `m = n − (2t+1)` are *passive*, divided into
+//! `r = ⌈m/s⌉` groups of size `s` (the last group may be smaller). The
+//! first member of each group is its *root* `c(1)`.
+//!
+//! * **Phases `1..=t+2`** — the actives run Algorithm 1.
+//! * **Phase `t+3`** — each active signs and sends the agreed value to
+//!   every root; a root sets `m(1)` to the unique value received from at
+//!   least `t + 1` actives.
+//! * **Phases `t+2j`, `t+2j+1`** (`2 ≤ j ≤ s`) — the root sends `m(j−1)`
+//!   to `c(j)`; if `c(j)` received exactly one value from its root it signs
+//!   and returns it, and the root upgrades to `m(j)`.
+//! * **Phase `t+2s+2`** — each root sends `m(s)` to every active.
+//! * **Phase `t+2s+3`** — each active sends the signed value directly to
+//!   every group member whose signature was missing from the root's report.
+//! * **Decision** — actives per Algorithm 1; roots on `m(1)`; members on a
+//!   value received from `≥ t+1` actives in the last phase, else on the
+//!   value their root sent them.
+//!
+//! Lemma 1: `t + 2s + 3` phases and at most `2n + 4tn/s + 3t²s` messages.
+//! Theorem 5: `s = 4t` gives `O(n + t³)`. Choosing `s = ⌈t/α⌉` gives the
+//! intro's trade-off of `t + 3 + 2⌈t/α⌉` phases and `O(αn)` messages.
+
+use crate::algorithm1::{Algo1Actor, Algo1Params};
+use crate::common::{domains, into_report, AlgoReport};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value, Verifier};
+use ba_sim::actor::{Actor, Envelope, Outbox};
+use ba_sim::engine::Simulation;
+use ba_sim::AgreementViolation;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Domain for one-signature direct value messages (active → root and
+/// active → member).
+const DIRECT: u32 = domains::ALG3_GROUP_BASE - 1;
+
+/// A passive group: its index, root and members in position order
+/// (`members[0]` is the root `c(1)`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Group {
+    /// Group index (0-based).
+    pub index: usize,
+    /// All members; `members[0]` is the root.
+    pub members: Vec<ProcessId>,
+}
+
+impl Group {
+    /// The root `c(1)`.
+    pub fn root(&self) -> ProcessId {
+        self.members[0]
+    }
+
+    /// The chain domain for this group's collection messages.
+    pub fn domain(&self) -> u32 {
+        domains::ALG3_GROUP_BASE + self.index as u32
+    }
+
+    /// The member at 1-based position `j` (`c(j)`).
+    pub fn member(&self, j: usize) -> Option<ProcessId> {
+        self.members.get(j - 1).copied()
+    }
+
+    /// 1-based position of `p` in this group.
+    pub fn position(&self, p: ProcessId) -> Option<usize> {
+        self.members.iter().position(|&q| q == p).map(|i| i + 1)
+    }
+}
+
+/// Static parameters of an Algorithm 3 run.
+#[derive(Debug)]
+pub struct Alg3Params {
+    /// Total processors.
+    pub n: usize,
+    /// Fault tolerance.
+    pub t: usize,
+    /// Nominal group size.
+    pub s: usize,
+    /// Verifier over the run registry.
+    pub verifier: Verifier,
+    /// Algorithm 1 parameters for the active prefix.
+    pub alg1: Arc<Algo1Params>,
+}
+
+impl Alg3Params {
+    /// Creates the parameter block.
+    pub fn new(n: usize, t: usize, s: usize, verifier: Verifier) -> Self {
+        assert!(t >= 1, "algorithm 3 needs t >= 1");
+        assert!(s >= 1, "group size must be positive");
+        assert!(
+            n >= 2 * t + 2,
+            "algorithm 3 needs passive processors (n >= 2t + 2)"
+        );
+        let alg1 = Arc::new(Algo1Params {
+            t,
+            verifier: verifier.clone(),
+        });
+        Alg3Params {
+            n,
+            t,
+            s,
+            verifier,
+            alg1,
+        }
+    }
+
+    /// Number of active processors (`2t + 1`).
+    pub fn active_count(&self) -> usize {
+        2 * self.t + 1
+    }
+
+    /// Whether `p` is active.
+    pub fn is_active(&self, p: ProcessId) -> bool {
+        p.index() < self.active_count()
+    }
+
+    /// Number of passive processors.
+    pub fn passive_count(&self) -> usize {
+        self.n - self.active_count()
+    }
+
+    /// The passive groups in index order.
+    pub fn groups(&self) -> Vec<Group> {
+        let first = self.active_count();
+        let mut groups = Vec::new();
+        let mut start = first;
+        let mut index = 0;
+        while start < self.n {
+            let end = (start + self.s).min(self.n);
+            groups.push(Group {
+                index,
+                members: (start..end).map(|i| ProcessId(i as u32)).collect(),
+            });
+            start = end;
+            index += 1;
+        }
+        groups
+    }
+
+    /// The group containing passive `p`, with `p`'s 1-based position.
+    pub fn group_of(&self, p: ProcessId) -> Option<(Group, usize)> {
+        if self.is_active(p) || p.index() >= self.n {
+            return None;
+        }
+        let offset = p.index() - self.active_count();
+        let gi = offset / self.s;
+        let groups = self.groups();
+        let group = groups.get(gi)?.clone();
+        let pos = group.position(p)?;
+        Some((group, pos))
+    }
+
+    /// Total phases of the schedule.
+    pub fn phases(&self) -> usize {
+        self.t + 2 * self.s + 3
+    }
+
+    /// Whether `chain` is a valid one-signature direct value message from
+    /// an active processor.
+    pub fn is_direct(&self, chain: &Chain) -> bool {
+        chain.domain() == DIRECT
+            && chain.len() == 1
+            && chain.first_signer().is_some_and(|s| self.is_active(s))
+            && chain.verify(&self.verifier).is_ok()
+    }
+
+    /// Whether `chain` is a well-formed collection chain for `group`:
+    /// signatures (possibly none) of members at positions `2..` in
+    /// increasing position order.
+    pub fn is_collection_chain(&self, chain: &Chain, group: &Group) -> bool {
+        if chain.domain() != group.domain() {
+            return false;
+        }
+        if !chain.is_empty() && chain.verify(&self.verifier).is_err() {
+            return false;
+        }
+        let mut prev = 1usize;
+        for signer in chain.signers() {
+            match group.position(signer) {
+                Some(pos) if pos > prev => prev = pos,
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// An active processor: Algorithm 1 participant, then group supervisor.
+#[derive(Debug)]
+pub struct Alg3Active {
+    params: Arc<Alg3Params>,
+    signer: Signer,
+    algo1: Algo1Actor,
+    committed: Option<Value>,
+    /// Reports received from roots at the penultimate phase, by group.
+    reports: BTreeMap<usize, Vec<Chain>>,
+}
+
+impl Alg3Active {
+    /// Creates the active actor (`own_value` only for the transmitter).
+    pub fn new(
+        params: Arc<Alg3Params>,
+        me: ProcessId,
+        signer: Signer,
+        own_value: Option<Value>,
+    ) -> Self {
+        let algo1 = Algo1Actor::new(params.alg1.clone(), me, signer.clone(), own_value);
+        Alg3Active {
+            params,
+            signer,
+            algo1,
+            committed: None,
+            reports: BTreeMap::new(),
+        }
+    }
+}
+
+impl Actor<Chain> for Alg3Active {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        let t = self.params.t;
+
+        if phase <= t + 2 {
+            self.algo1.step(phase, inbox, out);
+            return;
+        }
+
+        if phase == t + 3 {
+            // Commit (the inbox still carries phase-(t+2) Algorithm 1
+            // traffic), then inform every root.
+            self.algo1.finalize(inbox);
+            self.committed = self.algo1.decision();
+            let v = self.committed.expect("algorithm 1 always decides");
+            let mut chain = Chain::new(DIRECT, v);
+            chain.sign_and_append(&self.signer);
+            for group in self.params.groups() {
+                out.send(group.root(), chain.clone());
+            }
+            return;
+        }
+
+        if phase == self.params.phases() {
+            // The inbox holds the roots' reports (sent at t+2s+2); cover
+            // every member whose signature is missing.
+            let v = self.committed.expect("committed at t+3");
+            let groups = self.params.groups();
+            for env in inbox {
+                if let Some((group, 1)) = groups
+                    .iter()
+                    .find_map(|g| g.position(env.from).map(|pos| (g, pos)))
+                {
+                    if self.params.is_collection_chain(&env.payload, group) {
+                        self.reports
+                            .entry(group.index)
+                            .or_default()
+                            .push(env.payload.clone());
+                    }
+                }
+            }
+            let mut direct = Chain::new(DIRECT, v);
+            direct.sign_and_append(&self.signer);
+            for group in &groups {
+                let covered: BTreeSet<ProcessId> = self
+                    .reports
+                    .get(&group.index)
+                    .map(|reports| {
+                        reports
+                            .iter()
+                            .filter(|c| c.value() == v)
+                            .flat_map(|c| c.signers())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for &member in &group.members[1..] {
+                    if !covered.contains(&member) {
+                        out.send(member, direct.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.committed.or_else(|| self.algo1.decision())
+    }
+}
+
+/// A group root: collects member signatures sequentially, then reports.
+#[derive(Debug)]
+pub struct Alg3Root {
+    params: Arc<Alg3Params>,
+    group: Group,
+    /// The current collection chain `m(j)`.
+    m: Option<Chain>,
+    /// Injected wrong value (adversarial roots only).
+    lie: Option<Value>,
+}
+
+impl Alg3Root {
+    /// Creates an honest root for `group`.
+    pub fn new(params: Arc<Alg3Params>, group: Group) -> Self {
+        Alg3Root {
+            params,
+            group,
+            m: None,
+            lie: None,
+        }
+    }
+
+    /// Creates a root that ignores the active quorum and pushes `wrong`
+    /// to its members (a faulty root).
+    pub fn new_lying(params: Arc<Alg3Params>, group: Group, wrong: Value) -> Self {
+        Alg3Root {
+            params,
+            group,
+            m: None,
+            lie: Some(wrong),
+        }
+    }
+}
+
+impl Actor<Chain> for Alg3Root {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        let t = self.params.t;
+        let s_g = self.group.members.len();
+
+        if phase == t + 4 {
+            // Active value messages (sent at t+3): take the unique value
+            // with >= t+1 distinct active signers.
+            let mut by_value: BTreeMap<Value, BTreeSet<ProcessId>> = BTreeMap::new();
+            for env in inbox {
+                if self.params.is_direct(&env.payload)
+                    && env.payload.first_signer() == Some(env.from)
+                {
+                    by_value
+                        .entry(env.payload.value())
+                        .or_default()
+                        .insert(env.from);
+                }
+            }
+            let quorum: Vec<Value> = by_value
+                .iter()
+                .filter(|(_, signers)| signers.len() > t)
+                .map(|(&v, _)| v)
+                .collect();
+            if let [v] = quorum[..] {
+                self.m = Some(Chain::new(self.group.domain(), v));
+            }
+            if let Some(wrong) = self.lie {
+                self.m = Some(Chain::new(self.group.domain(), wrong));
+            }
+        } else if phase >= t + 6 && phase <= t + 2 * s_g + 2 && (phase - t).is_multiple_of(2) {
+            // Phase t+2j: c(j-1)'s signed return (sent at t+2(j-1)+1) is in
+            // the inbox; upgrade m(j-2) to m(j-1) if it checks out.
+            let j = (phase - t) / 2;
+            if let (Some(m), Some(prev_member)) = (&self.m, self.group.member(j - 1)) {
+                for env in inbox {
+                    let ret = &env.payload;
+                    if env.from == prev_member
+                        && ret.len() == m.len() + 1
+                        && ret.last_signer() == Some(prev_member)
+                        && ret.signatures()[..m.len()] == *m.signatures()
+                        && ret.value() == m.value()
+                        && ret.domain() == m.domain()
+                        && ret.verify(&self.params.verifier).is_ok()
+                    {
+                        self.m = Some(ret.clone());
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Sends: m(j-1) to c(j) at phase t+2j (j = 2..=s_g).
+        if phase >= t + 4 && phase <= t + 2 * s_g && (phase - t).is_multiple_of(2) {
+            let j = (phase - t) / 2;
+            if let (Some(m), Some(target)) = (&self.m, self.group.member(j)) {
+                out.send(target, m.clone());
+            }
+        }
+
+        // Report m(s) to every active at phase t+2s+2 (global s; smaller
+        // groups finished collecting earlier and just report).
+        if phase == t + 2 * self.params.s + 2 {
+            if let Some(m) = &self.m {
+                out.broadcast(
+                    (0..self.params.active_count() as u32).map(ProcessId),
+                    m.clone(),
+                );
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.m.as_ref().map(|m| m.value())
+    }
+
+    fn is_correct(&self) -> bool {
+        self.lie.is_none()
+    }
+}
+
+/// A passive group member `c(j)` with `j ≥ 2`.
+#[derive(Debug)]
+pub struct Alg3Member {
+    params: Arc<Alg3Params>,
+    group: Group,
+    /// My 1-based position `j`.
+    pos: usize,
+    signer: Signer,
+    /// Value received from the root (the fallback decision).
+    from_root: Option<Value>,
+    /// Value received from `>= t+1` actives at the last phase.
+    from_actives: Option<Value>,
+    phase: usize,
+}
+
+impl Alg3Member {
+    /// Creates the member at position `pos` (≥ 2) of `group`.
+    pub fn new(params: Arc<Alg3Params>, group: Group, pos: usize, signer: Signer) -> Self {
+        assert!(pos >= 2, "position 1 is the root");
+        Alg3Member {
+            params,
+            group,
+            pos,
+            signer,
+            from_root: None,
+            from_actives: None,
+            phase: 0,
+        }
+    }
+
+    fn absorb_direct(&mut self, inbox: &[Envelope<Chain>]) {
+        let mut by_value: BTreeMap<Value, BTreeSet<ProcessId>> = BTreeMap::new();
+        for env in inbox {
+            if self.params.is_direct(&env.payload) && env.payload.first_signer() == Some(env.from) {
+                by_value
+                    .entry(env.payload.value())
+                    .or_default()
+                    .insert(env.from);
+            }
+        }
+        for (v, signers) in by_value {
+            if signers.len() > self.params.t {
+                self.from_actives = Some(v);
+            }
+        }
+    }
+}
+
+impl Actor<Chain> for Alg3Member {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        self.phase = phase;
+        let t = self.params.t;
+        // The root's m(j-1) (sent at t+2j) arrives at phase t+2j+1.
+        if phase == t + 2 * self.pos + 1 {
+            let root = self.group.root();
+            let candidates: Vec<&Chain> = inbox
+                .iter()
+                .filter(|env| env.from == root)
+                .map(|env| &env.payload)
+                .filter(|c| {
+                    self.params.is_collection_chain(c, &self.group)
+                        && c.signers()
+                            .all(|s| self.group.position(s).is_some_and(|p| p < self.pos))
+                })
+                .collect();
+            // "Exactly one value from its root": sign and return.
+            if let [only] = candidates[..] {
+                self.from_root = Some(only.value());
+                let mut signed = only.clone();
+                signed.sign_and_append(&self.signer);
+                out.send(root, signed);
+            }
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<Chain>]) {
+        if self.phase == self.params.phases() {
+            self.absorb_direct(inbox);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.from_actives.or(self.from_root)
+    }
+}
+
+/// Fault scenarios for [`run`].
+#[derive(Debug, Default)]
+pub enum Alg3Fault {
+    /// All correct.
+    #[default]
+    None,
+    /// The roots of the given groups are silent.
+    SilentRoots {
+        /// Group indices.
+        groups: Vec<usize>,
+    },
+    /// The roots of the given groups push a wrong value to their members.
+    LyingRoots {
+        /// Group indices.
+        groups: Vec<usize>,
+        /// The pushed value.
+        wrong: Value,
+    },
+    /// The roots of the given groups skip every even-position member.
+    SelectiveRoots {
+        /// Group indices.
+        groups: Vec<usize>,
+    },
+    /// The given passive members never sign (silent).
+    SilentMembers {
+        /// Member ids.
+        set: Vec<ProcessId>,
+    },
+    /// The given non-transmitter actives are silent.
+    SilentActives {
+        /// Active ids.
+        set: Vec<ProcessId>,
+    },
+}
+
+/// Options for [`run`].
+#[derive(Debug, Default)]
+pub struct Alg3Options {
+    /// Fault scenario.
+    pub fault: Alg3Fault,
+    /// Registry seed.
+    pub seed: u64,
+    /// Signature scheme.
+    pub scheme: SchemeKind,
+}
+
+/// Builds and runs an Algorithm 3 scenario.
+///
+/// ```
+/// use ba_algos::algorithm3::{run, Alg3Options};
+/// use ba_crypto::Value;
+///
+/// let r = run(20, 1, 4, Value::ONE, Alg3Options::default())?;
+/// assert_eq!(r.verdict.agreed, Some(Value::ONE));
+/// # Ok::<(), ba_sim::AgreementViolation>(())
+/// ```
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`].
+///
+/// # Panics
+/// Panics on invalid parameters (`t == 0`, `n < 2t + 2`, oversized fault
+/// sets, non-binary value).
+pub fn run(
+    n: usize,
+    t: usize,
+    s: usize,
+    value: Value,
+    options: Alg3Options,
+) -> Result<AlgoReport<Chain>, AgreementViolation> {
+    assert!(
+        value == Value::ZERO || value == Value::ONE,
+        "algorithm 3 is binary"
+    );
+    let registry = KeyRegistry::new(n, options.seed, options.scheme);
+    let params = Arc::new(Alg3Params::new(n, t, s, registry.verifier()));
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(n);
+    let mut fault_count = 0usize;
+
+    for i in 0..n as u32 {
+        let id = ProcessId(i);
+        let actor: Box<dyn Actor<Chain>> = if params.is_active(id) {
+            let silent = matches!(
+                &options.fault,
+                Alg3Fault::SilentActives { set } if set.contains(&id)
+            );
+            if silent {
+                assert!(
+                    id != ProcessId(0),
+                    "use algorithm1 scenarios for transmitter faults"
+                );
+                fault_count += 1;
+                Box::new(ba_sim::adversary::Silent)
+            } else {
+                Box::new(Alg3Active::new(
+                    params.clone(),
+                    id,
+                    registry.signer(id),
+                    if i == 0 { Some(value) } else { None },
+                ))
+            }
+        } else {
+            let (group, pos) = params.group_of(id).expect("passive processor has a group");
+            if pos == 1 {
+                match &options.fault {
+                    Alg3Fault::SilentRoots { groups } if groups.contains(&group.index) => {
+                        fault_count += 1;
+                        Box::new(ba_sim::adversary::Silent)
+                    }
+                    Alg3Fault::LyingRoots { groups, wrong } if groups.contains(&group.index) => {
+                        fault_count += 1;
+                        Box::new(Alg3Root::new_lying(params.clone(), group, *wrong))
+                    }
+                    Alg3Fault::SelectiveRoots { groups } if groups.contains(&group.index) => {
+                        fault_count += 1;
+                        let skipped: Vec<ProcessId> = group
+                            .members
+                            .iter()
+                            .enumerate()
+                            .filter(|(idx, _)| idx % 2 == 1 && *idx > 0)
+                            .map(|(_, &m)| m)
+                            .collect();
+                        let inner = Alg3Root::new(params.clone(), group);
+                        Box::new(ba_sim::adversary::OmitTo::new(inner, skipped))
+                    }
+                    _ => Box::new(Alg3Root::new(params.clone(), group)),
+                }
+            } else {
+                let silent = matches!(
+                    &options.fault,
+                    Alg3Fault::SilentMembers { set } if set.contains(&id)
+                );
+                if silent {
+                    fault_count += 1;
+                    Box::new(ba_sim::adversary::Silent)
+                } else {
+                    Box::new(Alg3Member::new(
+                        params.clone(),
+                        group,
+                        pos,
+                        registry.signer(id),
+                    ))
+                }
+            }
+        };
+        actors.push(actor);
+    }
+    assert!(fault_count <= t, "fault plan exceeds t");
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(params.phases());
+    into_report(outcome, ProcessId(0), value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn group_layout() {
+        let registry = KeyRegistry::new(16, 0, SchemeKind::Fast);
+        let params = Alg3Params::new(16, 2, 4, registry.verifier());
+        // Actives 0..=4; passives 5..=15 in groups of 4: [5-8], [9-12], [13-15].
+        let groups = params.groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].root(), ProcessId(5));
+        assert_eq!(groups[1].root(), ProcessId(9));
+        assert_eq!(groups[2].members.len(), 3);
+        let (g, pos) = params.group_of(ProcessId(10)).unwrap();
+        assert_eq!(g.index, 1);
+        assert_eq!(pos, 2);
+        assert!(params.group_of(ProcessId(3)).is_none());
+        assert_eq!(groups[0].member(4), Some(ProcessId(8)));
+        assert_eq!(groups[0].member(5), None);
+    }
+
+    #[test]
+    fn fault_free_agrees_within_bounds() {
+        for (n, t, s) in [(10, 1, 2), (16, 2, 4), (30, 2, 5), (41, 3, 8)] {
+            for v in [Value::ZERO, Value::ONE] {
+                let r = run(n, t, s, v, Alg3Options::default()).unwrap();
+                assert_eq!(r.verdict.agreed, Some(v), "n={n} t={t} s={s}");
+                assert_eq!(r.verdict.correct_count, n);
+                let msgs = r.outcome.metrics.messages_by_correct;
+                let bound = bounds::alg3_max_messages(n as u64, t as u64, s as u64);
+                assert!(msgs <= bound, "n={n} t={t} s={s}: {msgs} > {bound}");
+                assert_eq!(
+                    r.outcome.metrics.phases as u64,
+                    bounds::alg3_phases(t as u64, s as u64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn silent_roots_are_covered_by_actives() {
+        let (n, t, s) = (20, 2, 4);
+        let r = run(
+            n,
+            t,
+            s,
+            Value::ONE,
+            Alg3Options {
+                fault: Alg3Fault::SilentRoots { groups: vec![0, 2] },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+
+    #[test]
+    fn lying_roots_are_overridden_by_active_quorum() {
+        let (n, t, s) = (20, 2, 4);
+        let r = run(
+            n,
+            t,
+            s,
+            Value::ONE,
+            Alg3Options {
+                fault: Alg3Fault::LyingRoots {
+                    groups: vec![1],
+                    wrong: Value::ZERO,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+
+    #[test]
+    fn selective_roots_leave_no_member_behind() {
+        let (n, t, s) = (24, 2, 5);
+        let r = run(
+            n,
+            t,
+            s,
+            Value::ONE,
+            Alg3Options {
+                fault: Alg3Fault::SelectiveRoots { groups: vec![0, 1] },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+
+    #[test]
+    fn silent_members_only_cost_extra_messages() {
+        let (n, t, s) = (16, 2, 4);
+        let clean = run(n, t, s, Value::ONE, Alg3Options::default()).unwrap();
+        let r = run(
+            n,
+            t,
+            s,
+            Value::ONE,
+            Alg3Options {
+                fault: Alg3Fault::SilentMembers {
+                    set: vec![ProcessId(6), ProcessId(10)],
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+        // Actives cover the silent members directly in the last phase.
+        assert!(r.outcome.metrics.messages_by_correct > clean.outcome.metrics.messages_by_correct);
+    }
+
+    #[test]
+    fn silent_actives_tolerated() {
+        let (n, t, s) = (20, 2, 4);
+        let r = run(
+            n,
+            t,
+            s,
+            Value::ONE,
+            Alg3Options {
+                fault: Alg3Fault::SilentActives {
+                    set: vec![ProcessId(1), ProcessId(3)],
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+
+    #[test]
+    fn single_member_groups_work() {
+        // s = 1: every passive is a root; no collection loop at all.
+        let (n, t, s) = (12, 2, 1);
+        let r = run(n, t, s, Value::ONE, Alg3Options::default()).unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+
+    #[test]
+    fn theorem5_choice_stays_linear_in_n() {
+        // s = 4t: message count within 2n + 4tn/s + 3t²s = O(n + t³).
+        let t = 2;
+        let s = 4 * t;
+        for n in [30usize, 60, 120] {
+            let r = run(n, t, s, Value::ONE, Alg3Options::default()).unwrap();
+            let msgs = r.outcome.metrics.messages_by_correct;
+            assert!(msgs <= bounds::thm5_envelope(n as u64, t as u64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn collection_chain_validation() {
+        let registry = KeyRegistry::new(12, 1, SchemeKind::Hmac);
+        let params = Alg3Params::new(12, 2, 4, registry.verifier());
+        let group = params.groups()[0].clone(); // members 5,6,7,8
+        let mut chain = Chain::new(group.domain(), Value::ONE);
+        assert!(params.is_collection_chain(&chain, &group), "bare value ok");
+        chain.sign_and_append(&registry.signer(ProcessId(6)));
+        chain.sign_and_append(&registry.signer(ProcessId(8)));
+        assert!(
+            params.is_collection_chain(&chain, &group),
+            "increasing positions ok"
+        );
+        // Wrong domain.
+        let other = params.groups()[1].clone();
+        assert!(!params.is_collection_chain(&chain, &other));
+        // Out-of-order positions.
+        let mut bad = Chain::new(group.domain(), Value::ONE);
+        bad.sign_and_append(&registry.signer(ProcessId(8)));
+        bad.sign_and_append(&registry.signer(ProcessId(6)));
+        assert!(!params.is_collection_chain(&bad, &group));
+        // Root signature is not a member signature (position 1 not > 1).
+        let mut rooted = Chain::new(group.domain(), Value::ONE);
+        rooted.sign_and_append(&registry.signer(ProcessId(5)));
+        assert!(!params.is_collection_chain(&rooted, &group));
+        // Non-member signature.
+        let mut alien = Chain::new(group.domain(), Value::ONE);
+        alien.sign_and_append(&registry.signer(ProcessId(2)));
+        assert!(!params.is_collection_chain(&alien, &group));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn prop_agreement_under_random_root_faults(
+                t in 1usize..3,
+                s in 1usize..6,
+                extra_groups in 1usize..5,
+                seed in any::<u64>(),
+                lying in any::<bool>(),
+                which in any::<u8>(),
+            ) {
+                let n = 2 * t + 1 + s * extra_groups;
+                let bad_group = (which as usize) % extra_groups;
+                let fault = if lying {
+                    Alg3Fault::LyingRoots { groups: vec![bad_group], wrong: Value::ZERO }
+                } else {
+                    Alg3Fault::SilentRoots { groups: vec![bad_group] }
+                };
+                let r = run(
+                    n, t, s, Value::ONE,
+                    Alg3Options { fault, seed, scheme: SchemeKind::Fast },
+                ).unwrap();
+                prop_assert_eq!(r.verdict.agreed, Some(Value::ONE));
+                prop_assert!(
+                    r.outcome.metrics.messages_by_correct
+                        <= bounds::alg3_max_messages(n as u64, t as u64, s as u64)
+                );
+            }
+        }
+    }
+}

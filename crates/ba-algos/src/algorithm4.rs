@@ -1,0 +1,873 @@
+//! Algorithm 4 — the 3-phase `√N × √N` grid exchange (Lemma 2, Theorem 6).
+//!
+//! `N = m²` processors `p(i, j)` each hold a value and want (almost) all
+//! correct processors to learn (almost) all correct values while sending
+//! only `O(N^1.5)` messages — far below the `Ω(Nt)` needed for *full*
+//! mutual exchange:
+//!
+//! * **Phase 1** — `p(i, j)` signs its value and sends it along row `i`.
+//!   `M1(i, j, k)` is the correctly-formatted value received from
+//!   `p(i, k)`.
+//! * **Phase 2** — `p(i, j)` sends `[M1(i, j, 1), …, M1(i, j, m)]` down
+//!   column `j`. `M2(i, j, l)` is the correctly-formatted row bundle
+//!   received from `p(l, j)`.
+//! * **Phase 3** — `p(i, j)` sends `[M2(i, j, 1), …, M2(i, j, m)]` along
+//!   row `i`; `M3(i, j)` is everything received.
+//!
+//! Lemma 2: with at most `t` faults there is a set `P` of at least
+//! `N − 2t` correct processors (those whose row has fewer than `m/2`
+//! faults) such that every member of `P` ends up holding every other
+//! member's signed value. Total messages: at most `3(m − 1)m²`.
+//!
+//! The state machine ([`Alg4State`]) is deliberately embeddable: the active
+//! processors of Algorithm 5 run one instance per block, with a per-block
+//! `tag` separating the signature spaces.
+
+use crate::common::domains;
+use ba_crypto::wire::Encoder;
+use ba_crypto::{KeyRegistry, ProcessId, SchemeKind, Signature, Signer, Value, Verifier};
+use ba_sim::actor::{Actor, Envelope, Outbox, Payload};
+use ba_sim::engine::{RunOutcome, Simulation};
+use bytes::Bytes;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A value (opaque bytes) signed by one grid member.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedItem {
+    /// The carried value.
+    pub body: Bytes,
+    /// Signature over `(GRID domain, tag, body)`.
+    pub sig: Signature,
+}
+
+impl SignedItem {
+    /// Canonical bytes the signature covers.
+    fn content(tag: u64, body: &[u8]) -> Bytes {
+        let mut enc = Encoder::with_capacity(16 + body.len());
+        enc.u32(domains::GRID).u64(tag).bytes(body);
+        enc.finish()
+    }
+
+    /// Signs `body` under `tag`.
+    pub fn new(tag: u64, body: Bytes, signer: &Signer) -> Self {
+        let sig = signer.sign(&Self::content(tag, &body));
+        SignedItem { body, sig }
+    }
+
+    /// The claimed signer.
+    pub fn signer(&self) -> ProcessId {
+        self.sig.signer()
+    }
+
+    /// Whether the signature verifies under `tag`.
+    pub fn verifies(&self, tag: u64, verifier: &Verifier) -> bool {
+        verifier.verify(&self.sig, &Self::content(tag, &self.body))
+    }
+}
+
+/// Grid messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GridMsg {
+    /// Phase 1: one signed value.
+    Item(SignedItem),
+    /// Phase 2: a row bundle.
+    Row(Vec<SignedItem>),
+    /// Phase 3: bundles of row bundles.
+    Rows(Vec<Vec<SignedItem>>),
+}
+
+impl Payload for GridMsg {
+    fn signature_count(&self) -> usize {
+        match self {
+            GridMsg::Item(_) => 1,
+            GridMsg::Row(items) => items.len(),
+            GridMsg::Rows(rows) => rows.iter().map(Vec::len).sum(),
+        }
+    }
+    fn weight_bytes(&self) -> usize {
+        match self {
+            GridMsg::Item(item) => item.body.len() + 40,
+            GridMsg::Row(items) => items.iter().map(|i| i.body.len() + 40).sum(),
+            GridMsg::Rows(rows) => rows
+                .iter()
+                .flat_map(|r| r.iter())
+                .map(|i| i.body.len() + 40)
+                .sum(),
+        }
+    }
+    fn kind(&self) -> &'static str {
+        "grid"
+    }
+}
+
+/// Maps grid coordinates to processor identities (row-major).
+#[derive(Clone, Debug)]
+pub struct GridLayout {
+    ids: Vec<ProcessId>,
+    m: usize,
+}
+
+impl GridLayout {
+    /// Creates a layout over `ids`; `ids.len()` must be a perfect square
+    /// `m²` with `m ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics when the length is not a positive perfect square.
+    pub fn new(ids: Vec<ProcessId>) -> Self {
+        let m = (ids.len() as f64).sqrt().round() as usize;
+        assert!(
+            m >= 1 && m * m == ids.len(),
+            "grid needs a perfect square of processors"
+        );
+        GridLayout { ids, m }
+    }
+
+    /// Side length `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total processors `m²`.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed layout).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The processor at 0-based `(row, col)`.
+    pub fn id(&self, row: usize, col: usize) -> ProcessId {
+        self.ids[row * self.m + col]
+    }
+
+    /// The 0-based `(row, col)` of `p`, if on the grid.
+    pub fn pos(&self, p: ProcessId) -> Option<(usize, usize)> {
+        self.ids
+            .iter()
+            .position(|&q| q == p)
+            .map(|idx| (idx / self.m, idx % self.m))
+    }
+
+    /// All members of `row`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.m).map(move |c| self.id(row, c))
+    }
+
+    /// All members of `col`.
+    pub fn col(&self, col: usize) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.m).map(move |r| self.id(r, col))
+    }
+}
+
+/// The per-processor Algorithm 4 state machine.
+///
+/// Callers drive it with exactly four calls in successive phases:
+/// [`phase1_sends`](Self::phase1_sends), [`phase2_sends`](Self::phase2_sends)
+/// (with phase 1's inbox), [`phase3_sends`](Self::phase3_sends) (with
+/// phase 2's inbox), and [`finish`](Self::finish) (with phase 3's inbox);
+/// then [`result`](Self::result) is the set `M3`.
+#[derive(Debug)]
+pub struct Alg4State {
+    layout: Arc<GridLayout>,
+    verifier: Verifier,
+    me: ProcessId,
+    row: usize,
+    col: usize,
+    tag: u64,
+    my_item: SignedItem,
+    /// Valid row items (own first).
+    m1: Vec<SignedItem>,
+    /// Valid row bundles received down the column (own bundle included).
+    m2: Vec<Vec<SignedItem>>,
+    /// Final harvested set, deduplicated by `(signer, body)`.
+    m3: Vec<SignedItem>,
+    m3_seen: BTreeSet<(u32, Bytes)>,
+}
+
+impl Alg4State {
+    /// Creates the state for `me` holding `body`, signing with `signer`.
+    ///
+    /// # Panics
+    /// Panics if `me` is not on the grid or `signer` is for a different
+    /// identity.
+    pub fn new(
+        layout: Arc<GridLayout>,
+        me: ProcessId,
+        body: Bytes,
+        signer: &Signer,
+        verifier: Verifier,
+        tag: u64,
+    ) -> Self {
+        assert_eq!(signer.id(), me, "signer must belong to the grid member");
+        let (row, col) = layout.pos(me).expect("processor must be on the grid");
+        let my_item = SignedItem::new(tag, body, signer);
+        let mut state = Alg4State {
+            layout,
+            verifier,
+            me,
+            row,
+            col,
+            tag,
+            my_item: my_item.clone(),
+            m1: vec![my_item.clone()],
+            m2: Vec::new(),
+            m3: Vec::new(),
+            m3_seen: BTreeSet::new(),
+        };
+        state.harvest(std::iter::once(my_item));
+        state
+    }
+
+    /// The grid member this state belongs to.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn harvest(&mut self, items: impl IntoIterator<Item = SignedItem>) {
+        for item in items {
+            let key = (item.signer().0, item.body.clone());
+            if self.m3_seen.insert(key) {
+                self.m3.push(item);
+            }
+        }
+    }
+
+    /// Phase 1: send the signed value along my row.
+    pub fn phase1_sends(&self, mut send: impl FnMut(ProcessId, GridMsg)) {
+        for target in self.layout.row(self.row) {
+            if target != self.me {
+                send(target, GridMsg::Item(self.my_item.clone()));
+            }
+        }
+    }
+
+    /// Phase 2: absorb phase-1 row items, then send the bundle down my
+    /// column.
+    pub fn phase2_sends(
+        &mut self,
+        inbox: &[Envelope<GridMsg>],
+        mut send: impl FnMut(ProcessId, GridMsg),
+    ) {
+        let row_set: BTreeSet<ProcessId> = self.layout.row(self.row).collect();
+        for env in inbox {
+            if let GridMsg::Item(item) = &env.payload {
+                // Correct format: signed by the actual row sender.
+                if row_set.contains(&env.from)
+                    && item.signer() == env.from
+                    && item.verifies(self.tag, &self.verifier)
+                {
+                    self.m1.push(item.clone());
+                }
+            }
+        }
+        self.harvest(self.m1.clone());
+        self.m2.push(self.m1.clone()); // my own row bundle
+        for target in self.layout.col(self.col) {
+            if target != self.me {
+                send(target, GridMsg::Row(self.m1.clone()));
+            }
+        }
+    }
+
+    /// Phase 3: absorb phase-2 column bundles, then send everything along
+    /// my row.
+    pub fn phase3_sends(
+        &mut self,
+        inbox: &[Envelope<GridMsg>],
+        mut send: impl FnMut(ProcessId, GridMsg),
+    ) {
+        for env in inbox {
+            if let GridMsg::Row(items) = &env.payload {
+                let Some((l, c)) = self.layout.pos(env.from) else {
+                    continue;
+                };
+                if c != self.col || items.len() > self.layout.m() {
+                    continue;
+                }
+                // Correct format: every item signed by a member of row l.
+                let row_l: BTreeSet<ProcessId> = self.layout.row(l).collect();
+                let ok = items.iter().all(|item| {
+                    row_l.contains(&item.signer()) && item.verifies(self.tag, &self.verifier)
+                });
+                if ok {
+                    self.m2.push(items.clone());
+                    self.harvest(items.iter().cloned());
+                }
+            }
+        }
+        let bundle: Vec<Vec<SignedItem>> = self.m2.clone();
+        for target in self.layout.row(self.row) {
+            if target != self.me {
+                send(target, GridMsg::Rows(bundle.clone()));
+            }
+        }
+    }
+
+    /// Final absorption of phase-3 bundles into `M3`.
+    pub fn finish(&mut self, inbox: &[Envelope<GridMsg>]) {
+        let row_set: BTreeSet<ProcessId> = self.layout.row(self.row).collect();
+        for env in inbox {
+            if let GridMsg::Rows(rows) = &env.payload {
+                if !row_set.contains(&env.from) || rows.len() > 2 * self.layout.m() {
+                    continue;
+                }
+                for items in rows {
+                    if items.len() > self.layout.m() {
+                        continue;
+                    }
+                    // Each inner list must be one row's signatures.
+                    let rows_of_signers: BTreeSet<usize> = items
+                        .iter()
+                        .filter_map(|i| self.layout.pos(i.signer()).map(|(r, _)| r))
+                        .collect();
+                    if rows_of_signers.len() > 1 {
+                        continue;
+                    }
+                    let valid: Vec<SignedItem> = items
+                        .iter()
+                        .filter(|i| {
+                            self.layout.pos(i.signer()).is_some()
+                                && i.verifies(self.tag, &self.verifier)
+                        })
+                        .cloned()
+                        .collect();
+                    self.harvest(valid);
+                }
+            }
+        }
+    }
+
+    /// The harvested set `M3`: every signed value this processor ended up
+    /// holding.
+    pub fn result(&self) -> &[SignedItem] {
+        &self.m3
+    }
+}
+
+/// A standalone grid actor for the Theorem 6 experiment: exchanges its own
+/// id as the value and deposits `M3` on a board.
+#[derive(Debug)]
+pub struct GridActor {
+    state: Alg4State,
+    results: Arc<crate::common::Board<Vec<SignedItem>>>,
+}
+
+impl GridActor {
+    /// Creates the actor; its exchanged value is its own id.
+    pub fn new(
+        layout: Arc<GridLayout>,
+        me: ProcessId,
+        signer: &Signer,
+        verifier: Verifier,
+        tag: u64,
+        results: Arc<crate::common::Board<Vec<SignedItem>>>,
+    ) -> Self {
+        let mut enc = Encoder::with_capacity(4);
+        enc.process_id(me);
+        let state = Alg4State::new(layout, me, enc.finish(), signer, verifier, tag);
+        GridActor { state, results }
+    }
+}
+
+impl Actor<GridMsg> for GridActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<GridMsg>], out: &mut Outbox<GridMsg>) {
+        match phase {
+            1 => self.state.phase1_sends(|to, msg| out.send(to, msg)),
+            2 => self.state.phase2_sends(inbox, |to, msg| out.send(to, msg)),
+            3 => self.state.phase3_sends(inbox, |to, msg| out.send(to, msg)),
+            _ => {}
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<GridMsg>]) {
+        self.state.finish(inbox);
+        self.results
+            .post(self.state.me(), self.state.result().to_vec());
+    }
+
+    fn decision(&self) -> Option<Value> {
+        // The exchange primitive has no agreement decision; report a
+        // constant so the engine's decision slot is well-defined.
+        Some(Value::ZERO)
+    }
+}
+
+/// Outcome of a standalone Algorithm 4 run.
+#[derive(Debug)]
+pub struct Alg4Report {
+    /// Raw engine outcome.
+    pub outcome: RunOutcome<GridMsg>,
+    /// Each processor's harvested `M3` (by processor index).
+    pub results: Vec<Option<Vec<SignedItem>>>,
+    /// The faulty processors of the scenario.
+    pub faulty: Vec<ProcessId>,
+    /// Side length.
+    pub m: usize,
+}
+
+impl Alg4Report {
+    /// Lemma 2's set `P`: correct processors whose row contains fewer than
+    /// `m/2` faulty processors.
+    pub fn lemma2_set(&self) -> Vec<ProcessId> {
+        let m = self.m;
+        let faulty: BTreeSet<ProcessId> = self.faulty.iter().copied().collect();
+        let mut p_set = Vec::new();
+        for row in 0..m {
+            let row_ids: Vec<ProcessId> = (0..m).map(|c| ProcessId((row * m + c) as u32)).collect();
+            let row_faults = row_ids.iter().filter(|id| faulty.contains(id)).count();
+            if 2 * row_faults < m {
+                for id in row_ids {
+                    if !faulty.contains(&id) {
+                        p_set.push(id);
+                    }
+                }
+            }
+        }
+        p_set
+    }
+
+    /// Whether every member of `P` holds every other member's value.
+    pub fn mutual_exchange_holds(&self) -> bool {
+        let p_set = self.lemma2_set();
+        for &holder in &p_set {
+            let Some(m3) = &self.results[holder.index()] else {
+                return false;
+            };
+            let signers: BTreeSet<ProcessId> = m3.iter().map(SignedItem::signer).collect();
+            for &other in &p_set {
+                if !signers.contains(&other) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Runs a standalone `m × m` grid exchange with the given silent faults.
+///
+/// ```
+/// use ba_algos::algorithm4::run;
+/// use ba_crypto::SchemeKind;
+///
+/// let report = run(3, vec![], 1, SchemeKind::Fast);
+/// assert!(report.mutual_exchange_holds());
+/// ```
+///
+/// # Panics
+/// Panics if `m == 0` or a fault id is off the grid.
+pub fn run(m: usize, faulty: Vec<ProcessId>, seed: u64, scheme: SchemeKind) -> Alg4Report {
+    assert!(m >= 1);
+    let n = m * m;
+    assert!(faulty.iter().all(|p| p.index() < n));
+    let registry = KeyRegistry::new(n, seed, scheme);
+    let layout = Arc::new(GridLayout::new((0..n as u32).map(ProcessId).collect()));
+    let results = crate::common::Board::new(n);
+    let tag = 0xA164;
+
+    let mut actors: Vec<Box<dyn Actor<GridMsg>>> = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let id = ProcessId(i);
+        if faulty.contains(&id) {
+            actors.push(Box::new(ba_sim::adversary::Silent));
+        } else {
+            actors.push(Box::new(GridActor::new(
+                layout.clone(),
+                id,
+                &registry.signer(id),
+                registry.verifier(),
+                tag,
+                results.clone(),
+            )));
+        }
+    }
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(3);
+    Alg4Report {
+        outcome,
+        results: results.snapshot(),
+        faulty,
+        m,
+    }
+}
+
+/// The paper's naive two-phase full-exchange baseline (Section 6 intro):
+/// "Select `t + 1` processors; they will play the role of relay
+/// processors. At phase 1 each processor signs and sends its value to
+/// every relay processor. A relay processor combines all the incoming
+/// messages and its own value to one long message and sends it to every
+/// nonrelay processor at phase 2."
+///
+/// Guarantees *full* mutual exchange among correct processors (unlike
+/// Algorithm 4's `N − 2t` subset) at a cost of
+/// `(N−1)(t+1) + (N−t−1)(t+1) = O(Nt)` messages — the `Ω(Nt)` regime
+/// Theorem 6 undercuts when only a high percentage of processors need to
+/// succeed.
+#[derive(Debug)]
+pub struct RelayExchangeActor {
+    n: usize,
+    t: usize,
+    me: ProcessId,
+    my_item: SignedItem,
+    verifier: Verifier,
+    tag: u64,
+    /// Values this processor ended up holding.
+    harvested: Vec<SignedItem>,
+    seen: BTreeSet<(u32, Bytes)>,
+    results: Arc<crate::common::Board<Vec<SignedItem>>>,
+}
+
+impl RelayExchangeActor {
+    /// Creates the actor; its exchanged value is its own id. Relays are
+    /// processors `0..=t`.
+    pub fn new(
+        n: usize,
+        t: usize,
+        me: ProcessId,
+        signer: &Signer,
+        verifier: Verifier,
+        tag: u64,
+        results: Arc<crate::common::Board<Vec<SignedItem>>>,
+    ) -> Self {
+        let mut enc = Encoder::with_capacity(4);
+        enc.process_id(me);
+        let my_item = SignedItem::new(tag, enc.finish(), signer);
+        let mut actor = RelayExchangeActor {
+            n,
+            t,
+            me,
+            my_item: my_item.clone(),
+            verifier,
+            tag,
+            harvested: Vec::new(),
+            seen: BTreeSet::new(),
+            results,
+        };
+        actor.harvest(std::iter::once(my_item));
+        actor
+    }
+
+    fn is_relay(&self, p: ProcessId) -> bool {
+        p.index() <= self.t
+    }
+
+    fn harvest(&mut self, items: impl IntoIterator<Item = SignedItem>) {
+        for item in items {
+            if item.verifies(self.tag, &self.verifier)
+                && self.seen.insert((item.signer().0, item.body.clone()))
+            {
+                self.harvested.push(item);
+            }
+        }
+    }
+
+    fn absorb(&mut self, inbox: &[Envelope<GridMsg>]) {
+        let mut collected: Vec<SignedItem> = Vec::new();
+        for env in inbox {
+            match &env.payload {
+                GridMsg::Item(item) if item.signer() == env.from => {
+                    collected.push(item.clone());
+                }
+                GridMsg::Row(items) if self.is_relay(env.from) => {
+                    collected.extend(items.iter().cloned());
+                }
+                _ => {}
+            }
+        }
+        self.harvest(collected);
+    }
+}
+
+impl Actor<GridMsg> for RelayExchangeActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<GridMsg>], out: &mut Outbox<GridMsg>) {
+        match phase {
+            1 => {
+                // Everyone sends its signed value to every relay.
+                for r in 0..=self.t as u32 {
+                    out.send(ProcessId(r), GridMsg::Item(self.my_item.clone()));
+                }
+            }
+            2 => {
+                self.absorb(inbox);
+                if self.is_relay(self.me) {
+                    // Combine everything into one long message for the
+                    // non-relays.
+                    let bundle = GridMsg::Row(self.harvested.clone());
+                    for p in self.t as u32 + 1..self.n as u32 {
+                        out.send(ProcessId(p), bundle.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<GridMsg>]) {
+        self.absorb(inbox);
+        self.results.post(self.me, self.harvested.clone());
+    }
+
+    fn decision(&self) -> Option<Value> {
+        Some(Value::ZERO) // exchange primitive: no agreement decision
+    }
+}
+
+/// Outcome of a [`relay_exchange`] run.
+#[derive(Debug)]
+pub struct RelayExchangeReport {
+    /// Raw engine outcome.
+    pub outcome: RunOutcome<GridMsg>,
+    /// Each processor's harvested values (by processor index).
+    pub results: Vec<Option<Vec<SignedItem>>>,
+    /// The faulty processors of the scenario.
+    pub faulty: Vec<ProcessId>,
+}
+
+impl RelayExchangeReport {
+    /// Whether every correct processor holds every correct processor's
+    /// value — the *full* exchange this baseline guarantees.
+    pub fn full_exchange_holds(&self) -> bool {
+        let n = self.results.len();
+        let correct: Vec<ProcessId> = (0..n as u32)
+            .map(ProcessId)
+            .filter(|p| !self.faulty.contains(p))
+            .collect();
+        for &holder in &correct {
+            let Some(items) = &self.results[holder.index()] else {
+                return false;
+            };
+            let signers: BTreeSet<ProcessId> = items.iter().map(SignedItem::signer).collect();
+            if !correct.iter().all(|p| signers.contains(p)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Runs the two-phase relay full exchange over `n` processors tolerating
+/// `t` faults (relays are processors `0..=t`), with the given silent
+/// faults.
+///
+/// # Panics
+/// Panics unless `t + 1 < n` and the fault set fits `t`.
+pub fn relay_exchange(
+    n: usize,
+    t: usize,
+    faulty: Vec<ProcessId>,
+    seed: u64,
+    scheme: SchemeKind,
+) -> RelayExchangeReport {
+    assert!(t + 1 < n, "need at least one non-relay");
+    assert!(faulty.len() <= t, "fault plan exceeds t");
+    let registry = KeyRegistry::new(n, seed, scheme);
+    let results = crate::common::Board::new(n);
+    let tag = 0xE0_E1;
+
+    let mut actors: Vec<Box<dyn Actor<GridMsg>>> = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let id = ProcessId(i);
+        if faulty.contains(&id) {
+            actors.push(Box::new(ba_sim::adversary::Silent));
+        } else {
+            actors.push(Box::new(RelayExchangeActor::new(
+                n,
+                t,
+                id,
+                &registry.signer(id),
+                registry.verifier(),
+                tag,
+                results.clone(),
+            )));
+        }
+    }
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(2);
+    RelayExchangeReport {
+        outcome,
+        results: results.snapshot(),
+        faulty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn layout_indexing() {
+        let layout = GridLayout::new((0..9u32).map(ProcessId).collect());
+        assert_eq!(layout.m(), 3);
+        assert_eq!(layout.len(), 9);
+        assert_eq!(layout.id(1, 2), ProcessId(5));
+        assert_eq!(layout.pos(ProcessId(5)), Some((1, 2)));
+        assert_eq!(layout.pos(ProcessId(9)), None);
+        let row: Vec<ProcessId> = layout.row(2).collect();
+        assert_eq!(row, vec![ProcessId(6), ProcessId(7), ProcessId(8)]);
+        let col: Vec<ProcessId> = layout.col(0).collect();
+        assert_eq!(col, vec![ProcessId(0), ProcessId(3), ProcessId(6)]);
+        assert!(!layout.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_layout_rejected() {
+        let _ = GridLayout::new((0..8u32).map(ProcessId).collect());
+    }
+
+    #[test]
+    fn fault_free_full_exchange_within_message_bound() {
+        for m in [2usize, 3, 4, 5] {
+            let report = run(m, Vec::new(), 1, SchemeKind::Fast);
+            assert!(report.mutual_exchange_holds(), "m={m}");
+            // Everyone is in P when there are no faults.
+            assert_eq!(report.lemma2_set().len(), m * m);
+            let msgs = report.outcome.metrics.messages_by_correct;
+            assert_eq!(msgs, bounds::alg4_max_messages(m as u64), "m={m}");
+            assert_eq!(report.outcome.metrics.phases, 3);
+        }
+    }
+
+    #[test]
+    fn lemma2_holds_with_concentrated_row_faults() {
+        // Kill a whole row: its members leave P, everyone else exchanges.
+        let m = 4;
+        let faulty: Vec<ProcessId> = (4..8u32).map(ProcessId).collect();
+        let report = run(m, faulty, 2, SchemeKind::Fast);
+        let p_set = report.lemma2_set();
+        assert_eq!(p_set.len(), m * m - 4);
+        assert!(report.mutual_exchange_holds());
+    }
+
+    #[test]
+    fn lemma2_holds_with_scattered_faults() {
+        let m = 5;
+        let t = 4;
+        let faulty: Vec<ProcessId> = vec![ProcessId(0), ProcessId(7), ProcessId(13), ProcessId(21)];
+        let report = run(m, faulty, 3, SchemeKind::Fast);
+        let p_set = report.lemma2_set();
+        assert!(p_set.len() >= bounds::alg4_min_successful((m * m) as u64, t as u64) as usize);
+        assert!(report.mutual_exchange_holds());
+    }
+
+    #[test]
+    fn signed_item_tamper_detection() {
+        let registry = KeyRegistry::new(4, 9, SchemeKind::Hmac);
+        let signer = registry.signer(ProcessId(1));
+        let item = SignedItem::new(5, Bytes::from_static(b"value"), &signer);
+        assert!(item.verifies(5, &registry.verifier()));
+        // Wrong tag (a different Algorithm 5 block, say).
+        assert!(!item.verifies(6, &registry.verifier()));
+        // Tampered body.
+        let tampered = SignedItem {
+            body: Bytes::from_static(b"other"),
+            sig: item.sig.clone(),
+        };
+        assert!(!tampered.verifies(5, &registry.verifier()));
+        assert_eq!(item.signer(), ProcessId(1));
+    }
+
+    #[test]
+    fn grid_msg_signature_counts() {
+        let registry = KeyRegistry::new(4, 9, SchemeKind::Fast);
+        let item = SignedItem::new(0, Bytes::new(), &registry.signer(ProcessId(0)));
+        assert_eq!(GridMsg::Item(item.clone()).signature_count(), 1);
+        assert_eq!(GridMsg::Row(vec![item.clone(); 3]).signature_count(), 3);
+        assert_eq!(
+            GridMsg::Rows(vec![vec![item.clone(); 2], vec![item; 3]]).signature_count(),
+            5
+        );
+    }
+
+    #[test]
+    fn o_n_1_5_beats_full_exchange_for_t_at_least_m() {
+        // 3(m-1)m² < N·t when t >= m (Theorem 6's point).
+        for m in [3u64, 5, 8] {
+            let n_grid = m * m;
+            let t = m;
+            assert!(bounds::alg4_max_messages(m) < n_grid * t * (t + 1));
+        }
+    }
+
+    #[test]
+    fn relay_exchange_is_full_and_costs_nt() {
+        for (n, t) in [(9usize, 2usize), (25, 4), (49, 6)] {
+            let r = relay_exchange(n, t, vec![], 1, SchemeKind::Fast);
+            assert!(r.full_exchange_holds(), "n={n} t={t}");
+            // (n-1)(t+1) + (t+1)(n-t-1) messages exactly, fault-free.
+            let expected = ((n - 1) * (t + 1) + (t + 1) * (n - t - 1)) as u64;
+            assert_eq!(r.outcome.metrics.messages_by_correct, expected);
+        }
+    }
+
+    #[test]
+    fn relay_exchange_survives_t_silent_relays_minus_one() {
+        // t faults, all aimed at relays: one correct relay remains.
+        let (n, t) = (16usize, 3usize);
+        let faulty: Vec<ProcessId> = (0..t as u32).map(ProcessId).collect();
+        let r = relay_exchange(n, t, faulty, 2, SchemeKind::Fast);
+        assert!(r.full_exchange_holds());
+    }
+
+    #[test]
+    fn relay_exchange_survives_silent_non_relays() {
+        let (n, t) = (12usize, 2usize);
+        let faulty = vec![ProcessId(5), ProcessId(9)];
+        let r = relay_exchange(n, t, faulty, 3, SchemeKind::Fast);
+        assert!(r.full_exchange_holds());
+    }
+
+    #[test]
+    fn grid_beats_relay_exchange_at_the_crossover() {
+        // Grid costs 3(m-1)N; the relay baseline ~2N(t+1). The grid wins
+        // once t+1 > 1.5(m-1): for m = 5 that is t >= 7.
+        let m = 5; // N = 25
+        let t = 7;
+        let grid = run(m, vec![], 4, SchemeKind::Fast);
+        let relay = relay_exchange(m * m, t, vec![], 4, SchemeKind::Fast);
+        assert!(
+            grid.outcome.metrics.messages_by_correct < relay.outcome.metrics.messages_by_correct
+        );
+        // And below the crossover the relay baseline is cheaper.
+        let cheap_relay = relay_exchange(m * m, 2, vec![], 4, SchemeKind::Fast);
+        assert!(
+            cheap_relay.outcome.metrics.messages_by_correct
+                < grid.outcome.metrics.messages_by_correct
+        );
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            #[test]
+            fn prop_lemma2_random_faults(
+                m in 2usize..6,
+                seed in any::<u64>(),
+                mask in any::<u64>(),
+            ) {
+                let n = m * m;
+                let faulty: Vec<ProcessId> = (0..n as u32)
+                    .filter(|i| mask & (1 << (i % 63)) != 0)
+                    .take(m - 1)
+                    .map(ProcessId)
+                    .collect();
+                let report = run(m, faulty, seed, SchemeKind::Fast);
+                prop_assert!(report.mutual_exchange_holds());
+                prop_assert!(
+                    report.outcome.metrics.messages_by_correct
+                        <= bounds::alg4_max_messages(m as u64)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared vocabulary for the algorithm implementations.
+
+use ba_crypto::{ProcessId, Value};
+use ba_sim::engine::RunOutcome;
+use ba_sim::{AgreementViolation, Payload, RunVerdict};
+
+/// Chain/signature domain tags, one per protocol message space, so a
+/// signature produced inside one algorithm can never be replayed into
+/// another (see [`ba_crypto::Chain`]).
+pub mod domains {
+    /// Algorithm 1 "correct 1-message" chains.
+    pub const ALG1: u32 = 1;
+    /// Algorithm 2 increasing messages; also Algorithm 5's *valid
+    /// messages*, which are exactly Algorithm 2 outputs extended by passive
+    /// signatures.
+    pub const ALG2: u32 = 2;
+    /// Dolev–Strong relay chains.
+    pub const DOLEV_STRONG: u32 = 3;
+    /// Algorithm 4 grid items (per-item signatures).
+    pub const GRID: u32 = 4;
+    /// Algorithm 5 strings (`[F(p, x), x]` lists signed by one active).
+    pub const ALG5_STRING: u32 = 5;
+    /// Base for Algorithm 3 per-group collection chains; group `g` uses
+    /// `ALG3_GROUP_BASE + g`.
+    pub const ALG3_GROUP_BASE: u32 = 1_000;
+}
+
+/// A shared, post-run-readable slot per processor.
+///
+/// Actors deposit artifacts that are not decisions — Algorithm 2's
+/// transferable proofs, Algorithm 5's valid messages — and runners read
+/// them after the simulation finishes.
+#[derive(Debug)]
+pub struct Board<T> {
+    slots: std::sync::Mutex<Vec<Option<T>>>,
+}
+
+impl<T: Clone> Board<T> {
+    /// Creates a board with `n` empty slots.
+    pub fn new(n: usize) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Board {
+            slots: std::sync::Mutex::new(vec![None; n]),
+        })
+    }
+
+    /// Deposits `value` into `id`'s slot (replacing any previous deposit).
+    pub fn post(&self, id: ProcessId, value: T) {
+        self.slots.lock().expect("board lock")[id.index()] = Some(value);
+    }
+
+    /// Reads `id`'s slot.
+    pub fn get(&self, id: ProcessId) -> Option<T> {
+        self.slots.lock().expect("board lock")[id.index()].clone()
+    }
+
+    /// Snapshot of all slots.
+    pub fn snapshot(&self) -> Vec<Option<T>> {
+        self.slots.lock().expect("board lock").clone()
+    }
+}
+
+/// Outcome of running one algorithm scenario: the raw simulation outcome
+/// plus the checked Byzantine Agreement verdict.
+#[derive(Debug)]
+pub struct AlgoReport<P> {
+    /// Raw engine outcome (decisions, metrics, optional trace).
+    pub outcome: RunOutcome<P>,
+    /// The checked agreement verdict.
+    pub verdict: RunVerdict,
+}
+
+/// Convenience: checks the outcome and wraps it into an [`AlgoReport`].
+///
+/// # Errors
+/// Propagates the [`AgreementViolation`] when the run broke agreement —
+/// which legitimate scenarios never do; the lower-bound attack experiments
+/// in `ba-model` intentionally trigger violations and handle the error.
+pub fn into_report<P: Payload>(
+    outcome: RunOutcome<P>,
+    transmitter: ProcessId,
+    sent: Value,
+) -> Result<AlgoReport<P>, AgreementViolation> {
+    let verdict = ba_sim::check_byzantine_agreement(&outcome, transmitter, sent)?;
+    Ok(AlgoReport { outcome, verdict })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_are_pairwise_distinct() {
+        let all = [
+            domains::ALG1,
+            domains::ALG2,
+            domains::DOLEV_STRONG,
+            domains::GRID,
+            domains::ALG5_STRING,
+            domains::ALG3_GROUP_BASE,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The Dolev–Strong authenticated baseline (reference 9 of the paper).
+//!
+//! The paper cites Dolev & Strong's *Authenticated algorithms for Byzantine
+//! Agreement* as the best previous solution: `t + 1` phases and `O(nt + t²)`
+//! messages. Two variants are implemented:
+//!
+//! * [`Variant::Broadcast`] — the classic `t + 1`-phase protocol where every
+//!   processor relays each newly-extracted value (at most two) to everyone:
+//!   `O(n²)` messages. The textbook form, used as the "naive authenticated"
+//!   comparison point.
+//! * [`Variant::Relay`] — the message-thrifty form with a committee of
+//!   `t + 1` relays: non-committee processors report newly-extracted values
+//!   only to the committee, committee members relay to everyone. `O(nt)`
+//!   messages, `t + 3` phases.
+//!
+//! Extraction rule (both variants): a chain received at phase `k` is
+//! accepted if it carries the transmitter's signature first, `k` signatures
+//! total from distinct processors not including the receiver, and a value
+//! not yet extracted. A processor relays at most its first two extracted
+//! values — two distinct values already prove the transmitter faulty.
+//! Decision: the unique extracted value, or the default `0` when zero or
+//! several values were extracted.
+
+use crate::common::{domains, into_report, AlgoReport};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value, Verifier};
+use ba_sim::actor::{Actor, Envelope, Outbox};
+use ba_sim::engine::Simulation;
+use ba_sim::AgreementViolation;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Which message pattern the run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Variant {
+    /// Everyone relays to everyone: `t + 1` phases, `O(n²)` messages.
+    #[default]
+    Broadcast,
+    /// Only a committee of `t + 1` relays broadcasts: `t + 3` phases,
+    /// `O(nt)` messages.
+    Relay,
+}
+
+/// Static parameters of a Dolev–Strong run.
+#[derive(Debug)]
+pub struct DsParams {
+    /// Number of processors.
+    pub n: usize,
+    /// Fault tolerance (any `t < n - 1`).
+    pub t: usize,
+    /// Message pattern.
+    pub variant: Variant,
+    /// Verifier over the run registry.
+    pub verifier: Verifier,
+    /// The distinguished sender (processor 0 in the standalone runner;
+    /// arbitrary when embedded, e.g. by interactive consistency).
+    pub transmitter: ProcessId,
+    /// Chain domain (instance separation for parallel embeddings).
+    pub domain: u32,
+}
+
+impl DsParams {
+    /// Conventional parameters: transmitter 0, the standard domain.
+    pub fn standard(n: usize, t: usize, variant: Variant, verifier: Verifier) -> Self {
+        DsParams {
+            n,
+            t,
+            variant,
+            verifier,
+            transmitter: ProcessId(0),
+            domain: domains::DOLEV_STRONG,
+        }
+    }
+
+    /// Phases the variant needs.
+    pub fn phases(&self) -> usize {
+        match self.variant {
+            Variant::Broadcast => self.t + 1,
+            Variant::Relay => self.t + 3,
+        }
+    }
+
+    /// The relay committee: the first `t + 1` processors other than the
+    /// transmitter, used by [`Variant::Relay`].
+    pub fn committee(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n as u32)
+            .map(ProcessId)
+            .filter(|&p| p != self.transmitter)
+            .take(self.t + 1)
+    }
+
+    /// Whether `p` is a committee member.
+    pub fn in_committee(&self, p: ProcessId) -> bool {
+        self.committee().any(|q| q == p)
+    }
+
+    /// Acceptance check for a chain received at phase `k` by `me`.
+    pub fn is_acceptable(&self, chain: &Chain, k: usize, me: ProcessId) -> bool {
+        chain.domain() == self.domain
+            && chain.len() == k
+            && chain.verify_simple_path(&self.verifier).is_ok()
+            && chain.first_signer() == Some(self.transmitter)
+            && !chain.contains_signer(me)
+            && chain.signers().all(|s| s.index() < self.n)
+    }
+}
+
+/// An honest Dolev–Strong processor.
+#[derive(Debug)]
+pub struct DsActor {
+    params: Arc<DsParams>,
+    me: ProcessId,
+    signer: Signer,
+    own_value: Option<Value>,
+    extracted: BTreeSet<Value>,
+    phase: usize,
+}
+
+impl DsActor {
+    /// Creates the actor; `own_value` is `Some` for the transmitter.
+    pub fn new(
+        params: Arc<DsParams>,
+        me: ProcessId,
+        signer: Signer,
+        own_value: Option<Value>,
+    ) -> Self {
+        DsActor {
+            params,
+            me,
+            signer,
+            own_value,
+            extracted: BTreeSet::new(),
+            phase: 0,
+        }
+    }
+
+    /// The extracted value set (diagnostics).
+    pub fn extracted(&self) -> &BTreeSet<Value> {
+        &self.extracted
+    }
+
+    fn absorb_and_relay(
+        &mut self,
+        inbox: &[Envelope<Chain>],
+        k: usize,
+        out: Option<&mut Outbox<Chain>>,
+    ) {
+        let mut fresh: Vec<Chain> = Vec::new();
+        for env in inbox {
+            if env.payload.last_signer() == Some(env.from)
+                && self.params.is_acceptable(&env.payload, k, self.me)
+                && !self.extracted.contains(&env.payload.value())
+            {
+                // Relay only the first two distinct values ever extracted.
+                if self.extracted.len() < 2 {
+                    fresh.push(env.payload.clone());
+                }
+                self.extracted.insert(env.payload.value());
+            }
+        }
+        if let Some(out) = out {
+            for chain in fresh {
+                let mut relay = chain;
+                relay.sign_and_append(&self.signer);
+                match self.params.variant {
+                    Variant::Broadcast => {
+                        out.broadcast((0..self.params.n as u32).map(ProcessId), relay);
+                    }
+                    Variant::Relay => {
+                        if self.params.in_committee(self.me) {
+                            out.broadcast((0..self.params.n as u32).map(ProcessId), relay);
+                        } else {
+                            let committee: Vec<ProcessId> = self.params.committee().collect();
+                            out.broadcast(committee, relay);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Chain> for DsActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        self.phase = phase;
+        if phase == 1 {
+            if let Some(v) = self.own_value {
+                self.extracted.insert(v);
+                let mut chain = Chain::new(self.params.domain, v);
+                chain.sign_and_append(&self.signer);
+                out.broadcast((0..self.params.n as u32).map(ProcessId), chain);
+            }
+            return;
+        }
+        if self.own_value.is_some() {
+            return; // The transmitter is done after phase 1.
+        }
+        self.absorb_and_relay(inbox, phase - 1, Some(out));
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<Chain>]) {
+        if self.own_value.is_none() {
+            let k = self.phase;
+            self.absorb_and_relay(inbox, k, None);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        if let Some(v) = self.own_value {
+            return Some(v);
+        }
+        Some(if self.extracted.len() == 1 {
+            *self.extracted.iter().next().expect("len checked")
+        } else {
+            Value::ZERO
+        })
+    }
+}
+
+/// An equivocating transmitter for Dolev–Strong: signs `a` for one subset
+/// and `b` for the rest.
+#[derive(Debug)]
+pub struct DsEquivocator {
+    signer: Signer,
+    n: usize,
+    a: Value,
+    a_set: BTreeSet<ProcessId>,
+    b: Value,
+}
+
+impl DsEquivocator {
+    /// Creates the adversary sending `a` to `a_set` and `b` elsewhere.
+    pub fn new(
+        signer: Signer,
+        n: usize,
+        a: Value,
+        a_set: impl IntoIterator<Item = ProcessId>,
+        b: Value,
+    ) -> Self {
+        DsEquivocator {
+            signer,
+            n,
+            a,
+            a_set: a_set.into_iter().collect(),
+            b,
+        }
+    }
+}
+
+impl Actor<Chain> for DsEquivocator {
+    fn step(&mut self, phase: usize, _inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        if phase != 1 {
+            return;
+        }
+        let mut ca = Chain::new(domains::DOLEV_STRONG, self.a);
+        ca.sign_and_append(&self.signer);
+        let mut cb = Chain::new(domains::DOLEV_STRONG, self.b);
+        cb.sign_and_append(&self.signer);
+        for p in 1..self.n as u32 {
+            let id = ProcessId(p);
+            out.send(
+                id,
+                if self.a_set.contains(&id) {
+                    ca.clone()
+                } else {
+                    cb.clone()
+                },
+            );
+        }
+    }
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+/// Fault scenarios for [`run`].
+#[derive(Debug, Default)]
+pub enum DsFault {
+    /// All correct.
+    #[default]
+    None,
+    /// Transmitter silent.
+    SilentTransmitter,
+    /// Transmitter equivocates between `1` (to the given set) and `0`.
+    Equivocate {
+        /// Recipients of value `1`.
+        ones: Vec<ProcessId>,
+    },
+    /// Given relays silent.
+    SilentRelays {
+        /// The silent relays.
+        set: Vec<ProcessId>,
+    },
+}
+
+/// Options for [`run`].
+#[derive(Debug, Default)]
+pub struct DsOptions {
+    /// Message pattern.
+    pub variant: Variant,
+    /// Fault scenario.
+    pub fault: DsFault,
+    /// Registry seed.
+    pub seed: u64,
+    /// Signature scheme.
+    pub scheme: SchemeKind,
+}
+
+/// Builds and runs a Dolev–Strong scenario with `n` processors and up to
+/// `t` faults.
+///
+/// ```
+/// use ba_algos::dolev_strong::{run, DsOptions};
+/// use ba_crypto::Value;
+///
+/// let r = run(7, 2, Value::ONE, DsOptions::default())?;
+/// assert_eq!(r.verdict.agreed, Some(Value::ONE));
+/// # Ok::<(), ba_sim::AgreementViolation>(())
+/// ```
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`].
+///
+/// # Panics
+/// Panics unless `1 <= t` and `t + 2 <= n`.
+pub fn run(
+    n: usize,
+    t: usize,
+    value: Value,
+    options: DsOptions,
+) -> Result<AlgoReport<Chain>, AgreementViolation> {
+    assert!(t >= 1 && n >= t + 2, "dolev-strong needs 1 <= t <= n - 2");
+    let registry = KeyRegistry::new(n, options.seed, options.scheme);
+    let params = Arc::new(DsParams::standard(
+        n,
+        t,
+        options.variant,
+        registry.verifier(),
+    ));
+
+    let honest = |p: u32, own: Option<Value>| -> Box<dyn Actor<Chain>> {
+        Box::new(DsActor::new(
+            params.clone(),
+            ProcessId(p),
+            registry.signer(ProcessId(p)),
+            own,
+        ))
+    };
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(n);
+    match &options.fault {
+        DsFault::None => {
+            actors.push(honest(0, Some(value)));
+            for p in 1..n as u32 {
+                actors.push(honest(p, None));
+            }
+        }
+        DsFault::SilentTransmitter => {
+            actors.push(Box::new(ba_sim::adversary::Silent));
+            for p in 1..n as u32 {
+                actors.push(honest(p, None));
+            }
+        }
+        DsFault::Equivocate { ones } => {
+            actors.push(Box::new(DsEquivocator::new(
+                registry.signer(ProcessId(0)),
+                n,
+                Value::ONE,
+                ones.iter().copied(),
+                Value::ZERO,
+            )));
+            for p in 1..n as u32 {
+                actors.push(honest(p, None));
+            }
+        }
+        DsFault::SilentRelays { set } => {
+            assert!(set.len() <= t && !set.contains(&ProcessId(0)));
+            actors.push(honest(0, Some(value)));
+            for p in 1..n as u32 {
+                if set.contains(&ProcessId(p)) {
+                    actors.push(Box::new(ba_sim::adversary::Silent));
+                } else {
+                    actors.push(honest(p, None));
+                }
+            }
+        }
+    }
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(params.phases());
+    into_report(outcome, ProcessId(0), value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+
+    #[test]
+    fn fault_free_agrees_both_variants() {
+        for variant in [Variant::Broadcast, Variant::Relay] {
+            for (n, t) in [(4, 1), (7, 2), (9, 3), (12, 4)] {
+                let r = run(
+                    n,
+                    t,
+                    Value::ONE,
+                    DsOptions {
+                        variant,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    r.verdict.agreed,
+                    Some(Value::ONE),
+                    "{variant:?} n={n} t={t}"
+                );
+                assert!(
+                    r.outcome.metrics.messages_by_correct
+                        <= bounds::dolev_strong_max_messages(n as u64),
+                    "{variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relay_variant_uses_fewer_messages_for_large_n() {
+        let (n, t) = (60, 3);
+        let broadcast = run(n, t, Value::ONE, DsOptions::default()).unwrap();
+        let relay = run(
+            n,
+            t,
+            Value::ONE,
+            DsOptions {
+                variant: Variant::Relay,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mb = broadcast.outcome.metrics.messages_by_correct;
+        let mr = relay.outcome.metrics.messages_by_correct;
+        assert!(mr < mb, "relay {mr} should beat broadcast {mb}");
+    }
+
+    #[test]
+    fn equivocation_forces_default_but_agrees() {
+        for variant in [Variant::Broadcast, Variant::Relay] {
+            let (n, t) = (9, 3);
+            let ones: Vec<ProcessId> = (1..=4).map(ProcessId).collect();
+            let r = run(
+                n,
+                t,
+                Value::ONE,
+                DsOptions {
+                    variant,
+                    fault: DsFault::Equivocate { ones },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            // Everyone extracts both values and falls to the default.
+            assert_eq!(r.verdict.agreed, Some(Value::ZERO), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn silent_transmitter_defaults() {
+        let r = run(
+            7,
+            2,
+            Value::ONE,
+            DsOptions {
+                fault: DsFault::SilentTransmitter,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ZERO));
+    }
+
+    #[test]
+    fn silent_relays_tolerated_in_relay_variant() {
+        // Silence t committee members: one correct member remains.
+        let (n, t) = (12, 3);
+        let r = run(
+            n,
+            t,
+            Value::ONE,
+            DsOptions {
+                variant: Variant::Relay,
+                fault: DsFault::SilentRelays {
+                    set: vec![ProcessId(1), ProcessId(2), ProcessId(3)],
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+
+    #[test]
+    fn acceptance_rules() {
+        let n = 6;
+        let registry = KeyRegistry::new(n, 0, SchemeKind::Hmac);
+        let params = DsParams::standard(n, 2, Variant::Broadcast, registry.verifier());
+        let chain = |ids: &[u32]| {
+            let mut c = Chain::new(domains::DOLEV_STRONG, Value::ONE);
+            for &i in ids {
+                c.sign_and_append(&registry.signer(ProcessId(i)));
+            }
+            c
+        };
+        // Phase-length match required.
+        assert!(params.is_acceptable(&chain(&[0]), 1, ProcessId(3)));
+        assert!(!params.is_acceptable(&chain(&[0]), 2, ProcessId(3)));
+        assert!(params.is_acceptable(&chain(&[0, 1]), 2, ProcessId(3)));
+        // Must start at the transmitter.
+        assert!(!params.is_acceptable(&chain(&[1, 2]), 2, ProcessId(3)));
+        // Receiver must not be on the chain.
+        assert!(!params.is_acceptable(&chain(&[0, 3]), 2, ProcessId(3)));
+        // Duplicate signers rejected.
+        assert!(!params.is_acceptable(&chain(&[0, 1, 1]), 3, ProcessId(3)));
+    }
+
+    #[test]
+    fn committee_is_t_plus_one() {
+        let registry = KeyRegistry::new(9, 0, SchemeKind::Fast);
+        let params = DsParams::standard(9, 3, Variant::Relay, registry.verifier());
+        let committee: Vec<ProcessId> = params.committee().collect();
+        assert_eq!(committee.len(), 4);
+        assert!(params.in_committee(ProcessId(1)));
+        assert!(params.in_committee(ProcessId(4)));
+        assert!(!params.in_committee(ProcessId(0)));
+        assert!(!params.in_committee(ProcessId(5)));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn prop_equivocation_always_agrees(
+                t in 1usize..4,
+                extra in 0usize..8,
+                mask in any::<u32>(),
+                seed in any::<u64>(),
+                variant_pick in any::<bool>(),
+            ) {
+                let n = 2 * t + 2 + extra;
+                let ones: Vec<ProcessId> = (1..n as u32)
+                    .filter(|p| mask & (1 << (p % 31)) != 0)
+                    .map(ProcessId)
+                    .collect();
+                let variant = if variant_pick { Variant::Relay } else { Variant::Broadcast };
+                let r = run(
+                    n,
+                    t,
+                    Value::ONE,
+                    DsOptions {
+                        variant,
+                        fault: DsFault::Equivocate { ones },
+                        seed,
+                        scheme: SchemeKind::Fast,
+                    },
+                ).unwrap();
+                prop_assert!(r.verdict.agreed.is_some());
+            }
+        }
+    }
+}

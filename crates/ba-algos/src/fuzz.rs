@@ -1,0 +1,291 @@
+//! Chain-aware payload fuzzers and fuzz harnesses.
+//!
+//! The paper's adversary can send *anything* — malformed chains, forged
+//! signatures, replayed prefixes, wrong domains. These fuzzers generate
+//! exactly that traffic (deterministically, per seed), and the harnesses
+//! run each algorithm with up to `t` spamming processors: agreement and
+//! validity must survive, and nothing may panic.
+
+use crate::algorithm1::{Algo1Actor, Algo1Params};
+use crate::algorithm4::SignedItem;
+use crate::algorithm5::{Alg5Active, Alg5Config, Alg5Passive, Msg5};
+use crate::common::{domains, into_report, AlgoReport, Board};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signature, Signer, Value};
+use ba_sim::actor::Actor;
+use ba_sim::engine::Simulation;
+use ba_sim::random::{PayloadFuzzer, Spammer};
+use ba_sim::AgreementViolation;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Generates adversarial [`Chain`]s: unsigned, self-signed under random
+/// domains/values, forged-signature, over-long, and duplicate-signer
+/// chains.
+#[derive(Debug)]
+pub struct ChainFuzzer {
+    signer: Signer,
+    kind: SchemeKind,
+}
+
+impl ChainFuzzer {
+    /// Creates a fuzzer signing (when it signs at all) as the spammer's
+    /// own identity — the only signing power a Byzantine processor has.
+    pub fn new(signer: Signer, kind: SchemeKind) -> Self {
+        ChainFuzzer { signer, kind }
+    }
+
+    fn random_chain(&mut self, rng: &mut StdRng) -> Chain {
+        let domain = match rng.random_range(0..4) {
+            0 => domains::ALG1,
+            1 => domains::ALG2,
+            2 => domains::DOLEV_STRONG,
+            _ => rng.random(),
+        };
+        let value = Value(rng.random_range(0..4));
+        let mut chain = Chain::new(domain, value);
+        match rng.random_range(0..5) {
+            0 => {} // unsigned
+            1 => {
+                chain.sign_and_append(&self.signer);
+            }
+            2 => {
+                // Forged signature claiming a random identity.
+                let fake = ProcessId(rng.random_range(0..16));
+                let forged = Signature::forged(fake, self.kind);
+                // Only constructible through the decode path; emulate by
+                // encoding and re-decoding a crafted buffer.
+                let mut enc = ba_crypto::wire::Encoder::new();
+                chain.encode(&mut enc);
+                let mut raw = enc.finish().to_vec();
+                let off = 4 + 8;
+                let count = u32::from_be_bytes(raw[off..off + 4].try_into().expect("u32"));
+                raw[off..off + 4].copy_from_slice(&(count + 1).to_be_bytes());
+                let mut enc2 = ba_crypto::wire::Encoder::new();
+                forged.encode(&mut enc2);
+                raw.extend_from_slice(&enc2.finish());
+                chain = Chain::decode(&mut ba_crypto::wire::Decoder::new(&raw))
+                    .expect("crafted buffer decodes");
+            }
+            3 => {
+                // Over-long self-signed chain (duplicate signer).
+                for _ in 0..rng.random_range(2..6) {
+                    chain.sign_and_append(&self.signer);
+                }
+            }
+            _ => {
+                chain.sign_and_append(&self.signer);
+                chain = chain.truncated(0);
+            }
+        }
+        chain
+    }
+}
+
+impl PayloadFuzzer<Chain> for ChainFuzzer {
+    fn next(&mut self, rng: &mut StdRng, _phase: usize, _target: ProcessId) -> Chain {
+        self.random_chain(rng)
+    }
+}
+
+/// Generates adversarial [`Msg5`] payloads (chains, activations with
+/// garbage proofs, malformed grid messages).
+#[derive(Debug)]
+pub struct Msg5Fuzzer {
+    chains: ChainFuzzer,
+}
+
+impl Msg5Fuzzer {
+    /// Creates the fuzzer.
+    pub fn new(signer: Signer, kind: SchemeKind) -> Self {
+        Msg5Fuzzer {
+            chains: ChainFuzzer::new(signer, kind),
+        }
+    }
+}
+
+impl PayloadFuzzer<Msg5> for Msg5Fuzzer {
+    fn next(&mut self, rng: &mut StdRng, phase: usize, target: ProcessId) -> Msg5 {
+        match rng.random_range(0..3) {
+            0 => Msg5::Chain(self.chains.next(rng, phase, target)),
+            1 => {
+                let proof: Vec<SignedItem> = (0..rng.random_range(0..3))
+                    .map(|_| {
+                        SignedItem::new(
+                            rng.random(),
+                            bytes::Bytes::from(vec![rng.random::<u8>(); rng.random_range(0..16)]),
+                            &self.chains.signer,
+                        )
+                    })
+                    .collect();
+                Msg5::Activate {
+                    valid: self.chains.next(rng, phase, target),
+                    proof,
+                }
+            }
+            _ => Msg5::Grid(crate::algorithm4::GridMsg::Row(
+                (0..rng.random_range(0..4))
+                    .map(|_| {
+                        SignedItem::new(
+                            rng.random(),
+                            bytes::Bytes::from_static(b"junk"),
+                            &self.chains.signer,
+                        )
+                    })
+                    .collect(),
+            )),
+        }
+    }
+}
+
+/// Runs Algorithm 1 with `spammers` of the non-transmitter processors
+/// replaced by chain spammers.
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`] (must not happen).
+///
+/// # Panics
+/// Panics if `spammers > t`.
+pub fn fuzz_algorithm1(
+    t: usize,
+    value: Value,
+    spammers: usize,
+    per_phase: usize,
+    seed: u64,
+) -> Result<AlgoReport<Chain>, AgreementViolation> {
+    assert!(spammers <= t);
+    let n = 2 * t + 1;
+    let registry = KeyRegistry::new(n, seed, SchemeKind::Fast);
+    let params = Arc::new(Algo1Params {
+        t,
+        verifier: registry.verifier(),
+    });
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(n);
+    for p in 0..n as u32 {
+        let id = ProcessId(p);
+        // Spammers take the highest non-transmitter ids.
+        if p as usize >= n - spammers {
+            let fuzzer = ChainFuzzer::new(registry.signer(id), SchemeKind::Fast);
+            actors.push(Box::new(Spammer::new(
+                n,
+                per_phase,
+                seed ^ p as u64,
+                fuzzer,
+            )));
+        } else {
+            actors.push(Box::new(Algo1Actor::new(
+                params.clone(),
+                id,
+                registry.signer(id),
+                (p == 0).then_some(value),
+            )));
+        }
+    }
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(t + 2);
+    into_report(outcome, ProcessId(0), value)
+}
+
+/// Runs Algorithm 5 with the given number of passive processors replaced
+/// by [`Msg5`] spammers.
+///
+/// # Errors
+/// Propagates any [`AgreementViolation`] (must not happen).
+///
+/// # Panics
+/// Panics if `spammers > t` or the parameters violate
+/// [`Alg5Config::new`].
+pub fn fuzz_algorithm5(
+    n: usize,
+    t: usize,
+    s: usize,
+    value: Value,
+    spammers: usize,
+    per_phase: usize,
+    seed: u64,
+) -> Result<AlgoReport<Msg5>, AgreementViolation> {
+    assert!(spammers <= t);
+    let registry = KeyRegistry::new(n, seed, SchemeKind::Fast);
+    let cfg = Arc::new(Alg5Config::new(n, t, s, registry.verifier()));
+    let scratch = Board::new(cfg.core_count());
+
+    let mut actors: Vec<Box<dyn Actor<Msg5>>> = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let id = ProcessId(i);
+        if (id.index()) >= n - spammers {
+            let fuzzer = Msg5Fuzzer::new(registry.signer(id), SchemeKind::Fast);
+            actors.push(Box::new(Spammer::new(
+                n,
+                per_phase,
+                seed ^ i as u64,
+                fuzzer,
+            )));
+        } else if id.index() < cfg.alpha {
+            actors.push(Box::new(Alg5Active::new(
+                cfg.clone(),
+                id,
+                registry.signer(id),
+                (i == 0).then_some(value),
+                scratch.clone(),
+            )));
+        } else {
+            actors.push(Box::new(Alg5Passive::new(
+                cfg.clone(),
+                id,
+                registry.signer(id),
+            )));
+        }
+    }
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(cfg.last_phase);
+    into_report(outcome, ProcessId(0), value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm1_survives_chain_spam() {
+        for t in [2usize, 4] {
+            for spammers in 1..=t.min(2) {
+                let r = fuzz_algorithm1(t, Value::ONE, spammers, 8, 31).unwrap();
+                assert_eq!(
+                    r.verdict.agreed,
+                    Some(Value::ONE),
+                    "t={t} spammers={spammers}"
+                );
+                assert!(r.outcome.metrics.messages_by_faulty > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_spam_cannot_fake_value_one() {
+        // Transmitter honestly sends 0; spammers push garbage 1-chains.
+        let r = fuzz_algorithm1(3, Value::ZERO, 2, 10, 7).unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ZERO));
+    }
+
+    #[test]
+    fn algorithm5_survives_msg5_spam() {
+        let r = fuzz_algorithm5(30, 1, 3, Value::ONE, 1, 6, 11).unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(10))]
+
+            #[test]
+            fn prop_algorithm1_fuzz(t in 2usize..5, seed in any::<u64>(), v in 0u64..2) {
+                let r = fuzz_algorithm1(t, Value(v), 2, 6, seed).unwrap();
+                prop_assert_eq!(r.verdict.agreed, Some(Value(v)));
+            }
+        }
+    }
+}

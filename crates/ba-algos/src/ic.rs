@@ -1,0 +1,453 @@
+//! Interactive consistency — every processor ends with the *vector* of all
+//! private values — built from `n` parallel Byzantine Agreement instances.
+//!
+//! The paper frames Byzantine Agreement as the single-source primitive
+//! behind coordination problems such as interactive consistency (its
+//! reference 15, Pease–Shostak–Lamport). This module demonstrates the
+//! reduction this library's users would actually perform: run one
+//! [`dolev_strong`](crate::dolev_strong) instance per source, with
+//! per-instance chain domains so signatures cannot leak between instances,
+//! and read off the agreed vector.
+//!
+//! Guarantees (with `n > t + 1` and at most `t` faults):
+//!
+//! * all correct processors obtain the same vector;
+//! * entry `i` equals processor `i`'s private value whenever `i` is
+//!   correct.
+
+use crate::common::Board;
+use crate::dolev_strong::{DsActor, DsParams, Variant};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value, Verifier};
+use ba_sim::actor::{Actor, Envelope, Outbox, Payload};
+use ba_sim::engine::{RunOutcome, Simulation};
+use std::sync::Arc;
+
+/// Base chain domain for instance separation: instance `i` signs under
+/// `IC_DOMAIN_BASE + i`.
+pub const IC_DOMAIN_BASE: u32 = 20_000;
+
+/// A message of one inner agreement instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IcMsg {
+    /// Which instance (the source processor's index).
+    pub instance: u32,
+    /// The instance's Dolev–Strong chain.
+    pub chain: Chain,
+}
+
+impl Payload for IcMsg {
+    fn signature_count(&self) -> usize {
+        self.chain.len()
+    }
+    fn weight_bytes(&self) -> usize {
+        20 + 40 * self.chain.len()
+    }
+    fn kind(&self) -> &'static str {
+        "ic-chain"
+    }
+}
+
+/// Builds the per-instance parameter block.
+fn instance_params(n: usize, t: usize, instance: u32, verifier: Verifier) -> Arc<DsParams> {
+    Arc::new(DsParams {
+        n,
+        t,
+        variant: Variant::Broadcast,
+        verifier,
+        transmitter: ProcessId(instance),
+        domain: IC_DOMAIN_BASE + instance,
+    })
+}
+
+/// An honest interactive-consistency processor: one [`DsActor`] per
+/// instance, demultiplexed by the `instance` tag.
+#[derive(Debug)]
+pub struct IcActor {
+    me: ProcessId,
+    subs: Vec<DsActor>,
+    vectors: Arc<Board<Vec<Value>>>,
+}
+
+impl IcActor {
+    /// Creates the actor holding private value `own_value`.
+    pub fn new(
+        n: usize,
+        t: usize,
+        me: ProcessId,
+        own_value: Value,
+        signer: Signer,
+        verifier: Verifier,
+        vectors: Arc<Board<Vec<Value>>>,
+    ) -> Self {
+        let subs = (0..n as u32)
+            .map(|i| {
+                DsActor::new(
+                    instance_params(n, t, i, verifier.clone()),
+                    me,
+                    signer.clone(),
+                    (ProcessId(i) == me).then_some(own_value),
+                )
+            })
+            .collect();
+        IcActor { me, subs, vectors }
+    }
+
+    fn demux(inbox: &[Envelope<IcMsg>], instance: u32) -> Vec<Envelope<Chain>> {
+        inbox
+            .iter()
+            .filter(|e| e.payload.instance == instance)
+            .map(|e| Envelope {
+                from: e.from,
+                to: e.to,
+                payload: e.payload.chain.clone(),
+            })
+            .collect()
+    }
+
+    /// The agreed vector (after the run).
+    pub fn vector(&self) -> Vec<Value> {
+        self.subs
+            .iter()
+            .map(|s| s.decision().expect("dolev-strong always decides"))
+            .collect()
+    }
+}
+
+impl Actor<IcMsg> for IcActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<IcMsg>], out: &mut Outbox<IcMsg>) {
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            let sub_inbox = Self::demux(inbox, i as u32);
+            let mut scratch = Outbox::new(self.me);
+            sub.step(phase, &sub_inbox, &mut scratch);
+            for env in scratch.into_staged() {
+                out.send(
+                    env.to,
+                    IcMsg {
+                        instance: i as u32,
+                        chain: env.payload,
+                    },
+                );
+            }
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<IcMsg>]) {
+        for (i, sub) in self.subs.iter_mut().enumerate() {
+            let sub_inbox = Self::demux(inbox, i as u32);
+            sub.finalize(&sub_inbox);
+        }
+        self.vectors.post(self.me, self.vector());
+    }
+
+    fn decision(&self) -> Option<Value> {
+        // Scalar projection for the generic checker: fold the vector so
+        // scalar agreement implies vector agreement (exact vectors are
+        // compared via the board by the runner's callers).
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for v in self.vector() {
+            acc ^= v.0.wrapping_add(0x9e37_79b9);
+            acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Some(Value(acc))
+    }
+}
+
+/// Fault scenarios for [`run`].
+#[derive(Debug, Default)]
+pub enum IcFault {
+    /// All correct.
+    #[default]
+    None,
+    /// The given processors are silent in every instance.
+    Silent {
+        /// The silent processors.
+        set: Vec<ProcessId>,
+    },
+    /// The given processors participate honestly except that each
+    /// equivocates as the transmitter of its own instance (value `1` to
+    /// odd receivers, `0` to even).
+    EquivocateOwnInstance {
+        /// The equivocators.
+        set: Vec<ProcessId>,
+    },
+}
+
+/// An equivocating IC participant: honest in every instance except its
+/// own, where it splits values between receivers.
+#[derive(Debug)]
+struct IcEquivocator {
+    inner: IcActor,
+    me: ProcessId,
+    signer: Signer,
+    n: usize,
+}
+
+impl Actor<IcMsg> for IcEquivocator {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<IcMsg>], out: &mut Outbox<IcMsg>) {
+        // Drive the honest actor but strip its own-instance phase-1
+        // broadcast, replacing it with a split-value send.
+        let mut scratch = Outbox::new(self.me);
+        self.inner.step(phase, inbox, &mut scratch);
+        for env in scratch.into_staged() {
+            if phase == 1 && env.payload.instance == self.me.0 {
+                continue;
+            }
+            out.send(env.to, env.payload);
+        }
+        if phase == 1 {
+            for p in 0..self.n as u32 {
+                let to = ProcessId(p);
+                if to == self.me {
+                    continue;
+                }
+                let v = if p % 2 == 1 { Value::ONE } else { Value::ZERO };
+                let mut chain = Chain::new(IC_DOMAIN_BASE + self.me.0, v);
+                chain.sign_and_append(&self.signer);
+                out.send(
+                    to,
+                    IcMsg {
+                        instance: self.me.0,
+                        chain,
+                    },
+                );
+            }
+        }
+    }
+    fn finalize(&mut self, inbox: &[Envelope<IcMsg>]) {
+        self.inner.finalize(inbox);
+    }
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+/// Outcome of an interactive-consistency run.
+#[derive(Debug)]
+pub struct IcReport {
+    /// Raw engine outcome.
+    pub outcome: RunOutcome<IcMsg>,
+    /// Per-processor agreed vectors (by processor index).
+    pub vectors: Vec<Option<Vec<Value>>>,
+}
+
+impl IcReport {
+    /// The common vector of the correct processors.
+    ///
+    /// # Panics
+    /// Panics if correct processors hold different vectors (a bug —
+    /// covered by the tests).
+    pub fn common_vector(&self) -> Option<Vec<Value>> {
+        let mut common: Option<Vec<Value>> = None;
+        for (i, correct) in self.outcome.correct.iter().enumerate() {
+            if !correct {
+                continue;
+            }
+            let v = self.vectors[i]
+                .as_ref()
+                .expect("correct processor posted a vector");
+            match &common {
+                None => common = Some(v.clone()),
+                Some(c) => assert_eq!(c, v, "correct processors disagree on the vector"),
+            }
+        }
+        common
+    }
+}
+
+/// Runs interactive consistency among `n` processors with private
+/// `values` and up to `t` faults.
+///
+/// ```
+/// use ba_algos::ic::{run, IcFault};
+/// use ba_crypto::Value;
+///
+/// let values = vec![Value(5), Value(6), Value(7), Value(8)];
+/// let report = run(4, 1, &values, IcFault::None, 1);
+/// assert_eq!(report.common_vector(), Some(values));
+/// ```
+///
+/// # Panics
+/// Panics unless `values.len() == n`, `1 ≤ t ≤ n − 2` and the fault set
+/// fits `t`.
+pub fn run(n: usize, t: usize, values: &[Value], fault: IcFault, seed: u64) -> IcReport {
+    assert_eq!(values.len(), n, "one private value per processor");
+    assert!(t >= 1 && n >= t + 2);
+    let registry = KeyRegistry::new(n, seed, SchemeKind::Fast);
+    let vectors = Board::new(n);
+
+    let mut actors: Vec<Box<dyn Actor<IcMsg>>> = Vec::with_capacity(n);
+    let mut faults = 0usize;
+    for i in 0..n as u32 {
+        let id = ProcessId(i);
+        let actor: Box<dyn Actor<IcMsg>> = match &fault {
+            IcFault::Silent { set } if set.contains(&id) => {
+                faults += 1;
+                Box::new(ba_sim::adversary::Silent)
+            }
+            IcFault::EquivocateOwnInstance { set } if set.contains(&id) => {
+                faults += 1;
+                Box::new(IcEquivocator {
+                    inner: IcActor::new(
+                        n,
+                        t,
+                        id,
+                        values[id.index()],
+                        registry.signer(id),
+                        registry.verifier(),
+                        vectors.clone(),
+                    ),
+                    me: id,
+                    signer: registry.signer(id),
+                    n,
+                })
+            }
+            _ => Box::new(IcActor::new(
+                n,
+                t,
+                id,
+                values[id.index()],
+                registry.signer(id),
+                registry.verifier(),
+                vectors.clone(),
+            )),
+        };
+        actors.push(actor);
+    }
+    assert!(faults <= t, "fault plan exceeds t");
+
+    let mut sim = Simulation::new(actors);
+    let outcome = sim.run(t + 1);
+    IcReport {
+        outcome,
+        vectors: vectors.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(n: usize) -> Vec<Value> {
+        (0..n as u64).map(|i| Value(i * 10 + 1)).collect()
+    }
+
+    #[test]
+    fn fault_free_everyone_gets_the_exact_vector() {
+        for (n, t) in [(4usize, 1usize), (6, 2), (8, 3)] {
+            let vals = values(n);
+            let r = run(n, t, &vals, IcFault::None, 1);
+            let common = r.common_vector().unwrap();
+            assert_eq!(common, vals, "n={n} t={t}");
+        }
+    }
+
+    #[test]
+    fn silent_processors_default_to_zero_in_their_slot() {
+        let n = 6;
+        let t = 2;
+        let vals = values(n);
+        let r = run(
+            n,
+            t,
+            &vals,
+            IcFault::Silent {
+                set: vec![ProcessId(2), ProcessId(4)],
+            },
+            3,
+        );
+        let common = r.common_vector().unwrap();
+        assert_eq!(common.len(), n);
+        for i in 0..n {
+            if i == 2 || i == 4 {
+                assert_eq!(common[i], Value::ZERO, "silent slot defaults");
+            } else {
+                assert_eq!(common[i], vals[i], "correct slot preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn equivocators_cannot_split_the_vector() {
+        let n = 7;
+        let t = 2;
+        let vals = values(n);
+        let r = run(
+            n,
+            t,
+            &vals,
+            IcFault::EquivocateOwnInstance {
+                set: vec![ProcessId(1), ProcessId(5)],
+            },
+            7,
+        );
+        // common_vector asserts all correct processors agree.
+        let common = r.common_vector().unwrap();
+        for i in [0usize, 2, 3, 4, 6] {
+            assert_eq!(common[i], vals[i], "correct slot {i} preserved");
+        }
+    }
+
+    #[test]
+    fn instance_domains_are_separated() {
+        // A chain signed in instance 3 must not be acceptable in instance 4.
+        let registry = KeyRegistry::new(5, 1, SchemeKind::Fast);
+        let p3 = instance_params(5, 1, 3, registry.verifier());
+        let p4 = instance_params(5, 1, 4, registry.verifier());
+        let mut chain = Chain::new(IC_DOMAIN_BASE + 3, Value(9));
+        chain.sign_and_append(&registry.signer(ProcessId(3)));
+        assert!(p3.is_acceptable(&chain, 1, ProcessId(0)));
+        assert!(!p4.is_acceptable(&chain, 1, ProcessId(0)));
+    }
+
+    #[test]
+    fn vector_agreement_implies_scalar_projection_agreement() {
+        let n = 5;
+        let r = run(n, 1, &values(n), IcFault::None, 9);
+        let decisions: Vec<_> = r
+            .outcome
+            .decisions
+            .iter()
+            .zip(&r.outcome.correct)
+            .filter(|(_, c)| **c)
+            .map(|(d, _)| d.unwrap())
+            .collect();
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(10))]
+
+            #[test]
+            fn prop_ic_holds_for_random_values_and_faults(
+                n in 4usize..8,
+                seed in any::<u64>(),
+                raw in proptest::collection::vec(any::<u64>(), 8),
+                victim in any::<u32>(),
+                equivocate in any::<bool>(),
+            ) {
+                let t = 1;
+                let vals: Vec<Value> = (0..n).map(|i| Value(raw[i])).collect();
+                let bad = ProcessId(victim % n as u32);
+                let fault = if equivocate {
+                    IcFault::EquivocateOwnInstance { set: vec![bad] }
+                } else {
+                    IcFault::Silent { set: vec![bad] }
+                };
+                let r = run(n, t, &vals, fault, seed);
+                let common = r.common_vector().unwrap();
+                for i in 0..n {
+                    if ProcessId(i as u32) != bad {
+                        prop_assert_eq!(common[i], vals[i]);
+                    }
+                }
+            }
+        }
+    }
+}

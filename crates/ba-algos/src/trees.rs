@@ -1,0 +1,272 @@
+//! Complete-binary-tree bookkeeping for Algorithm 5.
+//!
+//! The passive processors are divided into complete binary trees of size
+//! `s = 2^λ − 1` in heap layout (positions `1..=s`, children of `v` at
+//! `2v` and `2v + 1`). Leaves have *height* 1 and the tree root has height
+//! `λ`. The paper's "subtrees whose leaves are the leaves of the original
+//! binary tree" of depth `x` are exactly the subtrees rooted at
+//! height-`x` nodes.
+//!
+//! When the passive count is not a multiple of `s`, the last tree is
+//! *padded*: positions beyond the roster simply have no processor, the
+//! collection order skips them, and they never appear in any `F`/`B` set.
+
+use ba_crypto::ProcessId;
+
+/// The forest of passive trees in an Algorithm 5 run.
+#[derive(Clone, Debug)]
+pub struct Forest {
+    /// Number of active processors (passives start at this id).
+    alpha: usize,
+    /// Total processors.
+    n: usize,
+    /// Tree size `2^λ − 1`.
+    s: usize,
+    /// Tree depth `λ`.
+    lambda: u32,
+}
+
+impl Forest {
+    /// Creates the forest; `s` must be `2^λ − 1` for some `λ ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `s + 1` is not a power of two, or `alpha > n`.
+    pub fn new(alpha: usize, n: usize, s: usize) -> Self {
+        assert!(
+            (s + 1).is_power_of_two() && s >= 1,
+            "tree size must be 2^λ - 1"
+        );
+        assert!(alpha <= n, "more actives than processors");
+        let lambda = (s + 1).ilog2();
+        Forest {
+            alpha,
+            n,
+            s,
+            lambda,
+        }
+    }
+
+    /// Tree depth `λ`.
+    pub fn lambda(&self) -> u32 {
+        self.lambda
+    }
+
+    /// Tree size `s`.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Number of passive processors.
+    pub fn passive_count(&self) -> usize {
+        self.n - self.alpha
+    }
+
+    /// Number of trees `⌈(n − α)/s⌉`.
+    pub fn tree_count(&self) -> usize {
+        self.passive_count().div_ceil(self.s)
+    }
+
+    /// The processor at heap position `pos` (1-based) of `tree`, if the
+    /// slot is not padding.
+    pub fn processor(&self, tree: usize, pos: usize) -> Option<ProcessId> {
+        debug_assert!((1..=self.s).contains(&pos));
+        let idx = self.alpha + tree * self.s + (pos - 1);
+        (idx < self.n).then_some(ProcessId(idx as u32))
+    }
+
+    /// The `(tree, heap position)` of passive `p`.
+    pub fn locate(&self, p: ProcessId) -> Option<(usize, usize)> {
+        let idx = p.index();
+        if idx < self.alpha || idx >= self.n {
+            return None;
+        }
+        let off = idx - self.alpha;
+        Some((off / self.s, off % self.s + 1))
+    }
+
+    /// Height of heap position `pos`: leaves have height 1, the tree root
+    /// has height `λ`.
+    pub fn height(&self, pos: usize) -> u32 {
+        self.lambda - pos.ilog2()
+    }
+
+    /// The ancestor of `pos` at height `x` (i.e. the root of the depth-`x`
+    /// subtree containing `pos`).
+    ///
+    /// # Panics
+    /// Panics if `x` is below `pos`'s own height.
+    pub fn ancestor_at_height(&self, pos: usize, x: u32) -> usize {
+        let h = self.height(pos);
+        assert!(x >= h, "no ancestor below own height");
+        pos >> (x - h)
+    }
+
+    /// Heap positions of the depth-`x` subtree rooted at `root_pos`, in
+    /// BFS order (root first).
+    pub fn subtree_positions(&self, root_pos: usize) -> Vec<usize> {
+        let mut order = vec![root_pos];
+        let mut i = 0;
+        while i < order.len() {
+            let v = order[i];
+            for child in [2 * v, 2 * v + 1] {
+                if child <= self.s {
+                    order.push(child);
+                }
+            }
+            i += 1;
+        }
+        order
+    }
+
+    /// Real (non-padding) processors of the subtree rooted at
+    /// `(tree, root_pos)`, in BFS order.
+    pub fn subtree_members(&self, tree: usize, root_pos: usize) -> Vec<ProcessId> {
+        self.subtree_positions(root_pos)
+            .into_iter()
+            .filter_map(|pos| self.processor(tree, pos))
+            .collect()
+    }
+
+    /// All depth-`x` subtree roots `(tree, root_pos)` that have a real
+    /// processor as root.
+    pub fn subtree_roots_at_height(&self, x: u32) -> Vec<(usize, usize)> {
+        assert!(x >= 1 && x <= self.lambda);
+        let level = self.lambda - x; // root level 0
+        let first = 1usize << level;
+        let last = (1usize << (level + 1)) - 1;
+        let mut roots = Vec::new();
+        for tree in 0..self.tree_count() {
+            for pos in first..=last {
+                if self.processor(tree, pos).is_some() {
+                    roots.push((tree, pos));
+                }
+            }
+        }
+        roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_and_ancestors() {
+        // λ = 3, s = 7: positions 1 (h3), 2-3 (h2), 4-7 (h1).
+        let f = Forest::new(9, 30, 7);
+        assert_eq!(f.lambda(), 3);
+        assert_eq!(f.height(1), 3);
+        assert_eq!(f.height(2), 2);
+        assert_eq!(f.height(3), 2);
+        assert_eq!(f.height(7), 1);
+        assert_eq!(f.ancestor_at_height(7, 1), 7);
+        assert_eq!(f.ancestor_at_height(7, 2), 3);
+        assert_eq!(f.ancestor_at_height(7, 3), 1);
+        assert_eq!(f.ancestor_at_height(4, 3), 1);
+        assert_eq!(f.ancestor_at_height(5, 2), 2);
+    }
+
+    #[test]
+    fn processor_mapping_and_padding() {
+        // alpha=9, n=30: 21 passives; s=7 -> exactly 3 full trees.
+        let f = Forest::new(9, 30, 7);
+        assert_eq!(f.tree_count(), 3);
+        assert_eq!(f.processor(0, 1), Some(ProcessId(9)));
+        assert_eq!(f.processor(0, 7), Some(ProcessId(15)));
+        assert_eq!(f.processor(2, 7), Some(ProcessId(29)));
+        assert_eq!(f.locate(ProcessId(9)), Some((0, 1)));
+        assert_eq!(f.locate(ProcessId(29)), Some((2, 7)));
+        assert_eq!(f.locate(ProcessId(8)), None, "active");
+        assert_eq!(f.locate(ProcessId(30)), None, "out of range");
+
+        // Padded: alpha=9, n=25 -> 16 passives, last tree has 2 real nodes.
+        let p = Forest::new(9, 25, 7);
+        assert_eq!(p.tree_count(), 3);
+        assert_eq!(p.processor(2, 2), Some(ProcessId(24)));
+        assert_eq!(p.processor(2, 3), None);
+        assert_eq!(p.subtree_members(2, 1).len(), 2);
+    }
+
+    #[test]
+    fn subtree_orders() {
+        let f = Forest::new(9, 30, 7);
+        assert_eq!(f.subtree_positions(1), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(f.subtree_positions(2), vec![2, 4, 5]);
+        assert_eq!(f.subtree_positions(3), vec![3, 6, 7]);
+        assert_eq!(f.subtree_positions(7), vec![7]);
+        let members = f.subtree_members(1, 2);
+        assert_eq!(
+            members,
+            vec![
+                ProcessId(9 + 7 + 1),
+                ProcessId(9 + 7 + 3),
+                ProcessId(9 + 7 + 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn subtree_roots_per_height() {
+        let f = Forest::new(9, 30, 7);
+        assert_eq!(f.subtree_roots_at_height(3).len(), 3, "one per tree");
+        assert_eq!(f.subtree_roots_at_height(2).len(), 6);
+        assert_eq!(f.subtree_roots_at_height(1).len(), 12);
+        // Padded forest drops padding roots.
+        let p = Forest::new(9, 25, 7);
+        let leaves = p.subtree_roots_at_height(1);
+        // Trees 0,1 full: 4 leaves each; tree 2 has real positions 1,2 only.
+        assert_eq!(leaves.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^λ - 1")]
+    fn bad_tree_size_rejected() {
+        let _ = Forest::new(9, 30, 6);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_locate_roundtrip(
+                lambda in 1u32..5,
+                alpha in 1usize..20,
+                extra in 0usize..40,
+            ) {
+                let s = (1usize << lambda) - 1;
+                let n = alpha + extra;
+                let f = Forest::new(alpha, n, s);
+                for idx in alpha..n {
+                    let p = ProcessId(idx as u32);
+                    let (tree, pos) = f.locate(p).unwrap();
+                    prop_assert_eq!(f.processor(tree, pos), Some(p));
+                    // Every passive's height-λ ancestor is its tree root.
+                    prop_assert_eq!(f.ancestor_at_height(pos, f.lambda()), 1);
+                }
+            }
+
+            #[test]
+            fn prop_subtree_members_partition_leaf_level(lambda in 1u32..4) {
+                let s = (1usize << lambda) - 1;
+                let alpha = 4;
+                let n = alpha + 2 * s; // two full trees
+                let f = Forest::new(alpha, n, s);
+                // Depth-x subtrees at a given height partition all nodes of
+                // height <= x.
+                for x in 1..=lambda {
+                    let mut seen = std::collections::BTreeSet::new();
+                    for (tree, root) in f.subtree_roots_at_height(x) {
+                        for m in f.subtree_members(tree, root) {
+                            prop_assert!(seen.insert(m), "overlap at {m}");
+                        }
+                    }
+                    // Per tree: 2^(λ−x) subtrees of 2^x − 1 nodes each.
+                    let per_tree = (1usize << lambda) - (1usize << (lambda - x));
+                    prop_assert_eq!(seen.len(), 2 * per_tree);
+                }
+            }
+        }
+    }
+}

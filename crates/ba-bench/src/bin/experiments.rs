@@ -1,0 +1,50 @@
+//! Regenerates the paper's quantitative claims as markdown tables.
+//!
+//! ```text
+//! cargo run -p ba-bench --bin experiments --release -- all
+//! cargo run -p ba-bench --bin experiments --release -- e4 e8
+//! cargo run -p ba-bench --bin experiments --release -- --csv e8   # CSV for plotting
+//! ```
+
+use ba_bench::experiments::{run_experiment, ALL_IDS};
+
+fn main() {
+    let mut csv = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--csv" {
+                csv = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    // Write through a fallible handle so a closed pipe (e.g. `| head`)
+    // terminates quietly instead of panicking.
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        let result = if csv {
+            run_experiment(id)
+                .iter()
+                .try_for_each(|table| writeln!(out, "{}", table.to_csv()))
+        } else {
+            writeln!(out, "## Experiment {}\n", id.to_uppercase()).and_then(|()| {
+                run_experiment(id)
+                    .iter()
+                    .try_for_each(|table| writeln!(out, "{}", table.render()))
+            })
+        };
+        if result.is_err() {
+            return; // downstream closed the pipe
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness: regenerates every quantitative claim of the paper.
+//!
+//! The paper has no numbered tables or figures — its evaluation content is
+//! the set of theorem bounds. Each experiment `E1..E10` (see DESIGN.md's
+//! experiment index) reruns the relevant algorithm/attack sweep and prints
+//! a markdown table of *paper bound vs measured count*:
+//!
+//! | Id | Claim |
+//! |----|-------|
+//! | E1 | Theorem 1 — `≥ n(t+1)/4` signatures (authenticated) |
+//! | E2 | Corollary 1 — `≥ n(t+1)/4` messages (unauthenticated) |
+//! | E3 | Theorem 2 — `≥ max{⌈(n−1)/2⌉, (1+t/2)²}` messages |
+//! | E4 | Theorem 3 — Algorithm 1: `t+2` phases, `≤ 2t²+2t` messages |
+//! | E5 | Theorem 4 — Algorithm 2: `3t+3` phases, `≤ 5t²+5t` messages, proofs |
+//! | E6 | Lemma 1 / Theorem 5 — Algorithm 3 sweep, `s = 4t` ⇒ `O(n+t³)` |
+//! | E7 | Theorem 6 — Algorithm 4: 3 phases, `≤ 3(m−1)m²`, `≥ N−2t` succeed |
+//! | E8 | Lemma 5 / Theorem 7 — Algorithm 5 sweep, `s = t` ⇒ `O(n+t²)` |
+//! | E9 | Intro trade-off — phases vs messages via Algorithm 3 group size |
+//! | E10 | Who wins — message comparison across all algorithms |
+//!
+//! Run them with `cargo run -p ba-bench --bin experiments -- all` (or a
+//! single id). Criterion runtime benches live in `benches/`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,406 @@
+//! Signature chains: a value plus an ordered list of signatures, each
+//! covering the value and all preceding signatures.
+//!
+//! Chains are the information currency of the paper's authenticated
+//! algorithms: a "correct 1-message" in Algorithm 1 is a chain whose signers
+//! form a simple path from the transmitter; an "increasing message" in
+//! Algorithm 2 is a chain with ascending signer labels; a "valid message" in
+//! Algorithm 5 is a chain with at least `t + 1` active-processor signatures.
+//!
+//! Because every signature covers the whole prefix, an adversary can only
+//! *truncate* a chain it has observed or *extend* it with signatures of
+//! colluding faulty processors — it can never splice a correct processor's
+//! signature onto different content. The unit tests exercise exactly those
+//! attacks.
+
+use crate::error::CryptoError;
+use crate::keys::{Signature, Signer, Verifier};
+use crate::wire::{Decoder, Encoder};
+use crate::{ProcessId, Value};
+use std::fmt;
+
+/// A signed chain: `domain`-tagged value plus ordered signatures.
+///
+/// The `domain` separates the message spaces of different protocols (and
+/// protocol roles) so a signature produced inside one algorithm cannot be
+/// replayed into another.
+///
+/// ```
+/// use ba_crypto::keys::{KeyRegistry, SchemeKind};
+/// use ba_crypto::{Chain, ProcessId, Value};
+///
+/// let reg = KeyRegistry::new(3, 1, SchemeKind::Hmac);
+/// let mut chain = Chain::new(7, Value::ONE);
+/// chain.sign_and_append(&reg.signer(ProcessId(0)));
+/// chain.sign_and_append(&reg.signer(ProcessId(2)));
+/// chain.verify(&reg.verifier())?;
+/// assert_eq!(chain.len(), 2);
+/// assert!(chain.contains_signer(ProcessId(2)));
+/// # Ok::<(), ba_crypto::CryptoError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chain {
+    domain: u32,
+    value: Value,
+    sigs: Vec<Signature>,
+}
+
+impl Chain {
+    /// Creates an unsigned chain carrying `value` in protocol `domain`.
+    pub fn new(domain: u32, value: Value) -> Self {
+        Chain {
+            domain,
+            value,
+            sigs: Vec::new(),
+        }
+    }
+
+    /// The protocol domain tag.
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    /// The carried value.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// Number of signatures on the chain.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the chain carries no signatures yet.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// The signatures, oldest first.
+    pub fn signatures(&self) -> &[Signature] {
+        &self.sigs
+    }
+
+    /// Iterator over signer identities, oldest first.
+    pub fn signers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.sigs.iter().map(|s| s.signer())
+    }
+
+    /// The most recent signer, if any.
+    pub fn last_signer(&self) -> Option<ProcessId> {
+        self.sigs.last().map(|s| s.signer())
+    }
+
+    /// The first signer (the chain's originator), if any.
+    pub fn first_signer(&self) -> Option<ProcessId> {
+        self.sigs.first().map(|s| s.signer())
+    }
+
+    /// Whether `id` has signed this chain.
+    pub fn contains_signer(&self, id: ProcessId) -> bool {
+        self.signers().any(|s| s == id)
+    }
+
+    /// The canonical bytes covered by the signature at position `upto`
+    /// (i.e. the domain, the value and the first `upto` signatures).
+    fn content_at(&self, upto: usize) -> bytes::Bytes {
+        let mut enc = Encoder::with_capacity(16 + upto * 40);
+        enc.u32(self.domain).value(self.value);
+        for sig in &self.sigs[..upto] {
+            sig.encode(&mut enc);
+        }
+        enc.finish()
+    }
+
+    /// Signs the current chain state with `signer` and appends the
+    /// signature. Returns `&mut self` for chaining.
+    pub fn sign_and_append(&mut self, signer: &Signer) -> &mut Self {
+        let content = self.content_at(self.sigs.len());
+        self.sigs.push(signer.sign(&content));
+        self
+    }
+
+    /// Verifies every signature against its prefix.
+    ///
+    /// # Errors
+    /// [`CryptoError::EmptyChain`] when no signatures are present, or the
+    /// first failing signature's error.
+    pub fn verify(&self, verifier: &Verifier) -> Result<(), CryptoError> {
+        if self.sigs.is_empty() {
+            return Err(CryptoError::EmptyChain);
+        }
+        for i in 0..self.sigs.len() {
+            let content = self.content_at(i);
+            verifier.check(&self.sigs[i], &content)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies the chain *and* that the signers are pairwise distinct
+    /// (a simple path, as Algorithm 1's "correct 1-message" requires).
+    ///
+    /// # Errors
+    /// As [`verify`](Self::verify), plus [`CryptoError::DuplicateSigner`].
+    pub fn verify_simple_path(&self, verifier: &Verifier) -> Result<(), CryptoError> {
+        self.verify(verifier)?;
+        for (i, a) in self.sigs.iter().enumerate() {
+            for b in &self.sigs[..i] {
+                if a.signer() == b.signer() {
+                    return Err(CryptoError::DuplicateSigner { signer: a.signer() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy truncated to the first `len` signatures — the only
+    /// chain mutation (besides extension) available to an adversary.
+    pub fn truncated(&self, len: usize) -> Chain {
+        Chain {
+            domain: self.domain,
+            value: self.value,
+            sigs: self.sigs[..len.min(self.sigs.len())].to_vec(),
+        }
+    }
+
+    /// Appends the canonical encoding of the whole chain to `enc`.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.domain)
+            .value(self.value)
+            .u32(self.sigs.len() as u32);
+        for sig in &self.sigs {
+            sig.encode(enc);
+        }
+    }
+
+    /// Decodes a chain.
+    ///
+    /// # Errors
+    /// Wire errors from malformed input; the decoded chain still needs
+    /// [`verify`](Self::verify).
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CryptoError> {
+        let domain = dec.u32()?;
+        let value = dec.value()?;
+        let count = dec.u32()? as usize;
+        // Cap pre-allocation: adversarial counts must not trigger OOM.
+        let mut sigs = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            sigs.push(Signature::decode(dec)?);
+        }
+        Ok(Chain {
+            domain,
+            value,
+            sigs,
+        })
+    }
+}
+
+impl fmt::Display for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain[{} {}", self.domain, self.value)?;
+        for s in self.signers() {
+            write!(f, " {s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{KeyRegistry, SchemeKind};
+
+    fn reg() -> KeyRegistry {
+        KeyRegistry::new(6, 99, SchemeKind::Hmac)
+    }
+
+    fn signed_chain(reg: &KeyRegistry, ids: &[u32]) -> Chain {
+        let mut c = Chain::new(1, Value::ONE);
+        for &id in ids {
+            c.sign_and_append(&reg.signer(ProcessId(id)));
+        }
+        c
+    }
+
+    #[test]
+    fn build_and_verify() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1, 2]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.first_signer(), Some(ProcessId(0)));
+        assert_eq!(c.last_signer(), Some(ProcessId(2)));
+        c.verify(&reg.verifier()).unwrap();
+        c.verify_simple_path(&reg.verifier()).unwrap();
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let reg = reg();
+        let c = Chain::new(1, Value::ZERO);
+        assert!(c.is_empty());
+        assert_eq!(c.verify(&reg.verifier()), Err(CryptoError::EmptyChain));
+    }
+
+    #[test]
+    fn value_tamper_detected() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1]);
+        let mut tampered = c.clone();
+        tampered.value = Value(9);
+        assert!(tampered.verify(&reg.verifier()).is_err());
+    }
+
+    #[test]
+    fn domain_tamper_detected() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0]);
+        let mut tampered = c;
+        tampered.domain = 2;
+        assert!(tampered.verify(&reg.verifier()).is_err());
+    }
+
+    #[test]
+    fn reorder_attack_detected() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1, 2]);
+        let mut tampered = c.clone();
+        tampered.sigs.swap(1, 2);
+        assert!(tampered.verify(&reg.verifier()).is_err());
+    }
+
+    #[test]
+    fn splice_attack_detected() {
+        // Take p1's signature from a chain on value ONE and splice it onto a
+        // chain carrying value ZERO: must fail.
+        let reg = reg();
+        let good = signed_chain(&reg, &[0, 1]);
+        let mut fake = Chain::new(1, Value::ZERO);
+        fake.sign_and_append(&reg.signer(ProcessId(0)));
+        fake.sigs.push(good.sigs[1].clone());
+        assert!(fake.verify(&reg.verifier()).is_err());
+    }
+
+    #[test]
+    fn truncation_keeps_validity_of_prefix() {
+        // Truncation is the one manipulation an adversary CAN do; the
+        // truncated prefix remains a valid chain, as in the real scheme.
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1, 2, 3]);
+        let t = c.truncated(2);
+        assert_eq!(t.len(), 2);
+        t.verify(&reg.verifier()).unwrap();
+        let over = c.truncated(10);
+        assert_eq!(over.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_signer_rejected_for_simple_path() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1, 0]);
+        // Plain verification passes (the chain is honestly signed)...
+        c.verify(&reg.verifier()).unwrap();
+        // ...but the simple-path requirement fails.
+        assert_eq!(
+            c.verify_simple_path(&reg.verifier()),
+            Err(CryptoError::DuplicateSigner {
+                signer: ProcessId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn extension_by_faulty_processor_is_fine_but_forgery_is_not() {
+        let reg = reg();
+        // Faulty p5 extends a correct chain: allowed (it has its own key).
+        let mut c = signed_chain(&reg, &[0, 1]);
+        c.sign_and_append(&reg.signer(ProcessId(5)));
+        c.verify(&reg.verifier()).unwrap();
+
+        // Faulty p5 forges p2's signature: rejected.
+        let mut f = signed_chain(&reg, &[0, 1]);
+        f.sigs
+            .push(Signature::forged(ProcessId(2), SchemeKind::Hmac));
+        assert!(f.verify(&reg.verifier()).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[3, 4, 5]);
+        let mut enc = Encoder::new();
+        c.encode(&mut enc);
+        let buf = enc.finish();
+        let d = Chain::decode(&mut Decoder::new(&buf)).unwrap();
+        assert_eq!(d, c);
+        d.verify(&reg.verifier()).unwrap();
+    }
+
+    #[test]
+    fn decode_truncated_errors() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1]);
+        let mut enc = Encoder::new();
+        c.encode(&mut enc);
+        let buf = enc.finish();
+        for cut in [0, 3, 12, buf.len() - 1] {
+            assert!(
+                Chain::decode(&mut Decoder::new(&buf[..cut])).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_lists_signers() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 2]);
+        assert_eq!(c.to_string(), "chain[1 v1 p0 p2]");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_roundtrip_preserves_verification(
+                seed in any::<u64>(),
+                ids in proptest::collection::vec(0u32..8, 1..8),
+                value in any::<u64>(),
+                domain in any::<u32>(),
+            ) {
+                let reg = KeyRegistry::new(8, seed, SchemeKind::Fast);
+                let mut c = Chain::new(domain, Value(value));
+                for &id in &ids {
+                    c.sign_and_append(&reg.signer(ProcessId(id)));
+                }
+                c.verify(&reg.verifier()).unwrap();
+                let mut enc = Encoder::new();
+                c.encode(&mut enc);
+                let buf = enc.finish();
+                let d = Chain::decode(&mut Decoder::new(&buf)).unwrap();
+                prop_assert_eq!(&d, &c);
+                d.verify(&reg.verifier()).unwrap();
+            }
+
+            #[test]
+            fn prop_any_prefix_verifies(
+                seed in any::<u64>(),
+                ids in proptest::collection::vec(0u32..8, 1..8),
+                cut in any::<usize>(),
+            ) {
+                let reg = KeyRegistry::new(8, seed, SchemeKind::Fast);
+                let mut c = Chain::new(0, Value::ONE);
+                for &id in &ids {
+                    c.sign_and_append(&reg.signer(ProcessId(id)));
+                }
+                let t = c.truncated(1 + cut % ids.len());
+                t.verify(&reg.verifier()).unwrap();
+            }
+
+            #[test]
+            fn prop_garbage_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+                let _ = Chain::decode(&mut Decoder::new(&data));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the crypto substrate.
+
+use crate::ProcessId;
+use core::fmt;
+
+/// Errors produced while verifying signatures, chains or decoding wire data.
+///
+/// ```
+/// use ba_crypto::CryptoError;
+/// let err = CryptoError::BadSignature { signer: ba_crypto::ProcessId(3) };
+/// assert_eq!(err.to_string(), "signature by p3 does not verify");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A signature tag did not verify against the registry key.
+    BadSignature {
+        /// The claimed signer.
+        signer: ProcessId,
+    },
+    /// A signer identity outside the registry's `0..n` range was used.
+    UnknownSigner {
+        /// The claimed signer.
+        signer: ProcessId,
+        /// Number of registered identities.
+        registered: usize,
+    },
+    /// A signature chain is empty where at least one signature is required.
+    EmptyChain,
+    /// The same processor appears twice in a chain that must be a simple
+    /// path.
+    DuplicateSigner {
+        /// The repeated signer.
+        signer: ProcessId,
+    },
+    /// The wire decoder ran out of bytes or met a malformed length prefix.
+    Truncated,
+    /// A decoded discriminant did not match any known variant.
+    BadDiscriminant {
+        /// The unexpected raw value.
+        found: u8,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::BadSignature { signer } => {
+                write!(f, "signature by {signer} does not verify")
+            }
+            CryptoError::UnknownSigner { signer, registered } => {
+                write!(
+                    f,
+                    "unknown signer {signer} (registry holds {registered} identities)"
+                )
+            }
+            CryptoError::EmptyChain => write!(f, "signature chain is empty"),
+            CryptoError::DuplicateSigner { signer } => {
+                write!(f, "signer {signer} appears twice in a simple-path chain")
+            }
+            CryptoError::Truncated => write!(f, "wire data is truncated or malformed"),
+            CryptoError::BadDiscriminant { found } => {
+                write!(f, "unknown wire discriminant {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let msgs = [
+            CryptoError::BadSignature {
+                signer: ProcessId(1),
+            }
+            .to_string(),
+            CryptoError::UnknownSigner {
+                signer: ProcessId(9),
+                registered: 4,
+            }
+            .to_string(),
+            CryptoError::EmptyChain.to_string(),
+            CryptoError::DuplicateSigner {
+                signer: ProcessId(2),
+            }
+            .to_string(),
+            CryptoError::Truncated.to_string(),
+            CryptoError::BadDiscriminant { found: 250 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CryptoError>();
+    }
+}

@@ -1,0 +1,170 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1), built on the in-tree
+//! [`Sha256`](crate::sha256).
+//!
+//! The signature schemes in [`keys`](crate::keys) use HMAC with a secret key
+//! per processor as the simulation stand-in for public-key signatures: the
+//! registry (the simulator) holds all keys and verifies on behalf of
+//! receivers, so a tag constitutes an unforgeable statement "processor `p`
+//! said these bytes" — exactly what the paper's authentication model needs.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the SHA-256 block size are hashed first, per RFC 2104.
+///
+/// ```
+/// use ba_crypto::hmac::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = Sha256::digest(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-shape comparison of two tags.
+///
+/// The simulation does not face timing attacks, but comparing the whole tag
+/// avoids accidentally short-circuiting on truncated inputs.
+pub fn tags_equal(a: &[u8; DIGEST_LEN], b: &[u8; DIGEST_LEN]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..DIGEST_LEN {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"This is a test using a larger than block-size key and a larger than \
+              block-size data. The key needs to be hashed before being used by the \
+              HMAC algorithm.",
+        );
+        assert_eq!(
+            hex(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+
+    #[test]
+    fn tags_equal_detects_any_flip() {
+        let a = hmac_sha256(b"k", b"m");
+        assert!(tags_equal(&a, &a.clone()));
+        for i in 0..32 {
+            let mut b = a;
+            b[i] ^= 1;
+            assert!(!tags_equal(&a, &b), "flip at byte {i} undetected");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_deterministic(
+                key in proptest::collection::vec(any::<u8>(), 0..100),
+                msg in proptest::collection::vec(any::<u8>(), 0..300),
+            ) {
+                prop_assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
+            }
+
+            #[test]
+            fn prop_message_tamper_detected(
+                key in proptest::collection::vec(any::<u8>(), 1..64),
+                msg in proptest::collection::vec(any::<u8>(), 1..128),
+                idx in any::<usize>(),
+            ) {
+                let mut tampered = msg.clone();
+                let i = idx % tampered.len();
+                tampered[i] ^= 0x01;
+                prop_assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key, &tampered));
+            }
+        }
+    }
+}

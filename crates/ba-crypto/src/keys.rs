@@ -1,0 +1,478 @@
+//! Per-processor keys, signer handles and verification.
+//!
+//! The simulation models the paper's signature scheme with symmetric keys
+//! held by a trusted [`KeyRegistry`] (the simulator itself):
+//!
+//! * each processor `p` owns a secret derived from the run seed;
+//! * a [`Signer`] handle is bound to exactly one identity — the simulator
+//!   gives each actor only its own handle, so Byzantine actors cannot mint
+//!   other processors' signatures on new content (they may freely *replay*
+//!   signatures they have observed, which is all the paper's adversary is
+//!   allowed);
+//! * a [`Verifier`] checks any signature against the registry.
+//!
+//! Two tag constructions are provided: [`SchemeKind::Hmac`] (HMAC-SHA-256,
+//! 32-byte tags) and [`SchemeKind::Fast`] (64-bit keyed-mix tags) for large
+//! parameter sweeps where hashing would dominate runtime. Both are
+//! deterministic in the run seed.
+
+use crate::error::CryptoError;
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+use crate::wire::{Decoder, Encoder};
+use crate::ProcessId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which tag construction a [`KeyRegistry`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SchemeKind {
+    /// HMAC-SHA-256, 32-byte tags. The default; cryptographically faithful.
+    #[default]
+    Hmac,
+    /// 64-bit keyed mixing, 8-byte tags. Fast mode for big sweeps; still
+    /// unforgeable against the scripted adversaries in this workspace.
+    Fast,
+}
+
+/// A signature: the claimed signer plus an authentication tag over the
+/// signed content.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Signature {
+    signer: ProcessId,
+    tag: Tag,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Tag {
+    Hmac([u8; 32]),
+    Fast(u64),
+}
+
+impl Signature {
+    /// The identity that (claims to have) produced this signature.
+    pub fn signer(&self) -> ProcessId {
+        self.signer
+    }
+
+    /// Length in bytes of the encoded signature.
+    pub fn encoded_len(&self) -> usize {
+        match self.tag {
+            Tag::Hmac(_) => 4 + 1 + 32,
+            Tag::Fast(_) => 4 + 1 + 8,
+        }
+    }
+
+    /// Appends the canonical encoding of this signature to `enc`.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.process_id(self.signer);
+        match &self.tag {
+            Tag::Hmac(t) => {
+                enc.u8(0);
+                enc.raw(t);
+            }
+            Tag::Fast(t) => {
+                enc.u8(1);
+                enc.u64(*t);
+            }
+        }
+    }
+
+    /// Decodes a signature from `dec`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] on short input and
+    /// [`CryptoError::BadDiscriminant`] on an unknown tag kind.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CryptoError> {
+        let signer = dec.process_id()?;
+        let kind = dec.u8()?;
+        let tag = match kind {
+            0 => {
+                let raw = dec.raw(32)?;
+                let mut t = [0u8; 32];
+                t.copy_from_slice(raw);
+                Tag::Hmac(t)
+            }
+            1 => Tag::Fast(dec.u64()?),
+            other => return Err(CryptoError::BadDiscriminant { found: other }),
+        };
+        Ok(Signature { signer, tag })
+    }
+
+    /// Produces a deliberately invalid signature claiming to be from
+    /// `signer` — used by adversaries attempting forgery and by tests that
+    /// check forged signatures are rejected.
+    pub fn forged(signer: ProcessId, kind: SchemeKind) -> Self {
+        let tag = match kind {
+            SchemeKind::Hmac => Tag::Hmac([0xAB; 32]),
+            SchemeKind::Fast => Tag::Fast(0xDEAD_BEEF_DEAD_BEEF),
+        };
+        Signature { signer, tag }
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig({})", self.signer)
+    }
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    hmac_keys: Vec<[u8; 32]>,
+    fast_keys: Vec<u64>,
+    kind: SchemeKind,
+}
+
+/// The trusted key registry: one secret per processor, derived from a seed.
+///
+/// Cloning is cheap (`Arc` inside). See the [module docs](self) for the
+/// threat model.
+///
+/// ```
+/// use ba_crypto::keys::{KeyRegistry, SchemeKind};
+/// use ba_crypto::ProcessId;
+///
+/// let reg = KeyRegistry::new(3, 7, SchemeKind::Fast);
+/// let sig = reg.signer(ProcessId(0)).sign(b"msg");
+/// assert!(reg.verifier().verify(&sig, b"msg"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl KeyRegistry {
+    /// Creates a registry for `n` processors with secrets derived from
+    /// `seed`.
+    pub fn new(n: usize, seed: u64, kind: SchemeKind) -> Self {
+        let mut hmac_keys = Vec::with_capacity(n);
+        let mut fast_keys = Vec::with_capacity(n);
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        for id in 0..n {
+            let mut enc = Encoder::with_capacity(16);
+            enc.u64(seed).u32(id as u32).raw(b"ba-key");
+            hmac_keys.push(Sha256::digest(&enc.finish()));
+            fast_keys.push(splitmix64(&mut state) | 1);
+        }
+        KeyRegistry {
+            inner: Arc::new(RegistryInner {
+                hmac_keys,
+                fast_keys,
+                kind,
+            }),
+        }
+    }
+
+    /// Number of registered identities.
+    pub fn len(&self) -> usize {
+        self.inner.hmac_keys.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.hmac_keys.is_empty()
+    }
+
+    /// The tag construction in use.
+    pub fn kind(&self) -> SchemeKind {
+        self.inner.kind
+    }
+
+    /// Returns the signing handle for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside `0..n`; handing out handles for
+    /// nonexistent identities would mask configuration bugs.
+    pub fn signer(&self, id: ProcessId) -> Signer {
+        assert!(
+            id.index() < self.len(),
+            "signer {id} outside registry of {} identities",
+            self.len()
+        );
+        Signer {
+            registry: self.clone(),
+            id,
+        }
+    }
+
+    /// Returns a verifier over this registry.
+    pub fn verifier(&self) -> Verifier {
+        Verifier {
+            registry: self.clone(),
+        }
+    }
+
+    fn tag_for(&self, id: ProcessId, content: &[u8]) -> Tag {
+        match self.inner.kind {
+            SchemeKind::Hmac => Tag::Hmac(hmac_sha256(&self.inner.hmac_keys[id.index()], content)),
+            SchemeKind::Fast => {
+                // Keyed FNV-style absorb followed by a splitmix finalizer:
+                // fast, and distinct keys give unrelated tag functions.
+                let key = self.inner.fast_keys[id.index()];
+                let mut acc = key ^ 0xcbf2_9ce4_8422_2325;
+                for &b in content {
+                    acc ^= b as u64;
+                    acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                let mut s = acc ^ key.rotate_left(17);
+                Tag::Fast(splitmix64(&mut s))
+            }
+        }
+    }
+}
+
+/// A signing handle bound to a single identity.
+///
+/// This is the only way to produce valid signatures, and the simulator hands
+/// each actor the handle for its own identity only — the mechanical
+/// enforcement of the paper's "no one can forge another's signature".
+#[derive(Clone, Debug)]
+pub struct Signer {
+    registry: KeyRegistry,
+    id: ProcessId,
+}
+
+impl Signer {
+    /// The identity this handle signs as.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Signs `content`, returning a signature verifiable by any
+    /// [`Verifier`] over the same registry.
+    pub fn sign(&self, content: &[u8]) -> Signature {
+        Signature {
+            signer: self.id,
+            tag: self.registry.tag_for(self.id, content),
+        }
+    }
+}
+
+/// Verifies signatures against a [`KeyRegistry`].
+#[derive(Clone, Debug)]
+pub struct Verifier {
+    registry: KeyRegistry,
+}
+
+impl Verifier {
+    /// Returns `true` when `sig` is a valid signature of `content` by its
+    /// claimed signer.
+    pub fn verify(&self, sig: &Signature, content: &[u8]) -> bool {
+        self.check(sig, content).is_ok()
+    }
+
+    /// Like [`verify`](Self::verify) but reporting why verification failed.
+    ///
+    /// # Errors
+    /// [`CryptoError::UnknownSigner`] for out-of-range identities and
+    /// [`CryptoError::BadSignature`] for tag mismatches (including tags of
+    /// the wrong scheme kind).
+    pub fn check(&self, sig: &Signature, content: &[u8]) -> Result<(), CryptoError> {
+        if sig.signer.index() >= self.registry.len() {
+            return Err(CryptoError::UnknownSigner {
+                signer: sig.signer,
+                registered: self.registry.len(),
+            });
+        }
+        let expected = self.registry.tag_for(sig.signer, content);
+        // Compare variants structurally; a Fast tag never matches an Hmac
+        // expectation and vice versa.
+        let ok = match (&sig.tag, &expected) {
+            (Tag::Hmac(a), Tag::Hmac(b)) => crate::hmac::tags_equal(a, b),
+            (Tag::Fast(a), Tag::Fast(b)) => a == b,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature { signer: sig.signer })
+        }
+    }
+
+    /// Number of identities the underlying registry holds.
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Whether the underlying registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registry.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registries() -> [KeyRegistry; 2] {
+        [
+            KeyRegistry::new(5, 42, SchemeKind::Hmac),
+            KeyRegistry::new(5, 42, SchemeKind::Fast),
+        ]
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_both_kinds() {
+        for reg in registries() {
+            let sig = reg.signer(ProcessId(1)).sign(b"content");
+            assert!(reg.verifier().verify(&sig, b"content"));
+            assert_eq!(sig.signer(), ProcessId(1));
+        }
+    }
+
+    #[test]
+    fn tampered_content_rejected() {
+        for reg in registries() {
+            let sig = reg.signer(ProcessId(2)).sign(b"content");
+            assert!(!reg.verifier().verify(&sig, b"Content"));
+            assert_eq!(
+                reg.verifier().check(&sig, b"other"),
+                Err(CryptoError::BadSignature {
+                    signer: ProcessId(2)
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn forged_signatures_rejected() {
+        for reg in registries() {
+            let forged = Signature::forged(ProcessId(3), reg.kind());
+            assert!(!reg.verifier().verify(&forged, b"anything"));
+        }
+    }
+
+    #[test]
+    fn cross_identity_signatures_do_not_verify() {
+        for reg in registries() {
+            let sig_by_0 = reg.signer(ProcessId(0)).sign(b"m");
+            // An adversary re-labeling the signer must fail: rebuild a
+            // signature claiming p1 with p0's tag via encode/decode surgery.
+            let mut enc = Encoder::new();
+            sig_by_0.encode(&mut enc);
+            let buf = enc.finish();
+            let mut forged_buf = buf.to_vec();
+            forged_buf[3] = 1; // signer id low byte: 0 -> 1
+            let forged = Signature::decode(&mut Decoder::new(&forged_buf)).unwrap();
+            assert_eq!(forged.signer(), ProcessId(1));
+            assert!(!reg.verifier().verify(&forged, b"m"));
+        }
+    }
+
+    #[test]
+    fn unknown_signer_reported() {
+        let reg = KeyRegistry::new(3, 1, SchemeKind::Fast);
+        let other = KeyRegistry::new(10, 1, SchemeKind::Fast);
+        let sig = other.signer(ProcessId(7)).sign(b"m");
+        assert_eq!(
+            reg.verifier().check(&sig, b"m"),
+            Err(CryptoError::UnknownSigner {
+                signer: ProcessId(7),
+                registered: 3
+            })
+        );
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = KeyRegistry::new(2, 1, SchemeKind::Hmac);
+        let b = KeyRegistry::new(2, 2, SchemeKind::Hmac);
+        let sig = a.signer(ProcessId(0)).sign(b"m");
+        assert!(!b.verifier().verify(&sig, b"m"));
+    }
+
+    #[test]
+    fn same_seed_reproducible() {
+        let a = KeyRegistry::new(2, 9, SchemeKind::Fast);
+        let b = KeyRegistry::new(2, 9, SchemeKind::Fast);
+        let sig = a.signer(ProcessId(1)).sign(b"m");
+        assert!(b.verifier().verify(&sig, b"m"));
+    }
+
+    #[test]
+    fn scheme_kind_mismatch_rejected() {
+        let hmac = KeyRegistry::new(2, 5, SchemeKind::Hmac);
+        let fast = KeyRegistry::new(2, 5, SchemeKind::Fast);
+        let sig = fast.signer(ProcessId(0)).sign(b"m");
+        assert!(!hmac.verifier().verify(&sig, b"m"));
+    }
+
+    #[test]
+    fn signature_encode_decode_roundtrip() {
+        for reg in registries() {
+            let sig = reg.signer(ProcessId(4)).sign(b"payload");
+            let mut enc = Encoder::new();
+            sig.encode(&mut enc);
+            let buf = enc.finish();
+            assert_eq!(buf.len(), sig.encoded_len());
+            let decoded = Signature::decode(&mut Decoder::new(&buf)).unwrap();
+            assert_eq!(decoded, sig);
+            assert!(reg.verifier().verify(&decoded, b"payload"));
+        }
+    }
+
+    #[test]
+    fn decode_bad_discriminant() {
+        let buf = [0, 0, 0, 1, 9];
+        assert_eq!(
+            Signature::decode(&mut Decoder::new(&buf)),
+            Err(CryptoError::BadDiscriminant { found: 9 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside registry")]
+    fn signer_out_of_range_panics() {
+        let reg = KeyRegistry::new(2, 0, SchemeKind::Fast);
+        let _ = reg.signer(ProcessId(2));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_sign_verify(
+                seed in any::<u64>(),
+                id in 0u32..8,
+                msg in proptest::collection::vec(any::<u8>(), 0..128),
+            ) {
+                for kind in [SchemeKind::Hmac, SchemeKind::Fast] {
+                    let reg = KeyRegistry::new(8, seed, kind);
+                    let sig = reg.signer(ProcessId(id)).sign(&msg);
+                    prop_assert!(reg.verifier().verify(&sig, &msg));
+                }
+            }
+
+            #[test]
+            fn prop_wrong_message_rejected(
+                seed in any::<u64>(),
+                msg in proptest::collection::vec(any::<u8>(), 1..64),
+                flip in any::<usize>(),
+            ) {
+                for kind in [SchemeKind::Hmac, SchemeKind::Fast] {
+                    let reg = KeyRegistry::new(4, seed, kind);
+                    let sig = reg.signer(ProcessId(0)).sign(&msg);
+                    let mut tampered = msg.clone();
+                    tampered[flip % msg.len()] ^= 1;
+                    prop_assert!(!reg.verifier().verify(&sig, &tampered));
+                }
+            }
+
+            #[test]
+            fn prop_decode_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..48)) {
+                let _ = Signature::decode(&mut Decoder::new(&data));
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Deterministic binary encoding used as the canonical byte representation
+//! that signatures cover.
+//!
+//! Signing a structured message requires a canonical serialization: two
+//! correct processors must produce the *same* bytes for the same logical
+//! content, and a tampered encoding must fail to decode or verify. The
+//! format is intentionally minimal: fixed-width big-endian integers and
+//! length-prefixed byte strings, with no self-description.
+//!
+//! The traits are sealed by construction (plain functions over `BufMut` /
+//! byte slices) so the format cannot diverge between crates.
+
+use crate::error::CryptoError;
+use crate::{ProcessId, Value};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Incremental encoder producing a canonical byte string.
+///
+/// ```
+/// use ba_crypto::wire::Encoder;
+/// use ba_crypto::{ProcessId, Value};
+///
+/// let mut enc = Encoder::new();
+/// enc.u8(3).process_id(ProcessId(7)).value(Value::ONE);
+/// let bytes = enc.finish();
+/// assert_eq!(bytes.len(), 1 + 4 + 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Creates an encoder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Appends a processor identity (4 bytes).
+    pub fn process_id(&mut self, id: ProcessId) -> &mut Self {
+        self.u32(id.0)
+    }
+
+    /// Appends a value (8 bytes).
+    pub fn value(&mut self, v: Value) -> &mut Self {
+        self.u64(v.0)
+    }
+
+    /// Appends a length-prefixed byte string (`u32` length + data).
+    pub fn bytes(&mut self, data: &[u8]) -> &mut Self {
+        self.u32(data.len() as u32);
+        self.buf.put_slice(data);
+        self
+    }
+
+    /// Appends raw bytes with no length prefix (caller knows the framing).
+    pub fn raw(&mut self, data: &[u8]) -> &mut Self {
+        self.buf.put_slice(data);
+        self
+    }
+
+    /// Consumes the encoder, returning the immutable byte string.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-style decoder over a byte slice.
+///
+/// Every accessor returns [`CryptoError::Truncated`] when the input is too
+/// short, so malformed (possibly adversarial) messages surface as errors
+/// rather than panics.
+///
+/// ```
+/// use ba_crypto::wire::{Decoder, Encoder};
+///
+/// let mut enc = Encoder::new();
+/// enc.u32(42).bytes(b"hi");
+/// let buf = enc.finish();
+/// let mut dec = Decoder::new(&buf);
+/// assert_eq!(dec.u32()?, 42);
+/// assert_eq!(dec.bytes()?, b"hi");
+/// assert!(dec.is_exhausted());
+/// # Ok::<(), ba_crypto::CryptoError>(())
+/// ```
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { rest: data }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CryptoError> {
+        if self.rest.len() < n {
+            return Err(CryptoError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] if no bytes remain.
+    pub fn u8(&mut self) -> Result<u8, CryptoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] if fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, CryptoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CryptoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a processor identity.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] on short input.
+    pub fn process_id(&mut self) -> Result<ProcessId, CryptoError> {
+        Ok(ProcessId(self.u32()?))
+    }
+
+    /// Reads a value.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] on short input.
+    pub fn value(&mut self) -> Result<Value, CryptoError> {
+        Ok(Value(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] if the prefix or body is short.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CryptoError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::Truncated`] if fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CryptoError> {
+        self.take(n)
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.rest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut enc = Encoder::with_capacity(64);
+        enc.u8(7)
+            .u32(0xdead_beef)
+            .u64(0x0123_4567_89ab_cdef)
+            .process_id(ProcessId(9))
+            .value(Value(55))
+            .bytes(b"payload")
+            .raw(&[1, 2, 3]);
+        let buf = enc.finish();
+
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(dec.process_id().unwrap(), ProcessId(9));
+        assert_eq!(dec.value().unwrap(), Value(55));
+        assert_eq!(dec.bytes().unwrap(), b"payload");
+        assert_eq!(dec.raw(3).unwrap(), &[1, 2, 3]);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let mut enc = Encoder::new();
+        enc.bytes(b"abcdef");
+        let buf = enc.finish();
+
+        // Cut the body short.
+        let mut dec = Decoder::new(&buf[..buf.len() - 1]);
+        assert_eq!(dec.bytes(), Err(CryptoError::Truncated));
+
+        // Cut the length prefix short.
+        let mut dec = Decoder::new(&buf[..2]);
+        assert_eq!(dec.bytes(), Err(CryptoError::Truncated));
+
+        let mut dec = Decoder::new(&[]);
+        assert_eq!(dec.u8(), Err(CryptoError::Truncated));
+        assert_eq!(dec.u32(), Err(CryptoError::Truncated));
+        assert_eq!(dec.u64(), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn adversarial_length_prefix_is_rejected() {
+        // Length prefix claims 4 GiB of data.
+        let buf = [0xff, 0xff, 0xff, 0xff, 1, 2, 3];
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.bytes(), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn encoder_len_tracks_writes() {
+        let mut enc = Encoder::new();
+        assert!(enc.is_empty());
+        enc.u8(1);
+        assert_eq!(enc.len(), 1);
+        enc.bytes(b"xy");
+        assert_eq!(enc.len(), 1 + 4 + 2);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let build = || {
+            let mut e = Encoder::new();
+            e.process_id(ProcessId(3)).value(Value(4)).bytes(b"zz");
+            e.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let mut enc = Encoder::new();
+                enc.bytes(&data);
+                let buf = enc.finish();
+                let mut dec = Decoder::new(&buf);
+                prop_assert_eq!(dec.bytes().unwrap(), &data[..]);
+                prop_assert!(dec.is_exhausted());
+            }
+
+            #[test]
+            fn prop_mixed_roundtrip(a in any::<u32>(), b in any::<u64>(), c in any::<u8>()) {
+                let mut enc = Encoder::new();
+                enc.u32(a).u64(b).u8(c);
+                let buf = enc.finish();
+                let mut dec = Decoder::new(&buf);
+                prop_assert_eq!(dec.u32().unwrap(), a);
+                prop_assert_eq!(dec.u64().unwrap(), b);
+                prop_assert_eq!(dec.u8().unwrap(), c);
+            }
+
+            #[test]
+            fn prop_random_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let mut dec = Decoder::new(&data);
+                // Exercise every accessor; none may panic.
+                let _ = dec.u8();
+                let _ = dec.u32();
+                let _ = dec.bytes();
+                let _ = dec.u64();
+                let _ = dec.process_id();
+                let _ = dec.value();
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The paper's Section-2 vocabulary, materialized from simulator traces.
+//!
+//! A *phase* is a directed labeled graph over the processors; a *history*
+//! is a finite sequence of phases plus the phase-0 transmitter value; the
+//! *individual subhistory* `pH` is the subsequence of edges with target
+//! `p` — "at the beginning of phase k \[it\] is all that processor p has to
+//! work with".
+
+use ba_crypto::{ProcessId, Value};
+use ba_sim::actor::Envelope;
+use ba_sim::trace::Trace;
+use std::collections::BTreeMap;
+
+/// One labeled edge of a phase graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Edge<P> {
+    /// Source processor.
+    pub from: ProcessId,
+    /// Target processor.
+    pub to: ProcessId,
+    /// The label (message payload).
+    pub label: P,
+}
+
+/// A history: the phase-0 value plus one edge-set per phase.
+#[derive(Clone, Debug)]
+pub struct History<P> {
+    /// The transmitter's phase-0 input.
+    pub phase0: Value,
+    /// Phase graphs, phase 1 first.
+    pub phases: Vec<Vec<Edge<P>>>,
+}
+
+impl<P: Clone + PartialEq> History<P> {
+    /// Builds a history from a simulator trace.
+    pub fn from_trace(phase0: Value, trace: &Trace<P>) -> Self {
+        History {
+            phase0,
+            phases: trace
+                .phases
+                .iter()
+                .map(|ph| {
+                    ph.envelopes
+                        .iter()
+                        .map(|e| Edge {
+                            from: e.from,
+                            to: e.to,
+                            label: e.payload.clone(),
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the history has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The individual subhistory `pH`: per phase, the edges with target
+    /// `p` (source and label), which is everything `p` ever observes.
+    pub fn individual(&self, p: ProcessId) -> Vec<Vec<(ProcessId, P)>> {
+        self.phases
+            .iter()
+            .map(|edges| {
+                edges
+                    .iter()
+                    .filter(|e| e.to == p)
+                    .map(|e| (e.from, e.label.clone()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Whether `p` observes exactly the same subhistory in both histories
+    /// — the indistinguishability at the heart of the splicing proofs.
+    pub fn individually_equal(&self, other: &History<P>, p: ProcessId) -> bool {
+        let a = self.individual(p);
+        let b = other.individual(p);
+        // Trailing empty phases are irrelevant to what p observed.
+        let strip = |mut v: Vec<Vec<(ProcessId, P)>>| {
+            while v.last().is_some_and(Vec::is_empty) {
+                v.pop();
+            }
+            v
+        };
+        strip(a) == strip(b)
+    }
+
+    /// Messages received by each processor from the given senders,
+    /// across all phases.
+    pub fn received_counts(&self) -> BTreeMap<ProcessId, usize> {
+        let mut counts = BTreeMap::new();
+        for edges in &self.phases {
+            for e in edges {
+                *counts.entry(e.to).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The set of processors that sent at least one message to `p`.
+    pub fn senders_to(&self, p: ProcessId) -> Vec<ProcessId> {
+        let mut senders: Vec<ProcessId> = self
+            .phases
+            .iter()
+            .flatten()
+            .filter(|e| e.to == p)
+            .map(|e| e.from)
+            .collect();
+        senders.sort_unstable();
+        senders.dedup();
+        senders
+    }
+}
+
+/// Convenience: lift simulator envelopes into history edges.
+impl<P: Clone> From<&Envelope<P>> for Edge<P> {
+    fn from(e: &Envelope<P>) -> Self {
+        Edge {
+            from: e.from,
+            to: e.to,
+            label: e.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::trace::PhaseTrace;
+
+    fn env(from: u32, to: u32, v: u64) -> Envelope<Value> {
+        Envelope {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            payload: Value(v),
+        }
+    }
+
+    fn trace() -> Trace<Value> {
+        Trace {
+            phases: vec![
+                PhaseTrace {
+                    envelopes: vec![env(0, 1, 5), env(0, 2, 6)],
+                },
+                PhaseTrace {
+                    envelopes: vec![env(1, 2, 7)],
+                },
+                PhaseTrace { envelopes: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn history_from_trace() {
+        let h = History::from_trace(Value::ONE, &trace());
+        assert_eq!(h.phase0, Value::ONE);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.phases[0].len(), 2);
+        assert_eq!(
+            h.phases[0][0],
+            Edge {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                label: Value(5)
+            }
+        );
+    }
+
+    #[test]
+    fn individual_subhistory() {
+        let h = History::from_trace(Value::ONE, &trace());
+        let p2 = h.individual(ProcessId(2));
+        assert_eq!(p2[0], vec![(ProcessId(0), Value(6))]);
+        assert_eq!(p2[1], vec![(ProcessId(1), Value(7))]);
+        assert!(p2[2].is_empty());
+    }
+
+    #[test]
+    fn individual_equality_ignores_trailing_silence() {
+        let a = History::from_trace(Value::ONE, &trace());
+        let mut shorter = trace();
+        shorter.phases.pop();
+        let b = History::from_trace(Value::ONE, &shorter);
+        assert!(a.individually_equal(&b, ProcessId(2)));
+        assert!(a.individually_equal(&b, ProcessId(1)));
+        // Different traffic breaks equality.
+        let mut c = trace();
+        c.phases[1].envelopes[0].payload = Value(9);
+        let c = History::from_trace(Value::ONE, &c);
+        assert!(!a.individually_equal(&c, ProcessId(2)));
+        // ...but only for the affected processor.
+        assert!(a.individually_equal(&c, ProcessId(1)));
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let h = History::from_trace(Value::ZERO, &trace());
+        let counts = h.received_counts();
+        assert_eq!(counts[&ProcessId(1)], 1);
+        assert_eq!(counts[&ProcessId(2)], 2);
+        assert_eq!(h.senders_to(ProcessId(2)), vec![ProcessId(0), ProcessId(1)]);
+        assert_eq!(h.senders_to(ProcessId(0)), vec![]);
+    }
+}

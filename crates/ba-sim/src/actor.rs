@@ -1,0 +1,226 @@
+//! The actor abstraction: protocol roles as state machines stepped once per
+//! phase.
+
+use ba_crypto::{ProcessId, Value};
+use core::fmt;
+
+/// A message payload that the metrics subsystem can account for.
+///
+/// Implemented for any clonable debug-printable type; override
+/// [`signature_count`](Payload::signature_count) for payloads carrying
+/// signatures so the engine can reproduce the paper's signature counts, and
+/// [`weight_bytes`](Payload::weight_bytes) when encoded size is meaningful.
+pub trait Payload: Clone + fmt::Debug {
+    /// Number of signatures appended to this message (the paper's second
+    /// cost measure). Defaults to zero for unauthenticated payloads.
+    fn signature_count(&self) -> usize {
+        0
+    }
+
+    /// Approximate encoded size in bytes, for bandwidth accounting.
+    /// Defaults to zero (unknown).
+    fn weight_bytes(&self) -> usize {
+        0
+    }
+
+    /// A short label classifying this message for the per-kind metrics
+    /// breakdown (e.g. Algorithm 5 reports "activate" / "grid" /
+    /// "chain"). Defaults to `"message"`.
+    fn kind(&self) -> &'static str {
+        "message"
+    }
+}
+
+impl Payload for Value {}
+impl Payload for u64 {}
+impl Payload for () {}
+
+impl Payload for ba_crypto::Chain {
+    fn signature_count(&self) -> usize {
+        self.len()
+    }
+    fn weight_bytes(&self) -> usize {
+        16 + self
+            .signatures()
+            .iter()
+            .map(|s| s.encoded_len())
+            .sum::<usize>()
+    }
+    fn kind(&self) -> &'static str {
+        "chain"
+    }
+}
+
+/// A message in flight: source, destination and payload.
+///
+/// Per the paper's model, the receiver always knows the true source of an
+/// edge — "no processor can send a message to `p` claiming to be somebody
+/// else" — so `from` is stamped by the engine, never by the sender.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Envelope<P> {
+    /// The sending processor (stamped by the engine).
+    pub from: ProcessId,
+    /// The receiving processor.
+    pub to: ProcessId,
+    /// The message contents.
+    pub payload: P,
+}
+
+/// Collects the messages an actor sends during one phase.
+///
+/// Obtained only from the engine; actors cannot fabricate the `from` field.
+#[derive(Debug)]
+pub struct Outbox<P> {
+    from: ProcessId,
+    staged: Vec<Envelope<P>>,
+}
+
+impl<P: Payload> Outbox<P> {
+    /// Creates an outbox sending as `from`.
+    ///
+    /// The engine creates the real outbox each step; adversary wrappers may
+    /// create *scratch* outboxes to intercept an honest actor's sends
+    /// before forwarding a filtered subset (only the engine's own outbox
+    /// reaches the network, so this cannot spoof identities).
+    pub fn new(from: ProcessId) -> Self {
+        Outbox {
+            from,
+            staged: Vec::new(),
+        }
+    }
+
+    /// The identity this outbox sends as.
+    pub fn sender(&self) -> ProcessId {
+        self.from
+    }
+
+    /// Queues `payload` for delivery to `to` at the start of the next
+    /// phase. Self-sends are ignored (the model has no self-edges).
+    pub fn send(&mut self, to: ProcessId, payload: P) {
+        if to == self.from {
+            return;
+        }
+        self.staged.push(Envelope {
+            from: self.from,
+            to,
+            payload,
+        });
+    }
+
+    /// Queues `payload` for every identity in `targets` except the sender.
+    pub fn broadcast<I>(&mut self, targets: I, payload: P)
+    where
+        I: IntoIterator<Item = ProcessId>,
+        P: Clone,
+    {
+        for to in targets {
+            self.send(to, payload.clone());
+        }
+    }
+
+    /// Number of messages staged so far this phase.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Consumes the outbox, returning the staged envelopes (used by the
+    /// engine and by adversary wrappers inspecting a scratch outbox).
+    pub fn into_staged(self) -> Vec<Envelope<P>> {
+        self.staged
+    }
+}
+
+/// A protocol role driven by the synchronous engine.
+///
+/// The engine calls [`step`](Actor::step) once per phase `k = 1, 2, …` with
+/// the messages sent to this actor during phase `k − 1` (empty at phase 1),
+/// and [`finalize`](Actor::finalize) once after the last phase with the
+/// last phase's messages. [`decision`](Actor::decision) is read after
+/// `finalize`.
+///
+/// Byzantine processors are simply different implementations of this trait
+/// (or honest implementations wrapped by the combinators in
+/// [`adversary`](crate::adversary)); the engine is oblivious. What a
+/// Byzantine actor *cannot* do is forge signatures — it only ever holds its
+/// own [`Signer`](ba_crypto::Signer) handle.
+pub trait Actor<P: Payload>: fmt::Debug {
+    /// Executes phase `phase` given the previous phase's inbox, staging
+    /// sends into `out`.
+    fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>);
+
+    /// Consumes the final phase's inbox. Default: re-dispatches to a
+    /// phase-numbered [`step`](Actor::step) with a dead outbox is *not*
+    /// done automatically — override when the protocol decides on
+    /// last-phase messages.
+    fn finalize(&mut self, inbox: &[Envelope<P>]) {
+        let _ = inbox;
+    }
+
+    /// The decision value, once reached. The checker treats `None` from a
+    /// correct processor after the final phase as a violation.
+    fn decision(&self) -> Option<Value>;
+
+    /// Whether this actor models a correct processor (used by metrics and
+    /// the checker). Honest protocol implementations keep the default
+    /// `true`; adversarial implementations and wrappers report `false`.
+    fn is_correct(&self) -> bool {
+        true
+    }
+}
+
+impl<P: Payload> Actor<P> for Box<dyn Actor<P>> {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>) {
+        (**self).step(phase, inbox, out)
+    }
+    fn finalize(&mut self, inbox: &[Envelope<P>]) {
+        (**self).finalize(inbox)
+    }
+    fn decision(&self) -> Option<Value> {
+        (**self).decision()
+    }
+    fn is_correct(&self) -> bool {
+        (**self).is_correct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_drops_self_sends() {
+        let mut out: Outbox<Value> = Outbox::new(ProcessId(2));
+        out.send(ProcessId(2), Value::ONE);
+        out.send(ProcessId(3), Value::ONE);
+        assert_eq!(out.staged_len(), 1);
+        let staged = out.into_staged();
+        assert_eq!(staged[0].to, ProcessId(3));
+        assert_eq!(staged[0].from, ProcessId(2));
+    }
+
+    #[test]
+    fn broadcast_skips_sender() {
+        let mut out: Outbox<Value> = Outbox::new(ProcessId(0));
+        out.broadcast((0..4).map(ProcessId), Value::ZERO);
+        assert_eq!(out.staged_len(), 3);
+    }
+
+    #[test]
+    fn default_payload_counts() {
+        assert_eq!(Value::ONE.signature_count(), 0);
+        assert_eq!(Value::ONE.weight_bytes(), 0);
+        assert_eq!(().signature_count(), 0);
+    }
+
+    #[test]
+    fn envelope_is_plain_data() {
+        let env = Envelope {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            payload: Value(4),
+        };
+        let clone = env.clone();
+        assert_eq!(env, clone);
+        assert!(format!("{env:?}").contains("payload"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Generic Byzantine behaviours.
+//!
+//! The paper's lower bounds only need adversaries that are *restrictions* of
+//! correct behaviour — staying silent, omitting messages to chosen targets,
+//! ignoring a prefix of received messages (Theorem 2 explicitly notes it
+//! "only uses the ability of a faulty processor to send to some and not to
+//! others"). These combinators wrap an honest [`Actor`] and apply such
+//! restrictions; protocol-specific attacks (equivocating transmitters,
+//! chain-withholding relays, corrupt tree roots) live next to each
+//! algorithm in `ba-algos`.
+//!
+//! Every wrapper reports [`is_correct`](Actor::is_correct) as `false`, so
+//! metrics and the checker treat the processor as faulty.
+
+use crate::actor::{Actor, Envelope, Outbox, Payload};
+use ba_crypto::{ProcessId, Value};
+use std::collections::BTreeSet;
+
+/// A processor that never sends and never decides (a crash before phase 1,
+/// or the paper's "never sends a message" faulty behaviour).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Silent;
+
+impl<P: Payload> Actor<P> for Silent {
+    fn step(&mut self, _phase: usize, _inbox: &[Envelope<P>], _out: &mut Outbox<P>) {}
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+/// Behaves exactly like the wrapped honest actor until (and excluding)
+/// `crash_phase`, then goes permanently silent.
+#[derive(Debug)]
+pub struct Crash<A> {
+    inner: A,
+    crash_phase: usize,
+}
+
+impl<A> Crash<A> {
+    /// Wraps `inner`; it stops participating at `crash_phase`.
+    pub fn new(inner: A, crash_phase: usize) -> Self {
+        Crash { inner, crash_phase }
+    }
+}
+
+impl<P: Payload, A: Actor<P>> Actor<P> for Crash<A> {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>) {
+        if phase < self.crash_phase {
+            self.inner.step(phase, inbox, out);
+        }
+    }
+    fn finalize(&mut self, _inbox: &[Envelope<P>]) {}
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+/// Behaves like the wrapped honest actor except that messages to the given
+/// targets are suppressed — the faulty behaviour used to build history `H″`
+/// in the proof of Theorem 2 ("they behave like correct processors except
+/// that they do not send any messages to `p`").
+#[derive(Debug)]
+pub struct OmitTo<A> {
+    inner: A,
+    suppressed: BTreeSet<ProcessId>,
+}
+
+impl<A> OmitTo<A> {
+    /// Wraps `inner`, suppressing all sends to `suppressed`.
+    pub fn new(inner: A, suppressed: impl IntoIterator<Item = ProcessId>) -> Self {
+        OmitTo {
+            inner,
+            suppressed: suppressed.into_iter().collect(),
+        }
+    }
+}
+
+impl<P: Payload, A: Actor<P>> Actor<P> for OmitTo<A> {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>) {
+        // Run the honest actor into a scratch outbox, then forward only the
+        // permitted envelopes.
+        let mut scratch = Outbox::new(out.sender());
+        self.inner.step(phase, inbox, &mut scratch);
+        for env in scratch.into_staged() {
+            if !self.suppressed.contains(&env.to) {
+                out.send(env.to, env.payload);
+            }
+        }
+    }
+    fn finalize(&mut self, inbox: &[Envelope<P>]) {
+        self.inner.finalize(inbox);
+    }
+    fn decision(&self) -> Option<Value> {
+        self.inner.decision()
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+/// Behaves like the wrapped honest actor except that it ignores the first
+/// `k` messages it receives from processors in `from_set` (all processors
+/// when the set is empty) — the faulty behaviour of the set `B` in the
+/// proof of Theorem 2 ("it ignores the first ⌈t/2⌉ messages received").
+#[derive(Debug)]
+pub struct IgnoreFirst<A> {
+    inner: A,
+    remaining: usize,
+    from_set: BTreeSet<ProcessId>,
+}
+
+impl<A> IgnoreFirst<A> {
+    /// Wraps `inner`, discarding the first `k` messages received from
+    /// `from_set` (from anyone when `from_set` is empty).
+    pub fn new(inner: A, k: usize, from_set: impl IntoIterator<Item = ProcessId>) -> Self {
+        IgnoreFirst {
+            inner,
+            remaining: k,
+            from_set: from_set.into_iter().collect(),
+        }
+    }
+
+    /// How many messages are still to be discarded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl<A> IgnoreFirst<A> {
+    fn filter<P: Clone>(&mut self, inbox: &[Envelope<P>]) -> Vec<Envelope<P>> {
+        let mut kept = Vec::with_capacity(inbox.len());
+        for env in inbox {
+            let matches = self.from_set.is_empty() || self.from_set.contains(&env.from);
+            if matches && self.remaining > 0 {
+                self.remaining -= 1;
+            } else {
+                kept.push(env.clone());
+            }
+        }
+        kept
+    }
+}
+
+impl<P: Payload, A: Actor<P>> Actor<P> for IgnoreFirst<A> {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>) {
+        let kept = self.filter(inbox);
+        self.inner.step(phase, &kept, out);
+    }
+    fn finalize(&mut self, inbox: &[Envelope<P>]) {
+        let kept = self.filter(inbox);
+        self.inner.finalize(&kept);
+    }
+    fn decision(&self) -> Option<Value> {
+        self.inner.decision()
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+/// Behaves like the wrapped honest actor but only accepts messages from and
+/// only sends messages to a restricted peer set — used to build the
+/// split-world histories of Theorem 1, where the coalition `A(p)` behaves
+/// one way toward `p` and another way toward everyone else.
+#[derive(Debug)]
+pub struct RestrictPeers<A> {
+    inner: A,
+    peers: BTreeSet<ProcessId>,
+}
+
+impl<A> RestrictPeers<A> {
+    /// Wraps `inner`; traffic to/from identities outside `peers` is dropped.
+    pub fn new(inner: A, peers: impl IntoIterator<Item = ProcessId>) -> Self {
+        RestrictPeers {
+            inner,
+            peers: peers.into_iter().collect(),
+        }
+    }
+}
+
+impl<P: Payload, A: Actor<P>> Actor<P> for RestrictPeers<A> {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>) {
+        let kept: Vec<Envelope<P>> = inbox
+            .iter()
+            .filter(|e| self.peers.contains(&e.from))
+            .cloned()
+            .collect();
+        let mut scratch = Outbox::new(out.sender());
+        self.inner.step(phase, &kept, &mut scratch);
+        for env in scratch.into_staged() {
+            if self.peers.contains(&env.to) {
+                out.send(env.to, env.payload);
+            }
+        }
+    }
+    fn finalize(&mut self, inbox: &[Envelope<P>]) {
+        let kept: Vec<Envelope<P>> = inbox
+            .iter()
+            .filter(|e| self.peers.contains(&e.from))
+            .cloned()
+            .collect();
+        self.inner.finalize(&kept);
+    }
+    fn decision(&self) -> Option<Value> {
+        self.inner.decision()
+    }
+    fn is_correct(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every received payload back to its sender and to p0; decides
+    /// on the first value heard.
+    #[derive(Debug, Default)]
+    struct Echo {
+        first: Option<Value>,
+    }
+
+    impl Actor<Value> for Echo {
+        fn step(&mut self, phase: usize, inbox: &[Envelope<Value>], out: &mut Outbox<Value>) {
+            if phase == 1 {
+                out.send(ProcessId(0), Value(42));
+            }
+            for env in inbox {
+                self.first.get_or_insert(env.payload);
+                out.send(env.from, env.payload);
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            self.first
+        }
+    }
+
+    fn env(from: u32, v: u64) -> Envelope<Value> {
+        Envelope {
+            from: ProcessId(from),
+            to: ProcessId(1),
+            payload: Value(v),
+        }
+    }
+
+    #[test]
+    fn silent_never_sends_or_decides() {
+        let mut s = Silent;
+        let mut out: Outbox<Value> = Outbox::new(ProcessId(1));
+        Actor::<Value>::step(&mut s, 1, &[env(0, 1)], &mut out);
+        assert_eq!(out.staged_len(), 0);
+        assert_eq!(Actor::<Value>::decision(&s), None);
+        assert!(!Actor::<Value>::is_correct(&s));
+    }
+
+    #[test]
+    fn crash_stops_at_phase() {
+        let mut c = Crash::new(Echo::default(), 2);
+        let mut out = Outbox::new(ProcessId(1));
+        c.step(1, &[], &mut out);
+        assert_eq!(out.staged_len(), 1, "phase 1 still active");
+        let mut out = Outbox::new(ProcessId(1));
+        c.step(2, &[env(0, 5)], &mut out);
+        assert_eq!(out.staged_len(), 0, "crashed at phase 2");
+        assert_eq!(c.decision(), None);
+    }
+
+    #[test]
+    fn omit_to_filters_targets_only() {
+        let mut o = OmitTo::new(Echo::default(), [ProcessId(0)]);
+        let mut out = Outbox::new(ProcessId(1));
+        o.step(2, &[env(0, 5), env(2, 6)], &mut out);
+        let staged = out.into_staged();
+        // Echo would send to p0 (twice: echo of env(0) and p0-copy is the
+        // phase-1 only send) and p2; only the p2 echo survives.
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].to, ProcessId(2));
+        assert_eq!(o.decision(), Some(Value(5)), "inbox untouched");
+    }
+
+    #[test]
+    fn ignore_first_discards_prefix() {
+        let mut i = IgnoreFirst::new(Echo::default(), 2, []);
+        let mut out = Outbox::new(ProcessId(1));
+        i.step(2, &[env(0, 5), env(2, 6), env(3, 7)], &mut out);
+        // First two discarded; only env(3,7) reaches the inner actor.
+        assert_eq!(i.decision(), Some(Value(7)));
+        assert_eq!(i.remaining(), 0);
+        let staged = out.into_staged();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].to, ProcessId(3));
+    }
+
+    #[test]
+    fn ignore_first_respects_from_set() {
+        let mut i = IgnoreFirst::new(Echo::default(), 1, [ProcessId(2)]);
+        let mut out = Outbox::new(ProcessId(1));
+        i.step(2, &[env(0, 5), env(2, 6)], &mut out);
+        // env(0,5) passes (not in from_set); env(2,6) is the first match and
+        // is discarded.
+        assert_eq!(i.decision(), Some(Value(5)));
+    }
+
+    #[test]
+    fn restrict_peers_drops_both_directions() {
+        let mut r = RestrictPeers::new(Echo::default(), [ProcessId(2)]);
+        let mut out = Outbox::new(ProcessId(1));
+        r.step(1, &[env(0, 5), env(2, 6)], &mut out);
+        // Inbox from p0 dropped; echo of p2 kept; the phase-1 send to p0 dropped.
+        let staged = out.into_staged();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].to, ProcessId(2));
+        assert_eq!(r.decision(), Some(Value(6)));
+    }
+
+    #[test]
+    fn wrappers_report_faulty() {
+        assert!(!Actor::<Value>::is_correct(&Crash::new(Echo::default(), 1)));
+        assert!(!Actor::<Value>::is_correct(&OmitTo::new(
+            Echo::default(),
+            []
+        )));
+        assert!(!Actor::<Value>::is_correct(&IgnoreFirst::new(
+            Echo::default(),
+            0,
+            []
+        )));
+        assert!(!Actor::<Value>::is_correct(&RestrictPeers::new(
+            Echo::default(),
+            []
+        )));
+    }
+}

@@ -1,0 +1,356 @@
+//! The lock-step phase engine.
+
+use crate::actor::{Actor, Envelope, Outbox, Payload};
+use crate::metrics::Metrics;
+use crate::trace::{PhaseTrace, Trace};
+use ba_crypto::{ProcessId, Value};
+
+/// Result of driving a [`Simulation`] to completion.
+#[derive(Debug)]
+pub struct RunOutcome<P> {
+    /// Each processor's decision, indexed by processor id.
+    pub decisions: Vec<Option<Value>>,
+    /// Which processors were modeled as correct.
+    pub correct: Vec<bool>,
+    /// Traffic accounting.
+    pub metrics: Metrics,
+    /// Full message trace when tracing was enabled, otherwise empty.
+    pub trace: Trace<P>,
+}
+
+impl<P> RunOutcome<P> {
+    /// Decisions of correct processors only, with their ids.
+    pub fn correct_decisions(&self) -> impl Iterator<Item = (ProcessId, Option<Value>)> + '_ {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.correct[*i])
+            .map(|(i, d)| (ProcessId(i as u32), *d))
+    }
+}
+
+/// A per-phase observer: called with the phase number and that phase's
+/// sent envelopes (see [`Simulation::with_observer`]).
+pub type PhaseObserver<P> = Box<dyn FnMut(usize, &[Envelope<P>])>;
+
+/// A synchronous simulation of `n` processors.
+///
+/// Phases execute in lock step: at phase `k` every actor is stepped (in id
+/// order) with the messages addressed to it during phase `k − 1`; the
+/// messages it stages are delivered at phase `k + 1`. After the last phase,
+/// [`Actor::finalize`] delivers the final inbox and decisions are read.
+///
+/// See the [crate docs](crate) for a complete example.
+pub struct Simulation<P: Payload> {
+    actors: Vec<Box<dyn Actor<P>>>,
+    record_trace: bool,
+    observer: Option<PhaseObserver<P>>,
+}
+
+impl<P: Payload> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.actors.len())
+            .field("record_trace", &self.record_trace)
+            .finish()
+    }
+}
+
+impl<P: Payload> Simulation<P> {
+    /// Creates a simulation over `actors`; actor `i` is processor `i`.
+    pub fn new(actors: Vec<Box<dyn Actor<P>>>) -> Self {
+        Simulation {
+            actors,
+            record_trace: false,
+            observer: None,
+        }
+    }
+
+    /// Enables full message tracing (see [`Trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Registers an observer called after every phase with that phase's
+    /// sent envelopes (before delivery) — live invariant checks, progress
+    /// displays, per-phase assertions in tests.
+    pub fn with_observer(mut self, observer: PhaseObserver<P>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Runs exactly `phases` phases and returns the outcome.
+    pub fn run(&mut self, phases: usize) -> RunOutcome<P> {
+        self.run_inner(phases, false)
+    }
+
+    /// Runs at most `max_phases` phases, stopping early once a phase
+    /// produces no messages at all (the system is quiescent). Useful for
+    /// measuring how many phases a protocol actually uses.
+    pub fn run_until_quiescent(&mut self, max_phases: usize) -> RunOutcome<P> {
+        self.run_inner(max_phases, true)
+    }
+
+    fn run_inner(&mut self, phases: usize, stop_when_quiet: bool) -> RunOutcome<P> {
+        let n = self.actors.len();
+        let correct: Vec<bool> = self.actors.iter().map(|a| a.is_correct()).collect();
+        let mut metrics = Metrics::default();
+        let mut trace = Trace::default();
+
+        // inboxes[i] holds messages delivered to actor i this phase.
+        let mut inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
+        let mut executed = 0usize;
+
+        let keep_phase_log = self.record_trace || self.observer.is_some();
+        for phase in 1..=phases {
+            executed = phase;
+            let mut next_inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
+            let mut phase_trace = PhaseTrace::default();
+            let mut any_sent = false;
+
+            for (i, actor) in self.actors.iter_mut().enumerate() {
+                let id = ProcessId(i as u32);
+                let mut out = Outbox::new(id);
+                actor.step(phase, &inboxes[i], &mut out);
+                for env in out.into_staged() {
+                    let to = env.to.index();
+                    if to >= n {
+                        // Sends to nonexistent processors are dropped; a
+                        // correct protocol never does this, an adversary may.
+                        continue;
+                    }
+                    any_sent = true;
+                    metrics.record_send(
+                        phase,
+                        correct[i],
+                        env.payload.signature_count(),
+                        env.payload.weight_bytes(),
+                        env.payload.kind(),
+                    );
+                    if keep_phase_log {
+                        phase_trace.envelopes.push(env.clone());
+                    }
+                    next_inboxes[to].push(env);
+                }
+            }
+
+            if let Some(observer) = &mut self.observer {
+                observer(phase, &phase_trace.envelopes);
+            }
+            if self.record_trace {
+                trace.phases.push(phase_trace);
+            }
+            inboxes = next_inboxes;
+
+            if stop_when_quiet && !any_sent {
+                break;
+            }
+        }
+
+        // Deliver the last phase's messages.
+        for (i, actor) in self.actors.iter_mut().enumerate() {
+            actor.finalize(&inboxes[i]);
+        }
+
+        metrics.phases = executed;
+        RunOutcome {
+            decisions: self.actors.iter().map(|a| a.decision()).collect(),
+            correct,
+            metrics,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Outbox;
+
+    /// Floods `Value` to everyone each phase until `stop_after`.
+    #[derive(Debug)]
+    struct Flooder {
+        n: usize,
+        value: Value,
+        stop_after: usize,
+    }
+
+    impl Actor<Value> for Flooder {
+        fn step(&mut self, phase: usize, _inbox: &[Envelope<Value>], out: &mut Outbox<Value>) {
+            if phase <= self.stop_after {
+                out.broadcast((0..self.n as u32).map(ProcessId), self.value);
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            Some(self.value)
+        }
+    }
+
+    /// Records everything it hears; decides on the first payload seen.
+    #[derive(Debug, Default)]
+    struct Listener {
+        heard: Vec<(usize, Value)>,
+        phase: usize,
+        decided: Option<Value>,
+    }
+
+    impl Actor<Value> for Listener {
+        fn step(&mut self, phase: usize, inbox: &[Envelope<Value>], _out: &mut Outbox<Value>) {
+            self.phase = phase;
+            for env in inbox {
+                self.heard.push((phase, env.payload));
+                self.decided.get_or_insert(env.payload);
+            }
+        }
+        fn finalize(&mut self, inbox: &[Envelope<Value>]) {
+            for env in inbox {
+                self.heard.push((self.phase + 1, env.payload));
+                self.decided.get_or_insert(env.payload);
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            self.decided
+        }
+    }
+
+    #[test]
+    fn messages_arrive_next_phase() {
+        let mut sim = Simulation::new(vec![
+            Box::new(Flooder {
+                n: 2,
+                value: Value(5),
+                stop_after: 1,
+            }) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+        ]);
+        let outcome = sim.run(2);
+        // Flooder sends in phase 1 -> listener hears it while stepping phase 2.
+        assert_eq!(outcome.decisions[1], Some(Value(5)));
+        assert_eq!(outcome.metrics.messages_by_correct, 1);
+        assert_eq!(outcome.metrics.phases, 2);
+    }
+
+    #[test]
+    fn final_phase_messages_delivered_via_finalize() {
+        let mut sim = Simulation::new(vec![
+            Box::new(Flooder {
+                n: 2,
+                value: Value(9),
+                stop_after: 1,
+            }) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+        ]);
+        // Only one phase executes; the send happens in phase 1 and must be
+        // seen via finalize.
+        let outcome = sim.run(1);
+        assert_eq!(outcome.decisions[1], Some(Value(9)));
+    }
+
+    #[test]
+    fn quiescence_stops_early() {
+        let mut sim = Simulation::new(vec![
+            Box::new(Flooder {
+                n: 3,
+                value: Value(1),
+                stop_after: 2,
+            }) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+            Box::new(Listener::default()),
+        ]);
+        let outcome = sim.run_until_quiescent(100);
+        // Phases 1,2 send; phase 3 sends nothing and stops the run.
+        assert_eq!(outcome.metrics.phases, 3);
+        assert_eq!(outcome.metrics.last_active_phase, 2);
+        assert_eq!(outcome.metrics.messages_by_correct, 4);
+    }
+
+    #[test]
+    fn trace_records_all_envelopes() {
+        let mut sim = Simulation::new(vec![
+            Box::new(Flooder {
+                n: 2,
+                value: Value(3),
+                stop_after: 2,
+            }) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+        ])
+        .with_trace();
+        let outcome = sim.run(3);
+        assert_eq!(outcome.trace.len(), 3);
+        assert_eq!(outcome.trace.message_count(), 2);
+        let ish = outcome.trace.individual_subhistory(ProcessId(1));
+        assert_eq!(ish[0].len(), 1);
+        assert_eq!(ish[1].len(), 1);
+        assert_eq!(ish[2].len(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_phase() {
+        use std::sync::{Arc, Mutex};
+        let log: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        let mut sim = Simulation::new(vec![
+            Box::new(Flooder {
+                n: 2,
+                value: Value(1),
+                stop_after: 2,
+            }) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+        ])
+        .with_observer(Box::new(move |phase, sent| {
+            log2.lock().unwrap().push((phase, sent.len()));
+        }));
+        sim.run(3);
+        assert_eq!(*log.lock().unwrap(), vec![(1, 1), (2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn sends_to_nonexistent_ids_are_dropped() {
+        #[derive(Debug)]
+        struct Wild;
+        impl Actor<Value> for Wild {
+            fn step(&mut self, _p: usize, _i: &[Envelope<Value>], out: &mut Outbox<Value>) {
+                out.send(ProcessId(99), Value::ONE);
+            }
+            fn decision(&self) -> Option<Value> {
+                Some(Value::ZERO)
+            }
+        }
+        let mut sim = Simulation::new(vec![Box::new(Wild) as Box<dyn Actor<Value>>]);
+        let outcome = sim.run(1);
+        assert_eq!(outcome.metrics.messages_total(), 0);
+    }
+
+    #[test]
+    fn correct_flags_flow_to_outcome() {
+        #[derive(Debug)]
+        struct Faulty;
+        impl Actor<Value> for Faulty {
+            fn step(&mut self, _p: usize, _i: &[Envelope<Value>], out: &mut Outbox<Value>) {
+                out.send(ProcessId(1), Value(7));
+            }
+            fn decision(&self) -> Option<Value> {
+                None
+            }
+            fn is_correct(&self) -> bool {
+                false
+            }
+        }
+        let mut sim = Simulation::new(vec![
+            Box::new(Faulty) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+        ]);
+        let outcome = sim.run(2);
+        assert_eq!(outcome.correct, vec![false, true]);
+        assert_eq!(outcome.metrics.messages_by_faulty, 2);
+        assert_eq!(outcome.metrics.messages_by_correct, 0);
+        let correct: Vec<_> = outcome.correct_decisions().collect();
+        assert_eq!(correct, vec![(ProcessId(1), Some(Value(7)))]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic synchronous-round simulator for Byzantine Agreement
+//! protocols.
+//!
+//! The Dolev–Reischuk paper models computation as a sequence of *phases*:
+//! at the beginning of phase `k` a processor knows exactly its individual
+//! subhistory of the first `k − 1` phases and nothing else; during phase `k`
+//! it sends labeled messages chosen by its correctness rule. This crate is
+//! that model as an executable substrate:
+//!
+//! * [`actor`] — the [`Actor`] trait (one implementation per
+//!   protocol role), [`Envelope`]s and the
+//!   [`Outbox`];
+//! * [`engine`] — the lock-step [`Simulation`] driver;
+//! * [`metrics`] — message/signature/phase accounting with the paper's
+//!   convention (count traffic *sent by correct processors*);
+//! * [`adversary`] — generic Byzantine behaviours (silence, crashing,
+//!   selective omission, inbox starvation) that wrap honest actors; richer,
+//!   protocol-specific attacks live next to each algorithm;
+//! * [`checker`] — post-run verification of the two Byzantine Agreement
+//!   conditions;
+//! * [`trace`] — optional full message trace for debugging and for the
+//!   formal-model experiments.
+//!
+//! # Example
+//!
+//! A two-processor "echo" protocol where the transmitter sends its value
+//! once and the receiver decides on whatever it hears:
+//!
+//! ```
+//! use ba_crypto::{ProcessId, Value};
+//! use ba_sim::actor::{Actor, Envelope, Outbox};
+//! use ba_sim::engine::Simulation;
+//!
+//! #[derive(Debug)]
+//! struct Sender(Value);
+//! #[derive(Debug)]
+//! struct Receiver(Option<Value>);
+//!
+//! impl Actor<Value> for Sender {
+//!     fn step(&mut self, phase: usize, _inbox: &[Envelope<Value>], out: &mut Outbox<Value>) {
+//!         if phase == 1 {
+//!             out.send(ProcessId(1), self.0);
+//!         }
+//!     }
+//!     fn decision(&self) -> Option<Value> { Some(self.0) }
+//! }
+//!
+//! impl Actor<Value> for Receiver {
+//!     fn step(&mut self, _phase: usize, inbox: &[Envelope<Value>], _out: &mut Outbox<Value>) {
+//!         if let Some(env) = inbox.first() {
+//!             self.0 = Some(env.payload);
+//!         }
+//!     }
+//!     fn decision(&self) -> Option<Value> { self.0 }
+//! }
+//!
+//! let mut sim = Simulation::new(vec![
+//!     Box::new(Sender(Value::ONE)),
+//!     Box::new(Receiver(None)),
+//! ]);
+//! let outcome = sim.run(2);
+//! assert_eq!(outcome.decisions, vec![Some(Value::ONE), Some(Value::ONE)]);
+//! assert_eq!(outcome.metrics.messages_by_correct, 1);
+//! ```
+
+pub mod actor;
+pub mod adversary;
+pub mod checker;
+pub mod engine;
+pub mod metrics;
+pub mod random;
+pub mod trace;
+
+pub use actor::{Actor, Envelope, Outbox, Payload};
+pub use checker::{check_byzantine_agreement, AgreementViolation, RunVerdict};
+pub use engine::{RunOutcome, Simulation};
+pub use metrics::Metrics;

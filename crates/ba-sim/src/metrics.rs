@@ -1,0 +1,145 @@
+//! Message, signature and phase accounting.
+//!
+//! The paper measures "the total number of messages the participating
+//! processors have to send in the worst case" and, for authenticated
+//! algorithms, "the number of signatures appended to messages", in both
+//! cases restricted to traffic sent by *correct* processors (a faulty
+//! processor could inflate any count arbitrarily). [`Metrics`] therefore
+//! tracks correct-sender counts as the primary figures and total counts for
+//! diagnostics.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// Per-phase traffic snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PhaseMetrics {
+    /// Messages sent by correct processors during this phase.
+    pub messages_by_correct: u64,
+    /// Signatures carried by those messages.
+    pub signatures_by_correct: u64,
+    /// Messages sent by faulty processors during this phase.
+    pub messages_by_faulty: u64,
+}
+
+/// Aggregated run statistics.
+///
+/// ```
+/// use ba_sim::Metrics;
+/// let m = Metrics::default();
+/// assert_eq!(m.messages_total(), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Metrics {
+    /// Number of phases executed.
+    pub phases: usize,
+    /// The last phase in which any correct processor sent a message
+    /// (`0` when no correct processor ever sent).
+    pub last_active_phase: usize,
+    /// Messages sent by correct processors — the paper's message count.
+    pub messages_by_correct: u64,
+    /// Signatures appended to messages sent by correct processors — the
+    /// paper's signature count.
+    pub signatures_by_correct: u64,
+    /// Approximate bytes sent by correct processors.
+    pub bytes_by_correct: u64,
+    /// Messages sent by faulty processors (diagnostic only).
+    pub messages_by_faulty: u64,
+    /// Per-phase breakdown.
+    pub per_phase: Vec<PhaseMetrics>,
+    /// Correct-sender message counts by payload kind (see
+    /// [`Payload::kind`](crate::actor::Payload::kind)).
+    pub by_kind_correct: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// Messages sent by anyone.
+    pub fn messages_total(&self) -> u64 {
+        self.messages_by_correct + self.messages_by_faulty
+    }
+
+    /// Records one sent message.
+    pub(crate) fn record_send(
+        &mut self,
+        phase: usize,
+        correct_sender: bool,
+        signatures: usize,
+        bytes: usize,
+        kind: &'static str,
+    ) {
+        if self.per_phase.len() < phase {
+            self.per_phase.resize(phase, PhaseMetrics::default());
+        }
+        let slot = &mut self.per_phase[phase - 1];
+        if correct_sender {
+            slot.messages_by_correct += 1;
+            slot.signatures_by_correct += signatures as u64;
+            self.messages_by_correct += 1;
+            self.signatures_by_correct += signatures as u64;
+            self.bytes_by_correct += bytes as u64;
+            *self.by_kind_correct.entry(kind).or_insert(0) += 1;
+            self.last_active_phase = self.last_active_phase.max(phase);
+        } else {
+            slot.messages_by_faulty += 1;
+            self.messages_by_faulty += 1;
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phases={} msgs(correct)={} sigs(correct)={} msgs(faulty)={}",
+            self.phases,
+            self.messages_by_correct,
+            self.signatures_by_correct,
+            self.messages_by_faulty
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_aggregates_by_correctness() {
+        let mut m = Metrics::default();
+        m.record_send(1, true, 2, 10, "a");
+        m.record_send(1, false, 5, 99, "a");
+        m.record_send(3, true, 0, 4, "b");
+        assert_eq!(m.messages_by_correct, 2);
+        assert_eq!(m.signatures_by_correct, 2);
+        assert_eq!(m.messages_by_faulty, 1);
+        assert_eq!(m.bytes_by_correct, 14);
+        assert_eq!(m.messages_total(), 3);
+        assert_eq!(m.last_active_phase, 3);
+        assert_eq!(m.per_phase.len(), 3);
+        assert_eq!(m.per_phase[0].messages_by_correct, 1);
+        assert_eq!(m.per_phase[0].messages_by_faulty, 1);
+        assert_eq!(m.per_phase[1], PhaseMetrics::default());
+        assert_eq!(m.per_phase[2].messages_by_correct, 1);
+        assert_eq!(m.by_kind_correct.get("a"), Some(&1));
+        assert_eq!(m.by_kind_correct.get("b"), Some(&1));
+    }
+
+    #[test]
+    fn faulty_sends_do_not_advance_last_active_phase() {
+        let mut m = Metrics::default();
+        m.record_send(5, false, 0, 0, "a");
+        assert_eq!(m.last_active_phase, 0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut m = Metrics {
+            phases: 4,
+            ..Default::default()
+        };
+        m.record_send(2, true, 1, 0, "a");
+        let s = m.to_string();
+        assert!(s.contains("phases=4"));
+        assert!(s.contains("msgs(correct)=1"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Optional full message trace.
+//!
+//! When enabled on the [`Simulation`](crate::engine::Simulation), the trace
+//! records every envelope of every phase — the executable analogue of the
+//! paper's *history* (a sequence of labeled phase graphs). The formal-model
+//! experiments use traces to compare a processor's *individual subhistory*
+//! across runs, which is the heart of the Theorem 1 and Theorem 2 proofs.
+
+use crate::actor::Envelope;
+use ba_crypto::ProcessId;
+
+/// All messages sent during one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseTrace<P> {
+    /// Envelopes in send order (deterministic: actors are stepped in id
+    /// order and each actor's sends keep their staging order).
+    pub envelopes: Vec<Envelope<P>>,
+}
+
+impl<P> Default for PhaseTrace<P> {
+    fn default() -> Self {
+        PhaseTrace {
+            envelopes: Vec::new(),
+        }
+    }
+}
+
+/// A full run trace: one [`PhaseTrace`] per executed phase.
+#[derive(Clone, Debug)]
+pub struct Trace<P> {
+    /// Per-phase message logs, phase 1 first.
+    pub phases: Vec<PhaseTrace<P>>,
+}
+
+impl<P> Default for Trace<P> {
+    fn default() -> Self {
+        Trace { phases: Vec::new() }
+    }
+}
+
+impl<P: Clone> Trace<P> {
+    /// The messages delivered *to* processor `p` at each phase — the
+    /// paper's individual subhistory `pH` (excluding phase 0).
+    pub fn individual_subhistory(&self, p: ProcessId) -> Vec<Vec<Envelope<P>>> {
+        self.phases
+            .iter()
+            .map(|ph| ph.envelopes.iter().filter(|e| e.to == p).cloned().collect())
+            .collect()
+    }
+
+    /// Total number of messages in the trace.
+    pub fn message_count(&self) -> usize {
+        self.phases.iter().map(|p| p.envelopes.len()).sum()
+    }
+
+    /// Renders the trace as a Graphviz `dot` digraph: one cluster per
+    /// phase, edges labeled with the payload's `Debug` form (truncated).
+    /// Useful for teaching and for eyeballing small adversarial runs.
+    pub fn to_dot(&self, title: &str) -> String
+    where
+        P: std::fmt::Debug,
+    {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{title}\" {{");
+        let _ = writeln!(out, "  rankdir=LR; node [shape=circle];");
+        for (k, phase) in self.phases.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_phase{} {{", k + 1);
+            let _ = writeln!(out, "    label=\"phase {}\";", k + 1);
+            for env in &phase.envelopes {
+                let mut label = format!("{:?}", env.payload);
+                if label.len() > 24 {
+                    // Truncate on a char boundary to stay panic-free for
+                    // any Debug output.
+                    let cut = label
+                        .char_indices()
+                        .take_while(|(i, _)| *i <= 24)
+                        .last()
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    label.truncate(cut);
+                    label.push('…');
+                }
+                let label = label.replace('"', "'");
+                let _ = writeln!(
+                    out,
+                    "    p{}_{k} -> p{}_{k} [label=\"{label}\"];",
+                    env.from.0, env.to.0
+                );
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Number of traced phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether no phases were traced.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_crypto::Value;
+
+    fn env(from: u32, to: u32, v: u64) -> Envelope<Value> {
+        Envelope {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            payload: Value(v),
+        }
+    }
+
+    #[test]
+    fn individual_subhistory_filters_by_target() {
+        let trace = Trace {
+            phases: vec![
+                PhaseTrace {
+                    envelopes: vec![env(0, 1, 7), env(0, 2, 8)],
+                },
+                PhaseTrace {
+                    envelopes: vec![env(2, 1, 9)],
+                },
+            ],
+        };
+        let ish = trace.individual_subhistory(ProcessId(1));
+        assert_eq!(ish.len(), 2);
+        assert_eq!(ish[0], vec![env(0, 1, 7)]);
+        assert_eq!(ish[1], vec![env(2, 1, 9)]);
+        assert_eq!(trace.message_count(), 3);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn dot_rendering_contains_edges_and_phases() {
+        let trace = Trace {
+            phases: vec![PhaseTrace {
+                envelopes: vec![env(0, 1, 7)],
+            }],
+        };
+        let dot = trace.to_dot("demo");
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("cluster_phase1"));
+        assert!(dot.contains("p0_0 -> p1_0"));
+        assert!(dot.contains("Value(7)"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace: Trace<Value> = Trace::default();
+        assert!(trace.is_empty());
+        assert_eq!(trace.message_count(), 0);
+        assert!(trace.individual_subhistory(ProcessId(0)).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! The lower-bound proofs as live attacks.
+//!
+//! Theorem 1 and Theorem 2 are proved by exhibiting adversaries that break
+//! any algorithm exchanging too little information. This example mounts
+//! both against deliberately frugal protocols — and shows the same attacks
+//! bouncing off Algorithm 1.
+//!
+//! ```text
+//! cargo run --example lower_bound_attacks
+//! ```
+
+use byzantine_agreement::model::{theorem1, theorem2};
+
+fn main() {
+    // --- Theorem 1: the splicing attack ---------------------------------
+    println!("Theorem 1 — signature splicing attack");
+    println!("target: 2-relay signed broadcast, n = 9, t = 3\n");
+    let a = theorem1::attack_frugal(9, 3, 2, 42);
+    println!("  victim          : {}", a.victim);
+    println!("  corrupted A(p)  : {:?}", a.a_set);
+    println!("  |A(p)| <= t     : {}", a.feasible);
+    println!("  victim sees pH  : {}", a.victim_view_preserved);
+    match &a.violation {
+        Some(v) => println!("  result          : AGREEMENT BROKEN — {v}"),
+        None => println!("  result          : attack failed"),
+    }
+
+    println!("\nsame attack vs Algorithm 1 (every A(p) is too big to corrupt):");
+    for t in 1..=4 {
+        let min_a = theorem1::audit_algorithm1(t, 7);
+        println!("  t = {t}: min |A(p)| = {min_a} > t — infeasible");
+    }
+
+    // --- Theorem 2: starvation + extraction -----------------------------
+    println!("\nTheorem 2 — message starvation attack");
+    println!("target: one-shot broadcast, n = 8, t = 2\n");
+    let b = theorem2::attack_quiet(8, 2, 7);
+    println!("  victim's senders: {:?}", b.senders);
+    println!("  victim starved  : {}", b.victim_starved);
+    match &b.violation {
+        Some(v) => println!("  result          : AGREEMENT BROKEN — {v}"),
+        None => println!("  result          : attack failed"),
+    }
+
+    println!("\nthe B-set extraction against Algorithm 1 (faulty ignorers");
+    println!("force correct processors to keep sending — the (1+t/2)² term):");
+    for t in [2usize, 4, 6] {
+        let r = theorem2::extract_algorithm1(t, 3);
+        let min = r
+            .b_set
+            .iter()
+            .map(|p| r.received_from_correct.get(p).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        println!(
+            "  t = {t}: |B| = {}, demanded {} msgs each, observed min {min}, agreement held: {}",
+            r.b_set.len(),
+            r.demand,
+            r.agreement_held
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! A complete Rust reproduction of Dolev & Reischuk, *Bounds on
+//! Information Exchange for Byzantine Agreement* (PODC 1982 / JACM 1985).
+//!
+//! This facade re-exports the four subsystem crates:
+//!
+//! * [`crypto`] ([`ba_crypto`]) — SHA-256/HMAC from scratch, the key
+//!   registry modeling unforgeable signatures, signature chains;
+//! * [`sim`] ([`ba_sim`]) — the deterministic synchronous phase engine,
+//!   adversary combinators, metrics and the agreement checker;
+//! * [`algos`] ([`ba_algos`]) — the paper's Algorithms 1–5, the
+//!   Dolev–Strong and `OM(t)` baselines, closed-form bounds, the `agree`
+//!   facade, multi-valued agreement and interactive consistency;
+//! * [`model`] ([`ba_model`]) — the Section-2 formal model and the
+//!   Theorem 1/2 lower-bound attacks, runnable.
+//!
+//! # Example
+//!
+//! ```
+//! use byzantine_agreement::algos::{agree, AgreeOptions};
+//! use byzantine_agreement::crypto::Value;
+//!
+//! let report = agree(25, 2, Value::ONE, AgreeOptions::default())?;
+//! assert_eq!(report.verdict.agreed, Some(Value::ONE));
+//! # Ok::<(), byzantine_agreement::sim::AgreementViolation>(())
+//! ```
+
+pub use ba_algos as algos;
+pub use ba_crypto as crypto;
+pub use ba_model as model;
+pub use ba_sim as sim;

@@ -1,0 +1,249 @@
+//! Cross-crate integration: every algorithm reaches Byzantine Agreement
+//! under every adversary scenario its module exposes, across seeds and
+//! both signature schemes.
+
+use byzantine_agreement::algos::{
+    algorithm1, algorithm2, algorithm3, algorithm5, dolev_strong, om,
+};
+use byzantine_agreement::crypto::{ProcessId, SchemeKind, Value};
+
+const SEEDS: [u64; 3] = [1, 0xDEADBEEF, u64::MAX / 7];
+
+#[test]
+fn algorithm1_agreement_matrix() {
+    for &seed in &SEEDS {
+        for scheme in [SchemeKind::Hmac, SchemeKind::Fast] {
+            for t in [1usize, 3, 5] {
+                for value in [Value::ZERO, Value::ONE] {
+                    let faults = [
+                        algorithm1::Algo1Fault::None,
+                        algorithm1::Algo1Fault::SilentTransmitter,
+                        algorithm1::Algo1Fault::Equivocate {
+                            ones: vec![ProcessId(1), ProcessId(t as u32 + 1)],
+                        },
+                        algorithm1::Algo1Fault::CrashedRelays {
+                            relays: vec![ProcessId(t as u32)],
+                        },
+                    ];
+                    for fault in faults {
+                        let r = algorithm1::run(
+                            t,
+                            value,
+                            algorithm1::Algo1Options {
+                                fault,
+                                seed,
+                                scheme,
+                                ..Default::default()
+                            },
+                        )
+                        .expect("agreement must hold");
+                        assert!(r.verdict.agreed.is_some());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithm2_agreement_and_proofs_matrix() {
+    for &seed in &SEEDS {
+        for t in [2usize, 4] {
+            let faults = [
+                algorithm2::Algo2Fault::None,
+                algorithm2::Algo2Fault::Silent {
+                    set: vec![ProcessId(1), ProcessId(2 * t as u32)],
+                },
+                algorithm2::Algo2Fault::CrashAfterCommit {
+                    set: vec![ProcessId(2)],
+                },
+                algorithm2::Algo2Fault::WrongValueGossip {
+                    set: vec![ProcessId(3)],
+                    wrong: Value::ZERO,
+                },
+            ];
+            for fault in faults {
+                let r = algorithm2::run(
+                    t,
+                    Value::ONE,
+                    algorithm2::Algo2Options {
+                        fault,
+                        seed,
+                        scheme: SchemeKind::Fast,
+                    },
+                )
+                .expect("agreement must hold");
+                let common = r.report.verdict.agreed.unwrap();
+                for (i, correct) in r.report.outcome.correct.iter().enumerate() {
+                    if *correct {
+                        let proof = r.proofs[i].as_ref().expect("correct processor holds proof");
+                        assert!(algorithm2::is_transferable_proof(
+                            proof,
+                            common,
+                            ProcessId(i as u32),
+                            t,
+                            &r.verifier
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithm3_agreement_matrix() {
+    for &seed in &SEEDS {
+        let (n, t, s) = (40usize, 2usize, 5usize);
+        let faults = [
+            algorithm3::Alg3Fault::None,
+            algorithm3::Alg3Fault::SilentRoots { groups: vec![0, 3] },
+            algorithm3::Alg3Fault::LyingRoots {
+                groups: vec![1],
+                wrong: Value::ZERO,
+            },
+            algorithm3::Alg3Fault::SelectiveRoots { groups: vec![2] },
+            algorithm3::Alg3Fault::SilentMembers {
+                set: vec![ProcessId(7), ProcessId(12)],
+            },
+            algorithm3::Alg3Fault::SilentActives {
+                set: vec![ProcessId(1)],
+            },
+        ];
+        for fault in faults {
+            for value in [Value::ZERO, Value::ONE] {
+                let r = algorithm3::run(
+                    n,
+                    t,
+                    s,
+                    value,
+                    algorithm3::Alg3Options {
+                        fault: clone3(&fault),
+                        seed,
+                        scheme: SchemeKind::Fast,
+                    },
+                )
+                .expect("agreement must hold");
+                assert_eq!(r.verdict.agreed, Some(value));
+            }
+        }
+    }
+}
+
+// Alg3Fault has no Clone derive (it is consumed by the runner); rebuild it.
+fn clone3(f: &algorithm3::Alg3Fault) -> algorithm3::Alg3Fault {
+    use algorithm3::Alg3Fault as F;
+    match f {
+        F::None => F::None,
+        F::SilentRoots { groups } => F::SilentRoots {
+            groups: groups.clone(),
+        },
+        F::LyingRoots { groups, wrong } => F::LyingRoots {
+            groups: groups.clone(),
+            wrong: *wrong,
+        },
+        F::SelectiveRoots { groups } => F::SelectiveRoots {
+            groups: groups.clone(),
+        },
+        F::SilentMembers { set } => F::SilentMembers { set: set.clone() },
+        F::SilentActives { set } => F::SilentActives { set: set.clone() },
+    }
+}
+
+#[test]
+fn algorithm5_agreement_matrix() {
+    for &seed in &SEEDS[..2] {
+        let (n, t, s) = (40usize, 1usize, 3usize);
+        let faults = [
+            algorithm5::Alg5Fault::None,
+            algorithm5::Alg5Fault::SilentPassives {
+                set: vec![ProcessId(15)],
+            },
+            algorithm5::Alg5Fault::SilentTreeRoots { trees: vec![0] },
+            algorithm5::Alg5Fault::WithholdingTreeRoots { trees: vec![1] },
+            algorithm5::Alg5Fault::SilentActives {
+                set: vec![ProcessId(1)],
+            },
+        ];
+        for fault in faults {
+            let r = algorithm5::run(
+                n,
+                t,
+                s,
+                Value::ONE,
+                algorithm5::Alg5Options {
+                    fault,
+                    seed,
+                    scheme: SchemeKind::Fast,
+                    ..Default::default()
+                },
+            )
+            .expect("agreement must hold");
+            assert_eq!(r.verdict.agreed, Some(Value::ONE));
+        }
+    }
+}
+
+#[test]
+fn baselines_agreement_matrix() {
+    for &seed in &SEEDS {
+        for (n, t) in [(7usize, 2usize), (12, 3)] {
+            for variant in [
+                dolev_strong::Variant::Broadcast,
+                dolev_strong::Variant::Relay,
+            ] {
+                let r = dolev_strong::run(
+                    n,
+                    t,
+                    Value::ONE,
+                    dolev_strong::DsOptions {
+                        variant,
+                        fault: dolev_strong::DsFault::Equivocate {
+                            ones: vec![ProcessId(1), ProcessId(2)],
+                        },
+                        seed,
+                        scheme: SchemeKind::Fast,
+                    },
+                )
+                .expect("agreement must hold");
+                assert!(r.verdict.agreed.is_some());
+            }
+        }
+        let r = om::run(
+            7,
+            2,
+            Value::ONE,
+            om::OmOptions {
+                fault: om::OmFault::FlippingRelays {
+                    set: vec![ProcessId(2), ProcessId(4)],
+                },
+            },
+        )
+        .expect("agreement must hold");
+        assert_eq!(r.verdict.agreed, Some(Value::ONE));
+    }
+}
+
+#[test]
+fn cross_algorithm_consistency_on_shared_settings() {
+    // Same (n, t, value): every algorithm must land on the transmitted
+    // value in the fault-free case.
+    let t = 3;
+    let v = Value::ONE;
+    let a1 = algorithm1::run(t, v, Default::default()).unwrap();
+    let a2 = algorithm2::run(t, v, Default::default()).unwrap();
+    let a3 = algorithm3::run(40, t, 6, v, Default::default()).unwrap();
+    let a5 = algorithm5::run(60, t, 3, v, Default::default()).unwrap();
+    let ds = dolev_strong::run(2 * t + 1, t, v, Default::default()).unwrap();
+    let omr = om::run(10, t, v, Default::default()).unwrap();
+    for agreed in [
+        a1.verdict.agreed,
+        a2.report.verdict.agreed,
+        a3.verdict.agreed,
+        a5.verdict.agreed,
+        ds.verdict.agreed,
+        omr.verdict.agreed,
+    ] {
+        assert_eq!(agreed, Some(v));
+    }
+}

@@ -1,0 +1,66 @@
+//! Integration: the lower-bound attacks of `ba-model` end-to-end —
+//! splicing and starvation break frugal protocols, and the same
+//! prerequisites are denied by the paper's algorithms.
+
+use byzantine_agreement::model::{theorem1, theorem2};
+use byzantine_agreement::sim::AgreementViolation;
+
+#[test]
+fn theorem1_attack_succeeds_exactly_when_a_set_fits_the_budget() {
+    // k relays => |A(victim)| = k + 1.
+    for (n, t, k) in [(9usize, 3usize, 2usize), (11, 4, 3), (13, 5, 4)] {
+        let a = theorem1::attack_frugal(n, t, k, 99);
+        assert!(a.feasible, "n={n} t={t} k={k}");
+        assert!(a.victim_view_preserved);
+        assert!(matches!(
+            a.violation,
+            Some(AgreementViolation::Disagreement { .. })
+        ));
+    }
+    for (n, t, k) in [(9usize, 2usize, 3usize), (11, 3, 4)] {
+        let a = theorem1::attack_frugal(n, t, k, 99);
+        assert!(!a.feasible, "n={n} t={t} k={k}");
+        assert!(a.violation.is_none());
+    }
+}
+
+#[test]
+fn theorem1_prerequisite_denied_by_algorithm1_for_all_t() {
+    for t in 1..=5 {
+        assert!(theorem1::audit_algorithm1(t, 123) > t);
+    }
+}
+
+#[test]
+fn theorem2_starvation_succeeds_against_quiet_broadcast() {
+    for (n, t) in [(5usize, 1usize), (9, 3), (14, 5)] {
+        let a = theorem2::attack_quiet(n, t, 5);
+        assert!(a.feasible);
+        assert!(a.victim_starved);
+        assert!(a.violation.is_some(), "n={n} t={t}");
+    }
+}
+
+#[test]
+fn theorem2_extraction_never_falls_short() {
+    for t in 1..=8 {
+        for seed in [0u64, 17, 991] {
+            let r = theorem2::extract_algorithm1(t, seed);
+            assert!(r.agreement_held, "t={t} seed={seed}");
+            assert!(
+                r.demand_met(),
+                "t={t} seed={seed}: {:?}",
+                r.received_from_correct
+            );
+        }
+    }
+}
+
+#[test]
+fn attacks_are_deterministic_per_seed() {
+    let a = theorem1::attack_frugal(9, 3, 2, 7);
+    let b = theorem1::attack_frugal(9, 3, 2, 7);
+    assert_eq!(a.a_set, b.a_set);
+    assert_eq!(a.violation.is_some(), b.violation.is_some());
+    assert_eq!(a.signatures_in_h, b.signatures_in_h);
+}

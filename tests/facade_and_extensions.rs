@@ -1,0 +1,90 @@
+//! Integration: the `agree` facade, interactive consistency, the
+//! multi-valued Algorithm 1 and the fuzz harnesses, exercised together.
+
+use byzantine_agreement::algos::ic::{self, IcFault};
+use byzantine_agreement::algos::{agree, algorithm1_multi, bounds, fuzz, AgreeOptions, Selected};
+use byzantine_agreement::crypto::{ProcessId, SchemeKind, Value};
+
+#[test]
+fn facade_covers_the_whole_regime_map() {
+    // Sweep n across all three regimes for several t.
+    for t in 1..=3usize {
+        let alpha = bounds::alpha(t as u64) as usize;
+        for n in [2 * t + 1, 2 * t + 2, alpha - 1, alpha, alpha + 13] {
+            let r = agree(n, t, Value::ONE, AgreeOptions::default()).unwrap();
+            assert_eq!(r.verdict.agreed, Some(Value::ONE), "n={n} t={t}");
+            let expected = if n == 2 * t + 1 {
+                Selected::Algorithm1
+            } else if n < alpha {
+                Selected::SmallN
+            } else {
+                Selected::Algorithm5
+            };
+            assert_eq!(r.selected, expected, "n={n} t={t}");
+        }
+    }
+}
+
+#[test]
+fn interactive_consistency_composes_with_faults() {
+    let n = 8;
+    let t = 2;
+    let vals: Vec<Value> = (0..n as u64).map(|i| Value(i * i + 3)).collect();
+    let r = ic::run(
+        n,
+        t,
+        &vals,
+        IcFault::EquivocateOwnInstance {
+            set: vec![ProcessId(3), ProcessId(6)],
+        },
+        5,
+    );
+    let census = r.common_vector().unwrap();
+    for i in 0..n {
+        if i != 3 && i != 6 {
+            assert_eq!(census[i], vals[i]);
+        }
+    }
+}
+
+#[test]
+fn multivalued_agreement_interops_with_binary_bounds() {
+    for t in 1..=4 {
+        let r = algorithm1_multi::run(
+            t,
+            Value(0xCAFE),
+            algorithm1_multi::MultiFault::None,
+            7,
+            SchemeKind::Hmac,
+        )
+        .unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value(0xCAFE)));
+        // Single-value fault-free run costs exactly the binary worst case.
+        assert_eq!(
+            r.outcome.metrics.messages_by_correct,
+            bounds::alg1_max_messages(t as u64)
+        );
+    }
+}
+
+#[test]
+fn fuzzed_runs_never_break_agreement_or_panic() {
+    for seed in [1u64, 99, 4096] {
+        let r = fuzz::fuzz_algorithm1(3, Value::ONE, 2, 12, seed).unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ONE), "seed={seed}");
+        let r = fuzz::fuzz_algorithm5(30, 1, 3, Value::ZERO, 1, 8, seed).unwrap();
+        assert_eq!(r.verdict.agreed, Some(Value::ZERO), "seed={seed}");
+    }
+}
+
+#[test]
+fn spam_is_not_billed_to_correct_processors() {
+    let clean = fuzz::fuzz_algorithm1(3, Value::ONE, 0, 0, 5).unwrap();
+    let spammy = fuzz::fuzz_algorithm1(3, Value::ONE, 2, 20, 5).unwrap();
+    // Spam shows up as faulty traffic only; the correct-sender count can
+    // only go down (spammers replaced two relays).
+    assert!(spammy.outcome.metrics.messages_by_faulty > 0);
+    assert!(
+        spammy.outcome.metrics.messages_by_correct <= clean.outcome.metrics.messages_by_correct
+    );
+}

@@ -1,0 +1,190 @@
+//! Integration: heterogeneous fault mixes within a single run — the
+//! strongest scenarios the fault budget allows, combining silence,
+//! spam, selective omission and protocol-specific lies.
+
+use byzantine_agreement::algos::algorithm1::{Algo1Actor, Algo1Params};
+use byzantine_agreement::algos::algorithm5::{Alg5Active, Alg5Config, Alg5Passive, Msg5};
+use byzantine_agreement::algos::common::Board;
+use byzantine_agreement::algos::fuzz::{ChainFuzzer, Msg5Fuzzer};
+use byzantine_agreement::crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Value};
+use byzantine_agreement::sim::adversary::{IgnoreFirst, OmitTo, Silent};
+use byzantine_agreement::sim::engine::Simulation;
+use byzantine_agreement::sim::random::{RandomOmit, Spammer};
+use byzantine_agreement::sim::{check_byzantine_agreement, Actor};
+use std::sync::Arc;
+
+/// Algorithm 1 with three different fault classes at once: a silent
+/// relay, a spamming relay, and a lossy (random-omission) relay.
+#[test]
+fn algorithm1_with_silent_spamming_and_lossy_relays() {
+    let t = 3;
+    let n = 2 * t + 1;
+    for seed in [1u64, 77, 991] {
+        let registry = KeyRegistry::new(n, seed, SchemeKind::Fast);
+        let params = Arc::new(Algo1Params {
+            t,
+            verifier: registry.verifier(),
+        });
+        let honest = |p: u32, own: Option<Value>| {
+            Algo1Actor::new(
+                params.clone(),
+                ProcessId(p),
+                registry.signer(ProcessId(p)),
+                own,
+            )
+        };
+
+        // p1: silent. p2: spammer. p3: drops ~half its sends. Rest honest.
+        let mut actors: Vec<Box<dyn Actor<Chain>>> = vec![
+            Box::new(honest(0, Some(Value::ONE))),
+            Box::new(Silent),
+            Box::new(Spammer::new(
+                n,
+                6,
+                seed,
+                ChainFuzzer::new(registry.signer(ProcessId(2)), SchemeKind::Fast),
+            )),
+            Box::new(RandomOmit::new(honest(3, None), 500, seed)),
+        ];
+        for p in 4..n as u32 {
+            actors.push(Box::new(honest(p, None)));
+        }
+
+        let outcome = Simulation::new(actors).run(t + 2);
+        let verdict = check_byzantine_agreement(&outcome, ProcessId(0), Value::ONE)
+            .expect("mixed faults must not break agreement");
+        assert_eq!(verdict.agreed, Some(Value::ONE), "seed={seed}");
+        assert_eq!(verdict.correct_count, n - 3);
+    }
+}
+
+/// Algorithm 1 where the adversaries cooperate: one relay starves a
+/// victim of its first messages while another omits toward the same
+/// victim — the Theorem 2 flavor of faultiness, inside a real algorithm.
+#[test]
+fn algorithm1_with_coordinated_starvation_attempt() {
+    let t = 3;
+    let n = 2 * t + 1;
+    let registry = KeyRegistry::new(n, 5, SchemeKind::Fast);
+    let params = Arc::new(Algo1Params {
+        t,
+        verifier: registry.verifier(),
+    });
+    let victim = ProcessId(6);
+    let honest = |p: u32, own: Option<Value>| {
+        Algo1Actor::new(
+            params.clone(),
+            ProcessId(p),
+            registry.signer(ProcessId(p)),
+            own,
+        )
+    };
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = vec![
+        Box::new(honest(0, Some(Value::ONE))),
+        Box::new(OmitTo::new(honest(1, None), [victim])),
+        Box::new(OmitTo::new(honest(2, None), [victim])),
+        Box::new(IgnoreFirst::new(honest(3, None), 2, [])),
+    ];
+    for p in 4..n as u32 {
+        actors.push(Box::new(honest(p, None)));
+    }
+
+    let outcome = Simulation::new(actors).run(t + 2);
+    let verdict = check_byzantine_agreement(&outcome, ProcessId(0), Value::ONE).unwrap();
+    // The victim still hears from the transmitter and the remaining
+    // correct B-side relays: starvation needs more traitors than t allows.
+    assert_eq!(verdict.agreed, Some(Value::ONE));
+}
+
+/// Algorithm 5 with a silent core active, a spamming passive and a
+/// report-withholding tree root, all in one run (t = 3).
+#[test]
+fn algorithm5_with_three_fault_classes() {
+    let (n, t, s) = (60usize, 3usize, 3usize);
+    let registry = KeyRegistry::new(n, 9, SchemeKind::Fast);
+    let cfg = Arc::new(Alg5Config::new(n, t, s, registry.verifier()));
+    let scratch = Board::new(cfg.core_count());
+
+    // Choose the faulty trio: core active p2; the root of tree 1; a leaf
+    // passive as spammer.
+    let tree1_root = cfg.forest.processor(1, 1).expect("tree 1 has a real root");
+    let spammer_id = ProcessId(n as u32 - 1);
+
+    let mut actors: Vec<Box<dyn Actor<Msg5>>> = Vec::new();
+    for i in 0..n as u32 {
+        let id = ProcessId(i);
+        let actor: Box<dyn Actor<Msg5>> = if id == ProcessId(2) {
+            Box::new(Silent)
+        } else if id == spammer_id {
+            Box::new(Spammer::new(
+                n,
+                5,
+                13,
+                Msg5Fuzzer::new(registry.signer(id), SchemeKind::Fast),
+            ))
+        } else if id == tree1_root {
+            let inner = Alg5Passive::new(cfg.clone(), id, registry.signer(id));
+            let actives: Vec<ProcessId> = (0..cfg.alpha as u32).map(ProcessId).collect();
+            Box::new(OmitTo::new(inner, actives))
+        } else if id.index() < cfg.alpha {
+            Box::new(Alg5Active::new(
+                cfg.clone(),
+                id,
+                registry.signer(id),
+                (i == 0).then_some(Value::ONE),
+                scratch.clone(),
+            ))
+        } else {
+            Box::new(Alg5Passive::new(cfg.clone(), id, registry.signer(id)))
+        };
+        actors.push(actor);
+    }
+
+    let outcome = Simulation::new(actors).run(cfg.last_phase);
+    let verdict = check_byzantine_agreement(&outcome, ProcessId(0), Value::ONE)
+        .expect("mixed faults must not break agreement");
+    assert_eq!(verdict.agreed, Some(Value::ONE));
+    assert_eq!(verdict.correct_count, n - 3);
+}
+
+/// The fault budget boundary: exactly t mixed faults pass, and the same
+/// scenario is the worst the checker ever has to absorb.
+#[test]
+fn exactly_t_mixed_faults_is_survivable() {
+    let t = 4;
+    let n = 2 * t + 1;
+    let registry = KeyRegistry::new(n, 21, SchemeKind::Fast);
+    let params = Arc::new(Algo1Params {
+        t,
+        verifier: registry.verifier(),
+    });
+    let honest = |p: u32, own: Option<Value>| {
+        Algo1Actor::new(
+            params.clone(),
+            ProcessId(p),
+            registry.signer(ProcessId(p)),
+            own,
+        )
+    };
+
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = vec![
+        Box::new(honest(0, Some(Value::ZERO))),
+        Box::new(Silent),
+        Box::new(Spammer::new(
+            n,
+            10,
+            3,
+            ChainFuzzer::new(registry.signer(ProcessId(2)), SchemeKind::Fast),
+        )),
+        Box::new(RandomOmit::new(honest(3, None), 900, 3)),
+        Box::new(OmitTo::new(honest(4, None), [ProcessId(7), ProcessId(8)])),
+    ];
+    for p in 5..n as u32 {
+        actors.push(Box::new(honest(p, None)));
+    }
+
+    let outcome = Simulation::new(actors).run(t + 2);
+    let verdict = check_byzantine_agreement(&outcome, ProcessId(0), Value::ZERO).unwrap();
+    assert_eq!(verdict.agreed, Some(Value::ZERO));
+}
