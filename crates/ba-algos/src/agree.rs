@@ -324,25 +324,28 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(12))]
-
-            #[test]
-            fn prop_facade_always_agrees(
-                t in 1usize..4,
-                extra in 0usize..30,
-                seed in any::<u64>(),
-                v in 0u64..2,
-            ) {
+        #[test]
+        fn prop_facade_always_agrees() {
+            run_cases(12, 0x6D, |gen| {
+                let t = gen.usize_in(1, 4);
+                let extra = gen.usize_in(0, 30);
+                let seed = gen.u64();
+                let v = gen.u64_in(0, 2);
                 let n = 2 * t + 1 + extra;
                 let r = agree(
-                    n, t, Value(v),
-                    AgreeOptions { seed, scheme: SchemeKind::Fast },
-                ).unwrap();
-                prop_assert_eq!(r.verdict.agreed, Some(Value(v)));
-            }
+                    n,
+                    t,
+                    Value(v),
+                    AgreeOptions {
+                        seed,
+                        scheme: SchemeKind::Fast,
+                    },
+                )
+                .unwrap();
+                assert_eq!(r.verdict.agreed, Some(Value(v)));
+            });
         }
     }
 }

@@ -748,18 +748,15 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(24))]
-
-            /// Agreement and validity hold for random equivocation patterns.
-            #[test]
-            fn prop_equivocation_never_breaks_agreement(
-                t in 1usize..5,
-                mask in any::<u32>(),
-                seed in any::<u64>(),
-            ) {
+        /// Agreement and validity hold for random equivocation patterns.
+        #[test]
+        fn prop_equivocation_never_breaks_agreement() {
+            run_cases(24, 0x66, |gen| {
+                let t = gen.usize_in(1, 5);
+                let mask = gen.u32();
+                let seed = gen.u64();
                 let n = 2 * t + 1;
                 let ones: Vec<ProcessId> = (1..n as u32)
                     .filter(|p| mask & (1 << (p % 31)) != 0)
@@ -773,19 +770,26 @@ mod tests {
                 let report = run(
                     t,
                     Value::ONE,
-                    Algo1Options { fault, seed, scheme: SchemeKind::Fast, ..Default::default() },
-                ).unwrap();
-                prop_assert!(report.verdict.agreed.is_some());
-            }
+                    Algo1Options {
+                        fault,
+                        seed,
+                        scheme: SchemeKind::Fast,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert!(report.verdict.agreed.is_some());
+            });
+        }
 
-            /// The message bound of Theorem 3 holds for every scenario.
-            #[test]
-            fn prop_message_bound_holds(
-                t in 1usize..5,
-                value in 0u64..2,
-                crash_mask in any::<u16>(),
-                seed in any::<u64>(),
-            ) {
+        /// The message bound of Theorem 3 holds for every scenario.
+        #[test]
+        fn prop_message_bound_holds() {
+            run_cases(24, 0x67, |gen| {
+                let t = gen.usize_in(1, 5);
+                let value = gen.u64_in(0, 2);
+                let crash_mask = gen.u32() as u16;
+                let seed = gen.u64();
                 let n = 2 * t + 1;
                 let relays: Vec<ProcessId> = (1..n as u32)
                     .filter(|p| crash_mask & (1 << (p % 16)) != 0)
@@ -801,12 +805,13 @@ mod tests {
                         scheme: SchemeKind::Fast,
                         ..Default::default()
                     },
-                ).unwrap();
-                prop_assert!(
+                )
+                .unwrap();
+                assert!(
                     report.outcome.metrics.messages_by_correct
                         <= crate::bounds::alg1_max_messages(t as u64)
                 );
-            }
+            });
         }
     }
 }

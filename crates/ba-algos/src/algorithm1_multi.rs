@@ -362,22 +362,23 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(16))]
-
-            #[test]
-            fn prop_multivalue_agreement(
-                t in 1usize..5,
-                v in any::<u64>(),
-                seed in any::<u64>(),
-                rainbow in any::<bool>(),
-            ) {
-                let fault = if rainbow { MultiFault::Rainbow } else { MultiFault::None };
+        #[test]
+        fn prop_multivalue_agreement() {
+            run_cases(16, 0x6B, |gen| {
+                let t = gen.usize_in(1, 5);
+                let v = gen.u64();
+                let seed = gen.u64();
+                let rainbow = gen.bool();
+                let fault = if rainbow {
+                    MultiFault::Rainbow
+                } else {
+                    MultiFault::None
+                };
                 let r = run(t, Value(v), fault, seed, SchemeKind::Fast).unwrap();
-                prop_assert!(r.verdict.agreed.is_some());
-            }
+                assert!(r.verdict.agreed.is_some());
+            });
         }
     }
 }

@@ -831,37 +831,47 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(12))]
-
-            #[test]
-            fn prop_agreement_under_random_root_faults(
-                t in 1usize..3,
-                s in 1usize..6,
-                extra_groups in 1usize..5,
-                seed in any::<u64>(),
-                lying in any::<bool>(),
-                which in any::<u8>(),
-            ) {
+        #[test]
+        fn prop_agreement_under_random_root_faults() {
+            run_cases(12, 0x69, |gen| {
+                let t = gen.usize_in(1, 3);
+                let s = gen.usize_in(1, 6);
+                let extra_groups = gen.usize_in(1, 5);
+                let seed = gen.u64();
+                let lying = gen.bool();
+                let which = gen.u32() as u8;
                 let n = 2 * t + 1 + s * extra_groups;
                 let bad_group = (which as usize) % extra_groups;
                 let fault = if lying {
-                    Alg3Fault::LyingRoots { groups: vec![bad_group], wrong: Value::ZERO }
+                    Alg3Fault::LyingRoots {
+                        groups: vec![bad_group],
+                        wrong: Value::ZERO,
+                    }
                 } else {
-                    Alg3Fault::SilentRoots { groups: vec![bad_group] }
+                    Alg3Fault::SilentRoots {
+                        groups: vec![bad_group],
+                    }
                 };
                 let r = run(
-                    n, t, s, Value::ONE,
-                    Alg3Options { fault, seed, scheme: SchemeKind::Fast },
-                ).unwrap();
-                prop_assert_eq!(r.verdict.agreed, Some(Value::ONE));
-                prop_assert!(
+                    n,
+                    t,
+                    s,
+                    Value::ONE,
+                    Alg3Options {
+                        fault,
+                        seed,
+                        scheme: SchemeKind::Fast,
+                    },
+                )
+                .unwrap();
+                assert_eq!(r.verdict.agreed, Some(Value::ONE));
+                assert!(
                     r.outcome.metrics.messages_by_correct
                         <= bounds::alg3_max_messages(n as u64, t as u64, s as u64)
                 );
-            }
+            });
         }
     }
 }

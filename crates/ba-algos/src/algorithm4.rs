@@ -25,10 +25,10 @@
 
 use crate::common::domains;
 use ba_crypto::wire::Encoder;
+use ba_crypto::Bytes;
 use ba_crypto::{KeyRegistry, ProcessId, SchemeKind, Signature, Signer, Value, Verifier};
 use ba_sim::actor::{Actor, Envelope, Outbox, Payload};
 use ba_sim::engine::{RunOutcome, Simulation};
-use bytes::Bytes;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -844,17 +844,14 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(12))]
-
-            #[test]
-            fn prop_lemma2_random_faults(
-                m in 2usize..6,
-                seed in any::<u64>(),
-                mask in any::<u64>(),
-            ) {
+        #[test]
+        fn prop_lemma2_random_faults() {
+            run_cases(12, 0x65, |gen| {
+                let m = gen.usize_in(2, 6);
+                let seed = gen.u64();
+                let mask = gen.u64();
                 let n = m * m;
                 let faulty: Vec<ProcessId> = (0..n as u32)
                     .filter(|i| mask & (1 << (i % 63)) != 0)
@@ -862,12 +859,12 @@ mod tests {
                     .map(ProcessId)
                     .collect();
                 let report = run(m, faulty, seed, SchemeKind::Fast);
-                prop_assert!(report.mutual_exchange_holds());
-                prop_assert!(
+                assert!(report.mutual_exchange_holds());
+                assert!(
                     report.outcome.metrics.messages_by_correct
                         <= bounds::alg4_max_messages(m as u64)
                 );
-            }
+            });
         }
     }
 }

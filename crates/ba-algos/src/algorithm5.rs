@@ -39,11 +39,11 @@ use crate::bounds;
 use crate::common::{domains, into_report, AlgoReport, Board};
 use crate::trees::Forest;
 use ba_crypto::wire::{Decoder, Encoder};
+use ba_crypto::Bytes;
 use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signer, Value, Verifier};
 use ba_sim::actor::{Actor, Envelope, Outbox, Payload};
 use ba_sim::engine::Simulation;
 use ba_sim::AgreementViolation;
-use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -1298,36 +1298,38 @@ mod tests {
     }
 
     mod props {
-
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(8))]
-
-            #[test]
-            fn prop_agreement_under_random_passive_faults(
-                lambda in 1u32..3,
-                trees in 1usize..4,
-                seed in any::<u64>(),
-                victim in any::<u32>(),
-            ) {
+        #[test]
+        fn prop_agreement_under_random_passive_faults() {
+            run_cases(8, 0x64, |gen| {
+                let lambda = gen.u32_in(1, 3);
+                let trees = gen.usize_in(1, 4);
+                let seed = gen.u64();
+                let victim = gen.u32();
                 let t = 1;
                 let alpha = 9;
                 let s = (1usize << lambda) - 1;
                 let n = alpha + trees * s;
                 let passive = alpha as u32 + victim % (trees * s) as u32;
                 let r = run(
-                    n, t, s, Value::ONE,
+                    n,
+                    t,
+                    s,
+                    Value::ONE,
                     Alg5Options {
-                        fault: Alg5Fault::SilentPassives { set: vec![ProcessId(passive)] },
+                        fault: Alg5Fault::SilentPassives {
+                            set: vec![ProcessId(passive)],
+                        },
                         seed,
                         scheme: SchemeKind::Fast,
                         ..Default::default()
                     },
-                ).unwrap();
-                prop_assert_eq!(r.verdict.agreed, Some(Value::ONE));
-            }
+                )
+                .unwrap();
+                assert_eq!(r.verdict.agreed, Some(Value::ONE));
+            });
         }
     }
 }

@@ -539,25 +539,26 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(16))]
-
-            #[test]
-            fn prop_equivocation_always_agrees(
-                t in 1usize..4,
-                extra in 0usize..8,
-                mask in any::<u32>(),
-                seed in any::<u64>(),
-                variant_pick in any::<bool>(),
-            ) {
+        #[test]
+        fn prop_equivocation_always_agrees() {
+            run_cases(16, 0x6A, |gen| {
+                let t = gen.usize_in(1, 4);
+                let extra = gen.usize_in(0, 8);
+                let mask = gen.u32();
+                let seed = gen.u64();
+                let variant_pick = gen.bool();
                 let n = 2 * t + 2 + extra;
                 let ones: Vec<ProcessId> = (1..n as u32)
                     .filter(|p| mask & (1 << (p % 31)) != 0)
                     .map(ProcessId)
                     .collect();
-                let variant = if variant_pick { Variant::Relay } else { Variant::Broadcast };
+                let variant = if variant_pick {
+                    Variant::Relay
+                } else {
+                    Variant::Broadcast
+                };
                 let r = run(
                     n,
                     t,
@@ -568,9 +569,10 @@ mod tests {
                         seed,
                         scheme: SchemeKind::Fast,
                     },
-                ).unwrap();
-                prop_assert!(r.verdict.agreed.is_some());
-            }
+                )
+                .unwrap();
+                assert!(r.verdict.agreed.is_some());
+            });
         }
     }
 }

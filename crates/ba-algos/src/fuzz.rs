@@ -10,13 +10,13 @@ use crate::algorithm1::{Algo1Actor, Algo1Params};
 use crate::algorithm4::SignedItem;
 use crate::algorithm5::{Alg5Active, Alg5Config, Alg5Passive, Msg5};
 use crate::common::{domains, into_report, AlgoReport, Board};
+use ba_crypto::rng::SimRng;
+use ba_crypto::Bytes;
 use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Signature, Signer, Value};
 use ba_sim::actor::Actor;
 use ba_sim::engine::Simulation;
 use ba_sim::random::{PayloadFuzzer, Spammer};
 use ba_sim::AgreementViolation;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::sync::Arc;
 
 /// Generates adversarial [`Chain`]s: unsigned, self-signed under random
@@ -35,23 +35,23 @@ impl ChainFuzzer {
         ChainFuzzer { signer, kind }
     }
 
-    fn random_chain(&mut self, rng: &mut StdRng) -> Chain {
-        let domain = match rng.random_range(0..4) {
+    fn random_chain(&mut self, rng: &mut SimRng) -> Chain {
+        let domain = match rng.range_u32(0, 4) {
             0 => domains::ALG1,
             1 => domains::ALG2,
             2 => domains::DOLEV_STRONG,
-            _ => rng.random(),
+            _ => rng.next_u32(),
         };
-        let value = Value(rng.random_range(0..4));
+        let value = Value(rng.range_u64(0, 4));
         let mut chain = Chain::new(domain, value);
-        match rng.random_range(0..5) {
+        match rng.range_u32(0, 5) {
             0 => {} // unsigned
             1 => {
                 chain.sign_and_append(&self.signer);
             }
             2 => {
                 // Forged signature claiming a random identity.
-                let fake = ProcessId(rng.random_range(0..16));
+                let fake = ProcessId(rng.range_u32(0, 16));
                 let forged = Signature::forged(fake, self.kind);
                 // Only constructible through the decode path; emulate by
                 // encoding and re-decoding a crafted buffer.
@@ -69,7 +69,7 @@ impl ChainFuzzer {
             }
             3 => {
                 // Over-long self-signed chain (duplicate signer).
-                for _ in 0..rng.random_range(2..6) {
+                for _ in 0..rng.range_u32(2, 6) {
                     chain.sign_and_append(&self.signer);
                 }
             }
@@ -83,7 +83,7 @@ impl ChainFuzzer {
 }
 
 impl PayloadFuzzer<Chain> for ChainFuzzer {
-    fn next(&mut self, rng: &mut StdRng, _phase: usize, _target: ProcessId) -> Chain {
+    fn next(&mut self, rng: &mut SimRng, _phase: usize, _target: ProcessId) -> Chain {
         self.random_chain(rng)
     }
 }
@@ -105,15 +105,16 @@ impl Msg5Fuzzer {
 }
 
 impl PayloadFuzzer<Msg5> for Msg5Fuzzer {
-    fn next(&mut self, rng: &mut StdRng, phase: usize, target: ProcessId) -> Msg5 {
-        match rng.random_range(0..3) {
+    fn next(&mut self, rng: &mut SimRng, phase: usize, target: ProcessId) -> Msg5 {
+        match rng.range_u32(0, 3) {
             0 => Msg5::Chain(self.chains.next(rng, phase, target)),
             1 => {
-                let proof: Vec<SignedItem> = (0..rng.random_range(0..3))
+                let proof: Vec<SignedItem> = (0..rng.range_u32(0, 3))
                     .map(|_| {
+                        let len = rng.range_usize(0, 16);
                         SignedItem::new(
-                            rng.random(),
-                            bytes::Bytes::from(vec![rng.random::<u8>(); rng.random_range(0..16)]),
+                            rng.next_u64(),
+                            Bytes::from(rng.bytes(len)),
                             &self.chains.signer,
                         )
                     })
@@ -124,11 +125,11 @@ impl PayloadFuzzer<Msg5> for Msg5Fuzzer {
                 }
             }
             _ => Msg5::Grid(crate::algorithm4::GridMsg::Row(
-                (0..rng.random_range(0..4))
+                (0..rng.range_u32(0, 4))
                     .map(|_| {
                         SignedItem::new(
-                            rng.random(),
-                            bytes::Bytes::from_static(b"junk"),
+                            rng.next_u64(),
+                            Bytes::from_static(b"junk"),
                             &self.chains.signer,
                         )
                     })
@@ -276,16 +277,17 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(10))]
-
-            #[test]
-            fn prop_algorithm1_fuzz(t in 2usize..5, seed in any::<u64>(), v in 0u64..2) {
+        #[test]
+        fn prop_algorithm1_fuzz() {
+            run_cases(10, 0x63, |gen| {
+                let t = gen.usize_in(2, 5);
+                let seed = gen.u64();
+                let v = gen.u64_in(0, 2);
                 let r = fuzz_algorithm1(t, Value(v), 2, 6, seed).unwrap();
-                prop_assert_eq!(r.verdict.agreed, Some(Value(v)));
-            }
+                assert_eq!(r.verdict.agreed, Some(Value(v)));
+            });
         }
     }
 }

@@ -419,19 +419,16 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(10))]
-
-            #[test]
-            fn prop_ic_holds_for_random_values_and_faults(
-                n in 4usize..8,
-                seed in any::<u64>(),
-                raw in proptest::collection::vec(any::<u64>(), 8),
-                victim in any::<u32>(),
-                equivocate in any::<bool>(),
-            ) {
+        #[test]
+        fn prop_ic_holds_for_random_values_and_faults() {
+            run_cases(10, 0x6C, |gen| {
+                let n = gen.usize_in(4, 8);
+                let seed = gen.u64();
+                let raw: Vec<u64> = (0..8).map(|_| gen.u64()).collect();
+                let victim = gen.u32();
+                let equivocate = gen.bool();
                 let t = 1;
                 let vals: Vec<Value> = (0..n).map(|i| Value(raw[i])).collect();
                 let bad = ProcessId(victim % n as u32);
@@ -444,10 +441,10 @@ mod tests {
                 let common = r.common_vector().unwrap();
                 for i in 0..n {
                     if ProcessId(i as u32) != bad {
-                        prop_assert_eq!(common[i], vals[i]);
+                        assert_eq!(common[i], vals[i]);
                     }
                 }
-            }
+            });
         }
     }
 }

@@ -495,18 +495,15 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(12))]
-
-            #[test]
-            fn prop_om_agrees_under_random_faults(
-                t in 1usize..3,
-                extra in 1usize..4,
-                mask in any::<u16>(),
-                flip in any::<bool>(),
-            ) {
+        #[test]
+        fn prop_om_agrees_under_random_faults() {
+            run_cases(12, 0x68, |gen| {
+                let t = gen.usize_in(1, 3);
+                let extra = gen.usize_in(1, 4);
+                let mask = gen.u32() as u16;
+                let flip = gen.bool();
                 let n = 3 * t + extra;
                 let set: Vec<ProcessId> = (1..n as u32)
                     .filter(|p| mask & (1 << (p % 16)) != 0)
@@ -519,8 +516,8 @@ mod tests {
                     OmFault::SilentRelays { set }
                 };
                 let r = run(n, t, Value::ONE, OmOptions { fault }).unwrap();
-                prop_assert_eq!(r.verdict.agreed, Some(Value::ONE));
-            }
+                assert_eq!(r.verdict.agreed, Some(Value::ONE));
+            });
         }
     }
 }

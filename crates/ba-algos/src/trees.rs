@@ -226,29 +226,31 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #[test]
-            fn prop_locate_roundtrip(
-                lambda in 1u32..5,
-                alpha in 1usize..20,
-                extra in 0usize..40,
-            ) {
+        #[test]
+        fn prop_locate_roundtrip() {
+            run_cases(48, 0x61, |gen| {
+                let lambda = gen.u32_in(1, 5);
+                let alpha = gen.usize_in(1, 20);
+                let extra = gen.usize_in(0, 40);
                 let s = (1usize << lambda) - 1;
                 let n = alpha + extra;
                 let f = Forest::new(alpha, n, s);
                 for idx in alpha..n {
                     let p = ProcessId(idx as u32);
                     let (tree, pos) = f.locate(p).unwrap();
-                    prop_assert_eq!(f.processor(tree, pos), Some(p));
+                    assert_eq!(f.processor(tree, pos), Some(p));
                     // Every passive's height-λ ancestor is its tree root.
-                    prop_assert_eq!(f.ancestor_at_height(pos, f.lambda()), 1);
+                    assert_eq!(f.ancestor_at_height(pos, f.lambda()), 1);
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn prop_subtree_members_partition_leaf_level(lambda in 1u32..4) {
+        #[test]
+        fn prop_subtree_members_partition_leaf_level() {
+            run_cases(48, 0x62, |gen| {
+                let lambda = gen.u32_in(1, 4);
                 let s = (1usize << lambda) - 1;
                 let alpha = 4;
                 let n = alpha + 2 * s; // two full trees
@@ -259,14 +261,14 @@ mod tests {
                     let mut seen = std::collections::BTreeSet::new();
                     for (tree, root) in f.subtree_roots_at_height(x) {
                         for m in f.subtree_members(tree, root) {
-                            prop_assert!(seen.insert(m), "overlap at {m}");
+                            assert!(seen.insert(m), "overlap at {m}");
                         }
                     }
                     // Per tree: 2^(λ−x) subtrees of 2^x − 1 nodes each.
                     let per_tree = (1usize << lambda) - (1usize << (lambda - x));
-                    prop_assert_eq!(seen.len(), 2 * per_tree);
+                    assert_eq!(seen.len(), 2 * per_tree);
                 }
-            }
+            });
         }
     }
 }

@@ -1,47 +1,51 @@
-//! Criterion benches for the substrates: the from-scratch crypto and the
-//! synchronous engine itself.
+//! Benches for the substrates — the from-scratch crypto and the
+//! synchronous engine itself — timed with the in-tree
+//! `ba_bench::microbench` harness.
+//!
+//! ```text
+//! cargo bench -p ba-bench --bench substrates
+//! ```
 
+use ba_bench::microbench::{bench, print_samples, Sample};
 use ba_crypto::keys::{KeyRegistry, SchemeKind};
 use ba_crypto::sha256::Sha256;
 use ba_crypto::{Chain, ProcessId, Value};
 use ba_sim::actor::{Actor, Envelope, Outbox};
 use ba_sim::engine::Simulation;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
-    for size in [64usize, 1024, 16 * 1024] {
-        let data = vec![0xABu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| black_box(Sha256::digest(data)))
-        });
-    }
-    g.finish();
+fn bench_sha256() -> Vec<Sample> {
+    [64usize, 1024, 16 * 1024]
+        .iter()
+        .map(|&size| {
+            let data = vec![0xABu8; size];
+            bench(format!("{size} bytes"), move || Sha256::digest(&data))
+        })
+        .collect()
 }
 
-fn bench_signing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("signing");
+fn bench_signing() -> Vec<Sample> {
+    let mut samples = Vec::new();
     for kind in [SchemeKind::Hmac, SchemeKind::Fast] {
         let registry = KeyRegistry::new(8, 1, kind);
         let signer = registry.signer(ProcessId(0));
         let verifier = registry.verifier();
         let msg = vec![7u8; 128];
-        g.bench_function(BenchmarkId::new("sign", format!("{kind:?}")), |b| {
-            b.iter(|| black_box(signer.sign(&msg)))
-        });
+        samples.push(bench(format!("sign {kind:?}"), {
+            let signer = signer.clone();
+            let msg = msg.clone();
+            move || signer.sign(&msg)
+        }));
         let sig = signer.sign(&msg);
-        g.bench_function(BenchmarkId::new("verify", format!("{kind:?}")), |b| {
-            b.iter(|| black_box(verifier.verify(&sig, &msg)))
-        });
+        samples.push(bench(format!("verify {kind:?}"), move || {
+            verifier.verify(&sig, &msg)
+        }));
     }
-    g.finish();
+    samples
 }
 
-fn bench_chains(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chains");
+fn bench_chains() -> Vec<Sample> {
+    let mut samples = Vec::new();
     for len in [2usize, 8, 32] {
         let registry = KeyRegistry::new(64, 1, SchemeKind::Hmac);
         let mut chain = Chain::new(1, Value::ONE);
@@ -49,11 +53,11 @@ fn bench_chains(c: &mut Criterion) {
             chain.sign_and_append(&registry.signer(ProcessId(i as u32)));
         }
         let verifier = registry.verifier();
-        g.bench_with_input(BenchmarkId::new("verify", len), &chain, |b, chain| {
-            b.iter(|| black_box(chain.verify(&verifier).is_ok()))
-        });
+        samples.push(bench(format!("verify len={len}"), move || {
+            chain.verify(&verifier).is_ok()
+        }));
     }
-    g.finish();
+    samples
 }
 
 /// A flood actor for measuring raw engine dispatch overhead.
@@ -72,33 +76,24 @@ impl Actor<Value> for Flood {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_flood");
-    for n in [16usize, 64] {
-        g.throughput(Throughput::Elements((n * (n - 1) * 5) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
+fn bench_engine() -> Vec<Sample> {
+    [16usize, 64]
+        .iter()
+        .map(|&n| {
+            bench(format!("flood n={n} (5 phases)"), move || {
                 let actors: Vec<Box<dyn Actor<Value>>> = (0..n)
                     .map(|_| Box::new(Flood { n }) as Box<dyn Actor<Value>>)
                     .collect();
                 let mut sim = Simulation::new(actors);
-                black_box(sim.run(5).metrics.messages_by_correct)
+                sim.run(5).metrics.messages_by_correct
             })
-        });
-    }
-    g.finish();
+        })
+        .collect()
 }
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-        .sample_size(30)
+fn main() {
+    print_samples("sha256", &bench_sha256());
+    print_samples("signing", &bench_signing());
+    print_samples("chains", &bench_chains());
+    print_samples("engine flood", &bench_engine());
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = bench_sha256, bench_signing, bench_chains, bench_engine
-}
-criterion_main!(benches);

@@ -8,7 +8,7 @@ use ba_algos::{
 use ba_crypto::{ProcessId, SchemeKind, Value};
 use ba_model::{theorem1, theorem2};
 
-/// Runs one experiment by id (`"e1"`..`"e10"`).
+/// Runs one experiment by id (`"e1"`..`"e14"`).
 ///
 /// # Panics
 /// Panics on an unknown id.
@@ -27,14 +27,28 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e11" => e11(),
         "e12" => e12(),
         "e13" => e13(),
-        other => panic!("unknown experiment {other} (use e1..e13)"),
+        "e14" => e14(),
+        other => panic!("unknown experiment {other} (use e1..e14)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
+
+/// Runs a batch of experiments, fanning the independent ids across up to
+/// `threads` worker threads (see [`ba_sim::sweep`]).
+///
+/// Each experiment builds its own key registries and simulations and
+/// shares no mutable state with the others, so the output is byte-for-byte
+/// identical for any thread count — results come back in input order.
+///
+/// # Panics
+/// Panics on an unknown id (like [`run_experiment`]).
+pub fn run_experiments(ids: &[&str], threads: usize) -> Vec<(String, Vec<Table>)> {
+    ba_sim::sweep::run_sweep(ids, threads, |_, id| (id.to_string(), run_experiment(id)))
+}
 
 fn check(b: bool) -> &'static str {
     if b {
@@ -1023,6 +1037,116 @@ pub fn e13() -> Vec<Table> {
     vec![t_out]
 }
 
+/// E14 — crypto cost: hash invocations, signature checks and verifier
+/// cache effectiveness per algorithm run.
+///
+/// The chain verifier memoizes verified prefixes (see
+/// `ba_crypto::keys::VerifierCache`), so relaying patterns — where a chain
+/// arrives, is verified, extended by one signature and verified again
+/// downstream — pay O(1) signature checks per extension instead of
+/// re-checking the whole chain. This table makes that visible: without the
+/// cache every run's `sig checks` column would grow with the square of the
+/// chain length.
+pub fn e14() -> Vec<Table> {
+    let mut t_out = Table::new(
+        "E14 — crypto work per run (Fast scheme): hashes and signature checks actually performed, and the verifier-cache hit rate that keeps chain re-verification O(1) per extension",
+        &[
+            "algorithm",
+            "n",
+            "t",
+            "messages",
+            "hashes",
+            "sig checks",
+            "cache hits",
+            "cache misses",
+            "hit rate",
+            "cache exercised",
+        ],
+    );
+    let mut push = |name: &str, n: usize, t: usize, m: &ba_sim::Metrics| {
+        let c = &m.crypto;
+        t_out.row(cells![
+            name,
+            n,
+            t,
+            m.messages_by_correct,
+            c.hash_invocations,
+            c.sig_verifications,
+            c.cache_hits,
+            c.cache_misses,
+            format!("{:.2}", c.cache_hit_rate()),
+            check(c.hash_invocations > 0 && c.cache_hits + c.cache_misses > 0)
+        ]);
+    };
+    for t in [2usize, 4, 6] {
+        let r = algorithm1::run(
+            t,
+            Value::ONE,
+            algorithm1::Algo1Options {
+                scheme: SchemeKind::Fast,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        push("Algorithm 1", 2 * t + 1, t, &r.outcome.metrics);
+    }
+    for t in [2usize, 4] {
+        let r = algorithm2::run(
+            t,
+            Value::ONE,
+            algorithm2::Algo2Options {
+                scheme: SchemeKind::Fast,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        push("Algorithm 2", 2 * t + 1, t, &r.report.outcome.metrics);
+    }
+    for (n, t) in [(15usize, 3usize), (25, 3)] {
+        let r = dolev_strong::run(
+            n,
+            t,
+            Value::ONE,
+            dolev_strong::DsOptions {
+                variant: dolev_strong::Variant::Relay,
+                scheme: SchemeKind::Fast,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        push("Dolev-Strong relay", n, t, &r.outcome.metrics);
+    }
+    for (n, t, s) in [(50usize, 2usize, 8usize), (120, 3, 12)] {
+        let r = algorithm3::run(
+            n,
+            t,
+            s,
+            Value::ONE,
+            algorithm3::Alg3Options {
+                scheme: SchemeKind::Fast,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        push("Algorithm 3", n, t, &r.outcome.metrics);
+    }
+    for (n, t, s) in [(60usize, 1usize, 3usize), (120, 3, 7)] {
+        let r = algorithm5::run(
+            n,
+            t,
+            s,
+            Value::ONE,
+            algorithm5::Alg5Options {
+                scheme: SchemeKind::Fast,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        push("Algorithm 5", n, t, &r.outcome.metrics);
+    }
+    vec![t_out]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1047,5 +1171,25 @@ mod tests {
     #[should_panic(expected = "unknown experiment")]
     fn unknown_id_panics() {
         let _ = run_experiment("e99");
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_render() {
+        // Cheap subset: the rendered tables must be byte-identical for any
+        // thread count.
+        let ids = ["e2", "e4", "e14"];
+        let render = |batch: &[(String, Vec<Table>)]| -> String {
+            batch
+                .iter()
+                .flat_map(|(id, tables)| {
+                    std::iter::once(id.clone()).chain(tables.iter().map(|t| t.render()))
+                })
+                .collect()
+        };
+        let seq = run_experiments(&ids, 1);
+        let par = run_experiments(&ids, 3);
+        assert_eq!(render(&seq), render(&par));
+        assert_eq!(seq.len(), ids.len());
+        assert_eq!(seq[2].0, "e14");
     }
 }

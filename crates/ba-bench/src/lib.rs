@@ -17,11 +17,22 @@
 //! | E8 | Lemma 5 / Theorem 7 — Algorithm 5 sweep, `s = t` ⇒ `O(n+t²)` |
 //! | E9 | Intro trade-off — phases vs messages via Algorithm 3 group size |
 //! | E10 | Who wins — message comparison across all algorithms |
+//! | E11 | Lemma 4 — Algorithm 5 activation audit |
+//! | E12 | Ablation — proof-of-work activation gating vs always-activate |
+//! | E13 | Algorithm 1 decision latency vs the `t+2` bound |
+//! | E14 | Crypto cost — hashes, signature checks, verifier-cache hit rate |
 //!
 //! Run them with `cargo run -p ba-bench --bin experiments -- all` (or a
-//! single id). Criterion runtime benches live in `benches/`.
+//! single id); ids fan out across worker threads by default (`--seq` /
+//! `--threads N` to control it) with byte-identical stdout either way.
+//! Runtime benches live in `benches/`, timed by the in-tree [`microbench`]
+//! harness (no external dependency; the registry is unreachable in the
+//! environments this workspace targets), and
+//! `cargo run -p ba-bench --release --bin bench_chain_verify` regenerates
+//! `BENCH_chain_verify.json`.
 
 pub mod experiments;
+pub mod microbench;
 pub mod table;
 
 pub use table::Table;

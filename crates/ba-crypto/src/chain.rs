@@ -12,9 +12,39 @@
 //! colluding faulty processors — it can never splice a correct processor's
 //! signature onto different content. The unit tests exercise exactly those
 //! attacks.
+//!
+//! # Rolling prefix digests
+//!
+//! Signature `i` does not cover the re-encoded prefix bytes directly (that
+//! would make verifying a length-`L` chain O(L²) hashing). Instead each
+//! signature covers a constant-size *prefix digest*:
+//!
+//! ```text
+//! d_0     = H("ba-chain" || domain || value)
+//! d_{i+1} = H(d_i || encode(sig_i))
+//! sig_i covers d_i
+//! ```
+//!
+//! Collision resistance of `H` makes `d_i` bind the domain, the value and
+//! every signature before position `i`, so the unforgeability argument is
+//! unchanged while full verification costs exactly `L + 1` hash
+//! invocations plus `L` constant-content signature checks — O(L) total.
+//! The chain keeps the running `d_L` ("tip") so appending a signature is
+//! O(1); verification always recomputes the digests from the fields so a
+//! tampered chain can never ride a stale tip.
+//!
+//! [`verify`](Chain::verify) additionally consults the registry's shared
+//! [`VerifierCache`](crate::keys::VerifierCache): digests of fully verified
+//! prefixes are memoized, so re-verifying a chain that grew by `k`
+//! signatures since it was last seen (the Dolev-Strong relay pattern) pays
+//! for only the `k` new signature checks. [`verify_uncached`]
+//! (Chain::verify_uncached) skips the cache, and [`verify_reference`]
+//! (Chain::verify_reference) is a deliberately naive O(L²) implementation
+//! retained as the oracle for the equivalence property tests.
 
 use crate::error::CryptoError;
 use crate::keys::{Signature, Signer, Verifier};
+use crate::sha256::{Sha256, DIGEST_LEN};
 use crate::wire::{Decoder, Encoder};
 use crate::{ProcessId, Value};
 use std::fmt;
@@ -38,11 +68,40 @@ use std::fmt;
 /// assert!(chain.contains_signer(ProcessId(2)));
 /// # Ok::<(), ba_crypto::CryptoError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Chain {
     domain: u32,
     value: Value,
     sigs: Vec<Signature>,
+    /// Rolling digest over everything above (`d_L`); makes
+    /// [`sign_and_append`](Self::sign_and_append) O(1). Never trusted by
+    /// verification, which recomputes digests from the other fields.
+    tip: [u8; DIGEST_LEN],
+}
+
+/// Equality ignores the cached tip: it is derived state, and test code
+/// deliberately constructs field-tampered chains whose tip is stale.
+impl PartialEq for Chain {
+    fn eq(&self, other: &Self) -> bool {
+        self.domain == other.domain && self.value == other.value && self.sigs == other.sigs
+    }
+}
+
+impl Eq for Chain {}
+
+/// `d_0`: binds the protocol domain and the carried value.
+fn seed_digest(domain: u32, value: Value) -> [u8; DIGEST_LEN] {
+    let mut enc = Encoder::with_capacity(20);
+    enc.raw(b"ba-chain").u32(domain).value(value);
+    Sha256::digest(enc.as_slice())
+}
+
+/// `d_{i+1} = H(d_i || encode(sig_i))`.
+fn extend_digest(prev: &[u8; DIGEST_LEN], sig: &Signature) -> [u8; DIGEST_LEN] {
+    let mut enc = Encoder::with_capacity(DIGEST_LEN + sig.encoded_len());
+    enc.raw(prev);
+    sig.encode(&mut enc);
+    Sha256::digest(enc.as_slice())
 }
 
 impl Chain {
@@ -52,6 +111,7 @@ impl Chain {
             domain,
             value,
             sigs: Vec::new(),
+            tip: seed_digest(domain, value),
         }
     }
 
@@ -100,37 +160,98 @@ impl Chain {
         self.signers().any(|s| s == id)
     }
 
-    /// The canonical bytes covered by the signature at position `upto`
-    /// (i.e. the domain, the value and the first `upto` signatures).
-    fn content_at(&self, upto: usize) -> bytes::Bytes {
-        let mut enc = Encoder::with_capacity(16 + upto * 40);
-        enc.u32(self.domain).value(self.value);
-        for sig in &self.sigs[..upto] {
-            sig.encode(&mut enc);
+    /// Recomputes the `L + 1` prefix digests `d_0 ..= d_L` from the chain's
+    /// fields — exactly `L + 1` hash invocations.
+    fn prefix_digests(&self) -> Vec<[u8; DIGEST_LEN]> {
+        let mut digests = Vec::with_capacity(self.sigs.len() + 1);
+        let mut d = seed_digest(self.domain, self.value);
+        digests.push(d);
+        for sig in &self.sigs {
+            d = extend_digest(&d, sig);
+            digests.push(d);
         }
-        enc.finish()
+        digests
     }
 
     /// Signs the current chain state with `signer` and appends the
-    /// signature. Returns `&mut self` for chaining.
+    /// signature. O(1) thanks to the rolling tip digest. Returns
+    /// `&mut self` for chaining.
     pub fn sign_and_append(&mut self, signer: &Signer) -> &mut Self {
-        let content = self.content_at(self.sigs.len());
-        self.sigs.push(signer.sign(&content));
+        let sig = signer.sign(&self.tip);
+        self.tip = extend_digest(&self.tip, &sig);
+        self.sigs.push(sig);
         self
     }
 
-    /// Verifies every signature against its prefix.
+    /// Verifies every signature against its prefix digest, resuming after
+    /// the longest prefix the registry's [`VerifierCache`]
+    /// (crate::keys::VerifierCache) already knows to be valid. On success
+    /// all prefixes of this chain are added to the cache.
+    ///
+    /// The cache changes cost only, never outcome: a cached prefix contains
+    /// no invalid signature (it could not have entered the cache
+    /// otherwise), so the first failing index — and hence the returned
+    /// error — is identical with and without it.
     ///
     /// # Errors
     /// [`CryptoError::EmptyChain`] when no signatures are present, or the
     /// first failing signature's error.
     pub fn verify(&self, verifier: &Verifier) -> Result<(), CryptoError> {
+        self.verify_inner(verifier, true)
+    }
+
+    /// [`verify`](Self::verify) without the cache: always checks every
+    /// signature (still O(L) hashing). Used by benchmarks and equivalence
+    /// tests.
+    ///
+    /// # Errors
+    /// As [`verify`](Self::verify).
+    pub fn verify_uncached(&self, verifier: &Verifier) -> Result<(), CryptoError> {
+        self.verify_inner(verifier, false)
+    }
+
+    fn verify_inner(&self, verifier: &Verifier, use_cache: bool) -> Result<(), CryptoError> {
+        if self.sigs.is_empty() {
+            return Err(CryptoError::EmptyChain);
+        }
+        let digests = self.prefix_digests();
+        // digests[1..][j] is d_{j+1}, the digest binding the first j+1
+        // signatures; finding it cached means verification can resume at
+        // signature j+1.
+        let start = if use_cache {
+            verifier
+                .cache()
+                .longest_verified_prefix(&digests[1..])
+                .map_or(0, |j| j + 1)
+        } else {
+            0
+        };
+        for (sig, digest) in self.sigs.iter().zip(&digests).skip(start) {
+            verifier.check(sig, digest)?;
+        }
+        if use_cache {
+            verifier.cache().insert_verified(&digests[1..]);
+        }
+        Ok(())
+    }
+
+    /// A deliberately naive O(L²) verification retained as the oracle for
+    /// the equivalence property tests: each signature's prefix digest is
+    /// re-derived from scratch instead of rolled forward, and no cache is
+    /// consulted.
+    ///
+    /// # Errors
+    /// As [`verify`](Self::verify).
+    pub fn verify_reference(&self, verifier: &Verifier) -> Result<(), CryptoError> {
         if self.sigs.is_empty() {
             return Err(CryptoError::EmptyChain);
         }
         for i in 0..self.sigs.len() {
-            let content = self.content_at(i);
-            verifier.check(&self.sigs[i], &content)?;
+            let mut d = seed_digest(self.domain, self.value);
+            for sig in &self.sigs[..i] {
+                d = extend_digest(&d, sig);
+            }
+            verifier.check(&self.sigs[i], &d)?;
         }
         Ok(())
     }
@@ -155,10 +276,16 @@ impl Chain {
     /// Returns a copy truncated to the first `len` signatures — the only
     /// chain mutation (besides extension) available to an adversary.
     pub fn truncated(&self, len: usize) -> Chain {
+        let sigs = self.sigs[..len.min(self.sigs.len())].to_vec();
+        let mut tip = seed_digest(self.domain, self.value);
+        for sig in &sigs {
+            tip = extend_digest(&tip, sig);
+        }
         Chain {
             domain: self.domain,
             value: self.value,
-            sigs: self.sigs[..len.min(self.sigs.len())].to_vec(),
+            sigs,
+            tip,
         }
     }
 
@@ -172,7 +299,7 @@ impl Chain {
         }
     }
 
-    /// Decodes a chain.
+    /// Decodes a chain, rebuilding the rolling tip digest.
     ///
     /// # Errors
     /// Wire errors from malformed input; the decoded chain still needs
@@ -183,13 +310,17 @@ impl Chain {
         let count = dec.u32()? as usize;
         // Cap pre-allocation: adversarial counts must not trigger OOM.
         let mut sigs = Vec::with_capacity(count.min(1024));
+        let mut tip = seed_digest(domain, value);
         for _ in 0..count {
-            sigs.push(Signature::decode(dec)?);
+            let sig = Signature::decode(dec)?;
+            tip = extend_digest(&tip, &sig);
+            sigs.push(sig);
         }
         Ok(Chain {
             domain,
             value,
             sigs,
+            tip,
         })
     }
 }
@@ -208,6 +339,7 @@ impl fmt::Display for Chain {
 mod tests {
     use super::*;
     use crate::keys::{KeyRegistry, SchemeKind};
+    use crate::stats::CryptoStats;
 
     fn reg() -> KeyRegistry {
         KeyRegistry::new(6, 99, SchemeKind::Hmac)
@@ -238,6 +370,10 @@ mod tests {
         let c = Chain::new(1, Value::ZERO);
         assert!(c.is_empty());
         assert_eq!(c.verify(&reg.verifier()), Err(CryptoError::EmptyChain));
+        assert_eq!(
+            c.verify_reference(&reg.verifier()),
+            Err(CryptoError::EmptyChain)
+        );
     }
 
     #[test]
@@ -293,6 +429,16 @@ mod tests {
     }
 
     #[test]
+    fn truncated_chain_can_be_extended() {
+        // The rebuilt tip must let signing continue from the cut point.
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1, 2]);
+        let mut t = c.truncated(1);
+        t.sign_and_append(&reg.signer(ProcessId(3)));
+        t.verify(&reg.verifier()).unwrap();
+    }
+
+    #[test]
     fn duplicate_signer_rejected_for_simple_path() {
         let reg = reg();
         let c = signed_chain(&reg, &[0, 1, 0]);
@@ -332,6 +478,10 @@ mod tests {
         let d = Chain::decode(&mut Decoder::new(&buf)).unwrap();
         assert_eq!(d, c);
         d.verify(&reg.verifier()).unwrap();
+        // The decoded chain's rebuilt tip supports further signing.
+        let mut d = d;
+        d.sign_and_append(&reg.signer(ProcessId(0)));
+        d.verify(&reg.verifier()).unwrap();
     }
 
     #[test]
@@ -356,51 +506,197 @@ mod tests {
         assert_eq!(c.to_string(), "chain[1 v1 p0 p2]");
     }
 
+    #[test]
+    fn verify_hashing_is_linear_in_chain_length() {
+        // With SchemeKind::Fast the only hashing is the prefix-digest
+        // chain, so verifying L signatures costs exactly L + 1 hash
+        // invocations (d_0 ..= d_L) — the tentpole O(L) guarantee.
+        let reg = KeyRegistry::new(40, 7, SchemeKind::Fast);
+        for l in [1usize, 4, 8, 32] {
+            let mut c = Chain::new(3, Value::ONE);
+            for id in 0..l as u32 {
+                c.sign_and_append(&reg.signer(ProcessId(id)));
+            }
+            let before = CryptoStats::snapshot();
+            c.verify_uncached(&reg.verifier()).unwrap();
+            let delta = CryptoStats::snapshot().since(&before);
+            assert_eq!(delta.hash_invocations, l as u64 + 1, "length {l}");
+            assert_eq!(delta.sig_verifications, l as u64, "length {l}");
+        }
+    }
+
+    #[test]
+    fn cache_makes_extension_cost_constant() {
+        let reg = KeyRegistry::new(12, 5, SchemeKind::Fast);
+        let v = reg.verifier();
+        let mut c = Chain::new(2, Value::ONE);
+        for id in 0..8 {
+            c.sign_and_append(&reg.signer(ProcessId(id)));
+        }
+
+        // First sight: a miss, all 8 signatures checked.
+        let before = CryptoStats::snapshot();
+        c.verify(&v).unwrap();
+        let delta = CryptoStats::snapshot().since(&before);
+        assert_eq!(delta.cache_misses, 1);
+        assert_eq!(delta.sig_verifications, 8);
+
+        // Extend by one (the relay pattern): only the new signature is
+        // checked — O(1) additional verification work.
+        c.sign_and_append(&reg.signer(ProcessId(8)));
+        let before = CryptoStats::snapshot();
+        c.verify(&v).unwrap();
+        let delta = CryptoStats::snapshot().since(&before);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.sig_verifications, 1);
+
+        // Identical chain again: nothing left to check.
+        let before = CryptoStats::snapshot();
+        c.verify(&v).unwrap();
+        let delta = CryptoStats::snapshot().since(&before);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.sig_verifications, 0);
+        assert!(v.cache().hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn cache_never_rescues_a_tampered_chain() {
+        // Verify a good chain (populating the cache), then tamper with a
+        // *suffix* signature: the cached prefix is reused but the bad
+        // signature is still caught.
+        let reg = KeyRegistry::new(6, 11, SchemeKind::Fast);
+        let v = reg.verifier();
+        let mut c = Chain::new(0, Value::ONE);
+        for id in 0..4 {
+            c.sign_and_append(&reg.signer(ProcessId(id)));
+        }
+        c.verify(&v).unwrap();
+        let mut bad = c.clone();
+        bad.sigs
+            .push(Signature::forged(ProcessId(5), SchemeKind::Fast));
+        assert!(bad.verify(&v).is_err());
+        // And the failed chain's prefixes beyond the valid part must not
+        // have been cached: re-verifying still fails.
+        assert!(bad.verify(&v).is_err());
+        // The untampered chain still passes.
+        c.verify(&v).unwrap();
+    }
+
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use crate::testkit::{run_cases, Gen};
 
-        proptest! {
-            #[test]
-            fn prop_roundtrip_preserves_verification(
-                seed in any::<u64>(),
-                ids in proptest::collection::vec(0u32..8, 1..8),
-                value in any::<u64>(),
-                domain in any::<u32>(),
-            ) {
-                let reg = KeyRegistry::new(8, seed, SchemeKind::Fast);
-                let mut c = Chain::new(domain, Value(value));
-                for &id in &ids {
-                    c.sign_and_append(&reg.signer(ProcessId(id)));
+        fn random_chain(gen: &mut Gen, reg: &KeyRegistry, domain: u32, value: Value) -> Chain {
+            let mut c = Chain::new(domain, value);
+            let len = gen.usize_in(0, 9);
+            for _ in 0..len {
+                let id = gen.u32_in(0, 8);
+                c.sign_and_append(&reg.signer(ProcessId(id)));
+            }
+            c
+        }
+
+        #[test]
+        fn prop_roundtrip_preserves_verification() {
+            run_cases(48, 0x31, |gen| {
+                let reg = KeyRegistry::new(8, gen.u64(), SchemeKind::Fast);
+                let domain = gen.u32();
+                let value = Value(gen.u64());
+                let mut c = random_chain(gen, &reg, domain, value);
+                if c.is_empty() {
+                    c.sign_and_append(&reg.signer(ProcessId(0)));
                 }
                 c.verify(&reg.verifier()).unwrap();
                 let mut enc = Encoder::new();
                 c.encode(&mut enc);
                 let buf = enc.finish();
                 let d = Chain::decode(&mut Decoder::new(&buf)).unwrap();
-                prop_assert_eq!(&d, &c);
+                assert_eq!(&d, &c);
                 d.verify(&reg.verifier()).unwrap();
-            }
+            });
+        }
 
-            #[test]
-            fn prop_any_prefix_verifies(
-                seed in any::<u64>(),
-                ids in proptest::collection::vec(0u32..8, 1..8),
-                cut in any::<usize>(),
-            ) {
-                let reg = KeyRegistry::new(8, seed, SchemeKind::Fast);
+        #[test]
+        fn prop_any_prefix_verifies() {
+            run_cases(48, 0x32, |gen| {
+                let reg = KeyRegistry::new(8, gen.u64(), SchemeKind::Fast);
+                let ids = gen.vec_u32_in(0, 8, 1, 8);
+                let cut = gen.usize();
                 let mut c = Chain::new(0, Value::ONE);
                 for &id in &ids {
                     c.sign_and_append(&reg.signer(ProcessId(id)));
                 }
                 let t = c.truncated(1 + cut % ids.len());
                 t.verify(&reg.verifier()).unwrap();
-            }
+            });
+        }
 
-            #[test]
-            fn prop_garbage_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        #[test]
+        fn prop_garbage_decode_never_panics() {
+            run_cases(48, 0x33, |gen| {
+                let data = gen.vec_u8(0, 128);
                 let _ = Chain::decode(&mut Decoder::new(&data));
-            }
+            });
+        }
+
+        /// The equivalence oracle required by the issue: the cached and
+        /// incremental verifiers must accept and reject *exactly* the same
+        /// chains — with the same error — as the naive O(L²) reference,
+        /// across honest chains and truncate/splice/extend/tamper attacks.
+        #[test]
+        fn prop_cached_and_incremental_match_reference() {
+            run_cases(96, 0x34, |gen| {
+                let kind = if gen.bool() {
+                    SchemeKind::Fast
+                } else {
+                    SchemeKind::Hmac
+                };
+                let seed = gen.u64();
+                let reg = KeyRegistry::new(8, seed, kind);
+                let foreign = KeyRegistry::new(8, seed ^ 0x5555, kind);
+                let domain = gen.u32_in(0, 4);
+                let value = Value(gen.u64_in(0, 4));
+                let mut c = random_chain(gen, &reg, domain, value);
+
+                // One random manipulation drawn from the attack repertoire.
+                match gen.usize_in(0, 8) {
+                    0 => {} // honest chain, untouched
+                    1 => c = c.truncated(gen.usize_in(0, c.len() + 2)),
+                    2 => c.value = Value(gen.u64()), // value tamper
+                    3 => c.domain = gen.u32(),       // domain tamper
+                    4 => {
+                        // reorder
+                        if c.len() >= 2 {
+                            let i = gen.usize_in(0, c.len());
+                            let j = gen.usize_in(0, c.len());
+                            c.sigs.swap(i, j);
+                        }
+                    }
+                    5 => {
+                        // forged extension
+                        let id = gen.u32_in(0, 10);
+                        c.sigs.push(Signature::forged(ProcessId(id), kind));
+                    }
+                    6 => {
+                        // splice a signature minted under a different
+                        // registry (wrong keys) onto this chain
+                        let mut o = Chain::new(domain, value);
+                        o.sign_and_append(&foreign.signer(ProcessId(gen.u32_in(0, 8))));
+                        c.sigs.push(o.sigs[0].clone());
+                    }
+                    _ => {
+                        // honest extension
+                        c.sign_and_append(&reg.signer(ProcessId(gen.u32_in(0, 8))));
+                    }
+                }
+
+                let v = reg.verifier();
+                let reference = c.verify_reference(&v);
+                assert_eq!(c.verify_uncached(&v), reference);
+                // Twice through the cached path: cold and (possibly) warm.
+                assert_eq!(c.verify(&v), reference);
+                assert_eq!(c.verify(&v), reference);
+            });
         }
     }
 }

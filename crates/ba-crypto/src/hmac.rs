@@ -143,28 +143,28 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use crate::testkit::run_cases;
 
-        proptest! {
-            #[test]
-            fn prop_deterministic(
-                key in proptest::collection::vec(any::<u8>(), 0..100),
-                msg in proptest::collection::vec(any::<u8>(), 0..300),
-            ) {
-                prop_assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
-            }
+        #[test]
+        fn prop_deterministic() {
+            run_cases(48, 0x41, |gen| {
+                let key = gen.vec_u8(0, 100);
+                let msg = gen.vec_u8(0, 300);
+                assert_eq!(hmac_sha256(&key, &msg), hmac_sha256(&key, &msg));
+            });
+        }
 
-            #[test]
-            fn prop_message_tamper_detected(
-                key in proptest::collection::vec(any::<u8>(), 1..64),
-                msg in proptest::collection::vec(any::<u8>(), 1..128),
-                idx in any::<usize>(),
-            ) {
+        #[test]
+        fn prop_message_tamper_detected() {
+            run_cases(48, 0x42, |gen| {
+                let key = gen.vec_u8(1, 64);
+                let msg = gen.vec_u8(1, 128);
+                let idx = gen.usize();
                 let mut tampered = msg.clone();
                 let i = idx % tampered.len();
                 tampered[i] ^= 0x01;
-                prop_assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key, &tampered));
-            }
+                assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key, &tampered));
+            });
         }
     }
 }

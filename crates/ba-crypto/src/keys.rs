@@ -15,14 +15,23 @@
 //! 32-byte tags) and [`SchemeKind::Fast`] (64-bit keyed-mix tags) for large
 //! parameter sweeps where hashing would dominate runtime. Both are
 //! deterministic in the run seed.
+//!
+//! Each registry also carries a shared [`VerifierCache`] memoizing the
+//! prefix digests of signature chains that have already fully verified, so
+//! a receiver seeing a chain extended by `k` signatures re-verifies only
+//! the `k` new ones (the Dolev-Strong relay pattern). See
+//! [`chain`](crate::chain) for how the digests are formed.
 
 use crate::error::CryptoError;
 use crate::hmac::hmac_sha256;
-use crate::sha256::Sha256;
+use crate::rng::splitmix64;
+use crate::sha256::{Sha256, DIGEST_LEN};
 use crate::wire::{Decoder, Encoder};
 use crate::ProcessId;
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which tag construction a [`KeyRegistry`] uses.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -117,11 +126,105 @@ impl fmt::Display for Signature {
     }
 }
 
+/// Memoization of fully verified signature-chain prefixes.
+///
+/// The cache stores the *rolling prefix digests* of chains that a
+/// [`Verifier`] over the same registry has already accepted. A digest
+/// collision-resistantly binds the chain's domain, value and every
+/// signature in the prefix, so finding a digest in the cache proves that
+/// exact prefix verified before — re-verification can resume after it and
+/// pay only for the new signatures.
+///
+/// The cache is shared by every `Verifier` cloned from one
+/// [`KeyRegistry`] (all actors of one simulated run), which is sound
+/// because signature validity depends only on the registry's keys, never
+/// on who is asking. It is a pure runtime optimization: accept/reject
+/// behavior is bit-identical with or without it.
+#[derive(Debug, Default)]
+pub struct VerifierCache {
+    verified: Mutex<HashSet<[u8; DIGEST_LEN]>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Bound on cached digests; the set is cleared when full so a long sweep
+/// cannot grow memory without bound (32 B/entry → ≤ 2 MiB).
+const CACHE_CAP: usize = 1 << 16;
+
+impl VerifierCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        VerifierCache::default()
+    }
+
+    /// Returns the largest index `i` such that `digests[i]` is a known
+    /// verified prefix, scanning longest-first. Records a hit (some prefix
+    /// was reusable) or a miss on this cache *and* on the thread-local
+    /// [`CryptoStats`](crate::stats::CryptoStats) counters.
+    pub fn longest_verified_prefix(&self, digests: &[[u8; DIGEST_LEN]]) -> Option<usize> {
+        let found = {
+            let verified = self.verified.lock().expect("verifier cache poisoned");
+            digests.iter().rposition(|d| verified.contains(d))
+        };
+        match found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::stats::record_cache_hit();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::stats::record_cache_miss();
+            }
+        }
+        found
+    }
+
+    /// Marks every digest in `digests` as a verified prefix.
+    pub fn insert_verified(&self, digests: &[[u8; DIGEST_LEN]]) {
+        let mut verified = self.verified.lock().expect("verifier cache poisoned");
+        if verified.len() + digests.len() > CACHE_CAP {
+            verified.clear();
+        }
+        verified.extend(digests.iter().copied());
+    }
+
+    /// Number of lookups that found a reusable verified prefix.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups that hit (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Number of digests currently cached.
+    pub fn len(&self) -> usize {
+        self.verified.lock().expect("verifier cache poisoned").len()
+    }
+
+    /// Whether the cache holds no digests.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[derive(Debug)]
 struct RegistryInner {
     hmac_keys: Vec<[u8; 32]>,
     fast_keys: Vec<u64>,
     kind: SchemeKind,
+    cache: VerifierCache,
 }
 
 /// The trusted key registry: one secret per processor, derived from a seed.
@@ -142,14 +245,6 @@ pub struct KeyRegistry {
     inner: Arc<RegistryInner>,
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl KeyRegistry {
     /// Creates a registry for `n` processors with secrets derived from
     /// `seed`.
@@ -168,6 +263,7 @@ impl KeyRegistry {
                 hmac_keys,
                 fast_keys,
                 kind,
+                cache: VerifierCache::new(),
             }),
         }
     }
@@ -211,7 +307,14 @@ impl KeyRegistry {
         }
     }
 
+    /// The chain-verification cache shared by every verifier over this
+    /// registry.
+    pub fn cache(&self) -> &VerifierCache {
+        &self.inner.cache
+    }
+
     fn tag_for(&self, id: ProcessId, content: &[u8]) -> Tag {
+        crate::stats::record_tag_op();
         match self.inner.kind {
             SchemeKind::Hmac => Tag::Hmac(hmac_sha256(&self.inner.hmac_keys[id.index()], content)),
             SchemeKind::Fast => {
@@ -277,6 +380,7 @@ impl Verifier {
     /// [`CryptoError::BadSignature`] for tag mismatches (including tags of
     /// the wrong scheme kind).
     pub fn check(&self, sig: &Signature, content: &[u8]) -> Result<(), CryptoError> {
+        crate::stats::record_sig_verification();
         if sig.signer.index() >= self.registry.len() {
             return Err(CryptoError::UnknownSigner {
                 signer: sig.signer,
@@ -306,6 +410,12 @@ impl Verifier {
     /// Whether the underlying registry is empty.
     pub fn is_empty(&self) -> bool {
         self.registry.is_empty()
+    }
+
+    /// The chain-verification cache shared with every verifier over the
+    /// same registry.
+    pub fn cache(&self) -> &VerifierCache {
+        self.registry.cache()
     }
 }
 
@@ -436,43 +546,87 @@ mod tests {
         let _ = reg.signer(ProcessId(2));
     }
 
+    #[test]
+    fn cache_tracks_prefixes_and_hit_rate() {
+        let cache = VerifierCache::new();
+        let d1 = [1u8; 32];
+        let d2 = [2u8; 32];
+        let d3 = [3u8; 32];
+        assert!(cache.is_empty());
+        assert_eq!(cache.longest_verified_prefix(&[d1, d2]), None);
+        cache.insert_verified(&[d1, d2]);
+        assert_eq!(cache.len(), 2);
+        // Longest cached prefix wins, even when a shorter one is also cached.
+        assert_eq!(cache.longest_verified_prefix(&[d1, d2, d3]), Some(1));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn cache_clears_when_full_instead_of_growing() {
+        let cache = VerifierCache::new();
+        let mut digest = [0u8; 32];
+        for i in 0..(CACHE_CAP as u64) {
+            digest[..8].copy_from_slice(&i.to_be_bytes());
+            cache.insert_verified(&[digest]);
+        }
+        assert_eq!(cache.len(), CACHE_CAP);
+        digest[..8].copy_from_slice(&(CACHE_CAP as u64).to_be_bytes());
+        cache.insert_verified(&[digest]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_shared_across_verifier_clones() {
+        let reg = KeyRegistry::new(2, 0, SchemeKind::Fast);
+        let v1 = reg.verifier();
+        let v2 = reg.verifier();
+        v1.cache().insert_verified(&[[7u8; 32]]);
+        assert_eq!(v2.cache().len(), 1);
+        assert_eq!(reg.cache().len(), 1);
+    }
+
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use crate::testkit::run_cases;
 
-        proptest! {
-            #[test]
-            fn prop_sign_verify(
-                seed in any::<u64>(),
-                id in 0u32..8,
-                msg in proptest::collection::vec(any::<u8>(), 0..128),
-            ) {
+        #[test]
+        fn prop_sign_verify() {
+            run_cases(48, 0x21, |gen| {
+                let seed = gen.u64();
+                let id = gen.u32_in(0, 8);
+                let msg = gen.vec_u8(0, 128);
                 for kind in [SchemeKind::Hmac, SchemeKind::Fast] {
                     let reg = KeyRegistry::new(8, seed, kind);
                     let sig = reg.signer(ProcessId(id)).sign(&msg);
-                    prop_assert!(reg.verifier().verify(&sig, &msg));
+                    assert!(reg.verifier().verify(&sig, &msg));
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn prop_wrong_message_rejected(
-                seed in any::<u64>(),
-                msg in proptest::collection::vec(any::<u8>(), 1..64),
-                flip in any::<usize>(),
-            ) {
+        #[test]
+        fn prop_wrong_message_rejected() {
+            run_cases(48, 0x22, |gen| {
+                let seed = gen.u64();
+                let msg = gen.vec_u8(1, 64);
+                let flip = gen.usize();
                 for kind in [SchemeKind::Hmac, SchemeKind::Fast] {
                     let reg = KeyRegistry::new(4, seed, kind);
                     let sig = reg.signer(ProcessId(0)).sign(&msg);
                     let mut tampered = msg.clone();
                     tampered[flip % msg.len()] ^= 1;
-                    prop_assert!(!reg.verifier().verify(&sig, &tampered));
+                    assert!(!reg.verifier().verify(&sig, &tampered));
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn prop_decode_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..48)) {
+        #[test]
+        fn prop_decode_garbage_never_panics() {
+            run_cases(48, 0x23, |gen| {
+                let data = gen.vec_u8(0, 48);
                 let _ = Signature::decode(&mut Decoder::new(&data));
-            }
+            });
         }
     }
 }

@@ -24,7 +24,12 @@
 //!   covering the value and all previous signatures), the workhorse of the
 //!   paper's authenticated algorithms;
 //! * [`wire`] — a tiny deterministic binary encoding used as the canonical
-//!   byte representation that signatures cover.
+//!   byte representation that signatures cover, plus the internal
+//!   [`Bytes`] buffer type;
+//! * [`rng`], [`testkit`], [`stats`] — a seedable splitmix64 generator, a
+//!   deterministic property-test harness, and thread-local work counters
+//!   (hash invocations, signature verifications, cache hits) so the
+//!   simulation can account for cryptographic cost precisely.
 //!
 //! Two interchangeable schemes are offered (see [`keys::SchemeKind`]):
 //! `Hmac` (full 256-bit tags) and `Fast` (64-bit keyed-mix tags) for large
@@ -48,12 +53,17 @@ pub mod chain;
 pub mod error;
 pub mod hmac;
 pub mod keys;
+pub mod rng;
 pub mod sha256;
+pub mod stats;
+pub mod testkit;
 pub mod wire;
 
 pub use chain::Chain;
 pub use error::CryptoError;
-pub use keys::{KeyRegistry, SchemeKind, Signature, Signer, Verifier};
+pub use keys::{KeyRegistry, SchemeKind, Signature, Signer, Verifier, VerifierCache};
+pub use stats::CryptoStats;
+pub use wire::Bytes;
 
 use core::fmt;
 

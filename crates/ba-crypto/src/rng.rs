@@ -1,0 +1,153 @@
+//! A tiny deterministic pseudo-random generator (splitmix64).
+//!
+//! The crates-io registry is unreachable in the environments this
+//! reproduction targets, so the workspace carries no external `rand`
+//! dependency. Everything that needs randomness — the fuzz adversaries in
+//! `ba-sim`/`ba-algos`, the in-tree property-test harness
+//! ([`testkit`](crate::testkit)) and the sweep seed derivation — uses this
+//! generator instead. Splitmix64 passes BigCrush, is seedable from a single
+//! `u64`, and its tiny state makes per-cell seed derivation trivial, which
+//! is exactly what deterministic parallel sweeps require.
+
+/// Advances a splitmix64 state and returns the next output word.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent stream seed from a base seed and an index —
+/// used for per-cell seeds in parameter sweeps and per-case seeds in the
+/// property-test harness.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut s = base ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut s)
+}
+
+/// A seedable deterministic RNG.
+///
+/// ```
+/// use ba_crypto::rng::SimRng;
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.range_u32(0, 10) < 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            state: seed ^ 0x6C62_272E_07BB_0142,
+        }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// The next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// The next byte.
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// The next boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform draw from `lo..hi` (half-open).
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        // Modulo bias is irrelevant for simulation fuzzing purposes.
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw from `lo..hi` as `u32`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform draw from `lo..hi` as `usize`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A vector of `len` random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u8()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SimRng::new(43);
+        assert_ne!(SimRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SimRng::new(1);
+        for _ in 0..1000 {
+            let v = r.range_u64(3, 17);
+            assert!((3..17).contains(&v));
+            let u = r.range_usize(0, 5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut r = SimRng::new(9);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[r.range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn derive_seed_spreads() {
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn bytes_have_requested_length() {
+        assert_eq!(SimRng::new(3).bytes(37).len(), 37);
+        assert!(SimRng::new(3).bytes(0).is_empty());
+    }
+}

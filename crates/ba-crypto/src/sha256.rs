@@ -97,6 +97,7 @@ impl Sha256 {
 
     /// Finishes the computation, returning the 32-byte digest.
     pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        crate::stats::record_hash();
         let bit_len = self.total_len.wrapping_mul(8);
         // Padding: 0x80, zeros, 64-bit big-endian length.
         self.update_padding(&[0x80]);
@@ -343,26 +344,28 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use crate::testkit::run_cases;
 
-        proptest! {
-            #[test]
-            fn prop_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-                prop_assert_eq!(Sha256::digest(&data), reference_sha256(&data));
-            }
+        #[test]
+        fn prop_matches_reference() {
+            run_cases(48, 0x5A, |gen| {
+                let data = gen.vec_u8(0, 512);
+                assert_eq!(Sha256::digest(&data), reference_sha256(&data));
+            });
+        }
 
-            #[test]
-            fn prop_streaming_equals_oneshot(
-                a in proptest::collection::vec(any::<u8>(), 0..200),
-                b in proptest::collection::vec(any::<u8>(), 0..200),
-            ) {
+        #[test]
+        fn prop_streaming_equals_oneshot() {
+            run_cases(48, 0x5B, |gen| {
+                let a = gen.vec_u8(0, 200);
+                let b = gen.vec_u8(0, 200);
                 let mut h = Sha256::new();
                 h.update(&a);
                 h.update(&b);
                 let mut joined = a.clone();
                 joined.extend_from_slice(&b);
-                prop_assert_eq!(h.finalize(), Sha256::digest(&joined));
-            }
+                assert_eq!(h.finalize(), Sha256::digest(&joined));
+            });
         }
     }
 }

@@ -1,5 +1,5 @@
 //! Deterministic binary encoding used as the canonical byte representation
-//! that signatures cover.
+//! that signatures cover, plus the [`Bytes`] buffer type it produces.
 //!
 //! Signing a structured message requires a canonical serialization: two
 //! correct processors must produce the *same* bytes for the same logical
@@ -7,12 +7,123 @@
 //! format is intentionally minimal: fixed-width big-endian integers and
 //! length-prefixed byte strings, with no self-description.
 //!
-//! The traits are sealed by construction (plain functions over `BufMut` /
+//! The traits are sealed by construction (plain functions over `Vec<u8>` /
 //! byte slices) so the format cannot diverge between crates.
+//!
+//! [`Bytes`] is an in-tree replacement for the `bytes` crate's type of the
+//! same name: an immutable, cheaply clonable byte string backed by
+//! `Arc<[u8]>`. The workspace builds in offline environments where the
+//! crates-io registry is unreachable, so core crates carry no external
+//! dependencies at all.
 
 use crate::error::CryptoError;
 use crate::{ProcessId, Value};
-use bytes::{BufMut, Bytes, BytesMut};
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte string (`Arc<[u8]>` inside).
+///
+/// ```
+/// use ba_crypto::wire::Bytes;
+///
+/// let b = Bytes::from(vec![1u8, 2, 3]);
+/// let c = b.clone(); // O(1), shares the allocation
+/// assert_eq!(&b[..2], &[1, 2]);
+/// assert_eq!(b, c);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// The empty byte string.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copies a static slice into a buffer (the in-tree type always owns
+    /// its storage; the name matches the `bytes` crate for drop-in use).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Copies an arbitrary slice into a buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.0[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.0[..] == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &byte in self.0.iter().take(32) {
+            write!(f, "{byte:02x}")?;
+        }
+        if self.0.len() > 32 {
+            write!(f, "…({} bytes)", self.0.len())?;
+        }
+        write!(f, "\"")
+    }
+}
 
 /// Incremental encoder producing a canonical byte string.
 ///
@@ -27,39 +138,37 @@ use bytes::{BufMut, Bytes, BytesMut};
 /// ```
 #[derive(Debug, Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
-        Encoder {
-            buf: BytesMut::new(),
-        }
+        Encoder { buf: Vec::new() }
     }
 
     /// Creates an encoder with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
         Encoder {
-            buf: BytesMut::with_capacity(cap),
+            buf: Vec::with_capacity(cap),
         }
     }
 
     /// Appends a single byte.
     pub fn u8(&mut self, v: u8) -> &mut Self {
-        self.buf.put_u8(v);
+        self.buf.push(v);
         self
     }
 
     /// Appends a big-endian `u32`.
     pub fn u32(&mut self, v: u32) -> &mut Self {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
         self
     }
 
     /// Appends a big-endian `u64`.
     pub fn u64(&mut self, v: u64) -> &mut Self {
-        self.buf.put_u64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
         self
     }
 
@@ -76,19 +185,24 @@ impl Encoder {
     /// Appends a length-prefixed byte string (`u32` length + data).
     pub fn bytes(&mut self, data: &[u8]) -> &mut Self {
         self.u32(data.len() as u32);
-        self.buf.put_slice(data);
+        self.buf.extend_from_slice(data);
         self
     }
 
     /// Appends raw bytes with no length prefix (caller knows the framing).
     pub fn raw(&mut self, data: &[u8]) -> &mut Self {
-        self.buf.put_slice(data);
+        self.buf.extend_from_slice(data);
         self
     }
 
     /// Consumes the encoder, returning the immutable byte string.
     pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+        Bytes::from(self.buf)
+    }
+
+    /// Borrows the bytes written so far without consuming the encoder.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Number of bytes written so far.
@@ -275,6 +389,7 @@ mod tests {
         assert_eq!(enc.len(), 1);
         enc.bytes(b"xy");
         assert_eq!(enc.len(), 1 + 4 + 2);
+        assert_eq!(enc.as_slice().len(), enc.len());
     }
 
     #[test]
@@ -287,34 +402,69 @@ mod tests {
         assert_eq!(build(), build());
     }
 
+    #[test]
+    fn bytes_type_behaves_like_a_slice() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(b.as_ref(), &[1u8, 2, 3, 4][..]);
+        let clone = b.clone();
+        assert_eq!(b, clone);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"xy"), Bytes::copy_from_slice(b"xy"));
+        assert_eq!(Bytes::default(), Bytes::new());
+        // Ordering and hashing follow the byte content (BTreeSet keys).
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(Bytes::from_static(b"b"));
+        set.insert(Bytes::from_static(b"a"));
+        assert_eq!(set.iter().next().unwrap(), &Bytes::from_static(b"a"));
+    }
+
+    #[test]
+    fn bytes_debug_truncates_long_buffers() {
+        let short = format!("{:?}", Bytes::from_static(&[0xAB, 0xCD]));
+        assert_eq!(short, "b\"abcd\"");
+        let long = format!("{:?}", Bytes::from(vec![0u8; 100]));
+        assert!(long.contains("(100 bytes)"));
+    }
+
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use crate::testkit::run_cases;
 
-        proptest! {
-            #[test]
-            fn prop_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        #[test]
+        fn prop_bytes_roundtrip() {
+            run_cases(48, 0x11, |gen| {
+                let data = gen.vec_u8(0, 256);
                 let mut enc = Encoder::new();
                 enc.bytes(&data);
                 let buf = enc.finish();
                 let mut dec = Decoder::new(&buf);
-                prop_assert_eq!(dec.bytes().unwrap(), &data[..]);
-                prop_assert!(dec.is_exhausted());
-            }
+                assert_eq!(dec.bytes().unwrap(), &data[..]);
+                assert!(dec.is_exhausted());
+            });
+        }
 
-            #[test]
-            fn prop_mixed_roundtrip(a in any::<u32>(), b in any::<u64>(), c in any::<u8>()) {
+        #[test]
+        fn prop_mixed_roundtrip() {
+            run_cases(48, 0x12, |gen| {
+                let (a, b, c) = (gen.u32(), gen.u64(), gen.rng().next_u8());
                 let mut enc = Encoder::new();
                 enc.u32(a).u64(b).u8(c);
                 let buf = enc.finish();
                 let mut dec = Decoder::new(&buf);
-                prop_assert_eq!(dec.u32().unwrap(), a);
-                prop_assert_eq!(dec.u64().unwrap(), b);
-                prop_assert_eq!(dec.u8().unwrap(), c);
-            }
+                assert_eq!(dec.u32().unwrap(), a);
+                assert_eq!(dec.u64().unwrap(), b);
+                assert_eq!(dec.u8().unwrap(), c);
+            });
+        }
 
-            #[test]
-            fn prop_random_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        #[test]
+        fn prop_random_garbage_never_panics() {
+            run_cases(48, 0x13, |gen| {
+                let data = gen.vec_u8(0, 64);
                 let mut dec = Decoder::new(&data);
                 // Exercise every accessor; none may panic.
                 let _ = dec.u8();
@@ -323,7 +473,7 @@ mod tests {
                 let _ = dec.u64();
                 let _ = dec.process_id();
                 let _ = dec.value();
-            }
+            });
         }
     }
 }

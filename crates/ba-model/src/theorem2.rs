@@ -284,29 +284,30 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use ba_crypto::testkit::run_cases;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(12))]
-
-            #[test]
-            fn prop_starvation_always_works_below_budget(
-                n in 4usize..12,
-                seed in any::<u64>(),
-            ) {
+        #[test]
+        fn prop_starvation_always_works_below_budget() {
+            run_cases(12, 0x71, |gen| {
+                let n = gen.usize_in(4, 12);
+                let seed = gen.u64();
                 let t = 1; // one fault suffices: the only sender is the transmitter
                 let attack = attack_quiet(n, t, seed);
-                prop_assert!(attack.feasible);
-                prop_assert!(attack.violation.is_some());
-                prop_assert!(attack.victim_starved);
-            }
+                assert!(attack.feasible);
+                assert!(attack.violation.is_some());
+                assert!(attack.victim_starved);
+            });
+        }
 
-            #[test]
-            fn prop_extraction_always_meets_demand(t in 1usize..6, seed in any::<u64>()) {
+        #[test]
+        fn prop_extraction_always_meets_demand() {
+            run_cases(12, 0x72, |gen| {
+                let t = gen.usize_in(1, 6);
+                let seed = gen.u64();
                 let report = extract_algorithm1(t, seed);
-                prop_assert!(report.agreement_held);
-                prop_assert!(report.demand_met());
-            }
+                assert!(report.agreement_held);
+                assert!(report.demand_met());
+            });
         }
     }
 }

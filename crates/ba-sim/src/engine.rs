@@ -3,6 +3,7 @@
 use crate::actor::{Actor, Envelope, Outbox, Payload};
 use crate::metrics::Metrics;
 use crate::trace::{PhaseTrace, Trace};
+use ba_crypto::stats::CryptoStats;
 use ba_crypto::{ProcessId, Value};
 
 /// Result of driving a [`Simulation`] to completion.
@@ -113,6 +114,9 @@ impl<P: Payload> Simulation<P> {
             let mut next_inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
             let mut phase_trace = PhaseTrace::default();
             let mut any_sent = false;
+            // Everything below runs on this thread, so the thread-local
+            // crypto counters give an exact per-phase work delta.
+            let crypto_before = CryptoStats::snapshot();
 
             for (i, actor) in self.actors.iter_mut().enumerate() {
                 let id = ProcessId(i as u32);
@@ -140,6 +144,7 @@ impl<P: Payload> Simulation<P> {
                 }
             }
 
+            metrics.record_phase_crypto(phase, CryptoStats::snapshot().since(&crypto_before));
             if let Some(observer) = &mut self.observer {
                 observer(phase, &phase_trace.envelopes);
             }
@@ -154,9 +159,11 @@ impl<P: Payload> Simulation<P> {
         }
 
         // Deliver the last phase's messages.
+        let crypto_before = CryptoStats::snapshot();
         for (i, actor) in self.actors.iter_mut().enumerate() {
             actor.finalize(&inboxes[i]);
         }
+        metrics.absorb_crypto(CryptoStats::snapshot().since(&crypto_before));
 
         metrics.phases = executed;
         RunOutcome {

@@ -19,7 +19,10 @@
 //! * [`checker`] — post-run verification of the two Byzantine Agreement
 //!   conditions;
 //! * [`trace`] — optional full message trace for debugging and for the
-//!   formal-model experiments.
+//!   formal-model experiments;
+//! * [`sweep`] — deterministic fan-out of independent experiment cells
+//!   across scoped worker threads, with per-cell seed derivation and
+//!   metrics merging.
 //!
 //! # Example
 //!
@@ -69,6 +72,7 @@ pub mod checker;
 pub mod engine;
 pub mod metrics;
 pub mod random;
+pub mod sweep;
 pub mod trace;
 
 pub use actor::{Actor, Envelope, Outbox, Payload};

@@ -7,7 +7,14 @@
 //! processor could inflate any count arbitrarily). [`Metrics`] therefore
 //! tracks correct-sender counts as the primary figures and total counts for
 //! diagnostics.
+//!
+//! Beyond the paper's message/signature counts, the engine folds in the
+//! cryptographic work counters from [`ba_crypto::stats`] — hash
+//! invocations, signature verifications and verifier-cache hit/miss totals
+//! — per phase and per run, so the effect of the incremental chain
+//! verification is visible in experiment output and not just wall-clock.
 
+use ba_crypto::stats::CryptoStats;
 use core::fmt;
 use std::collections::BTreeMap;
 
@@ -20,6 +27,10 @@ pub struct PhaseMetrics {
     pub signatures_by_correct: u64,
     /// Messages sent by faulty processors during this phase.
     pub messages_by_faulty: u64,
+    /// SHA-256 invocations performed while executing this phase.
+    pub hash_invocations: u64,
+    /// Individual signature verifications performed this phase.
+    pub sig_verifications: u64,
 }
 
 /// Aggregated run statistics.
@@ -50,6 +61,9 @@ pub struct Metrics {
     /// Correct-sender message counts by payload kind (see
     /// [`Payload::kind`](crate::actor::Payload::kind)).
     pub by_kind_correct: BTreeMap<&'static str, u64>,
+    /// Cryptographic work performed over the whole run (all actors): hash
+    /// invocations, signature verifications, verifier-cache hits/misses.
+    pub crypto: CryptoStats,
 }
 
 impl Metrics {
@@ -83,6 +97,51 @@ impl Metrics {
             slot.messages_by_faulty += 1;
             self.messages_by_faulty += 1;
         }
+    }
+
+    /// Attributes a phase's cryptographic work delta to `phase` (1-based)
+    /// and to the run totals.
+    pub(crate) fn record_phase_crypto(&mut self, phase: usize, delta: CryptoStats) {
+        if self.per_phase.len() < phase {
+            self.per_phase.resize(phase, PhaseMetrics::default());
+        }
+        let slot = &mut self.per_phase[phase - 1];
+        slot.hash_invocations += delta.hash_invocations;
+        slot.sig_verifications += delta.sig_verifications;
+        self.crypto = self.crypto.add(&delta);
+    }
+
+    /// Adds cryptographic work to the run totals without a phase
+    /// attribution (used for finalize-time delivery).
+    pub(crate) fn absorb_crypto(&mut self, delta: CryptoStats) {
+        self.crypto = self.crypto.add(&delta);
+    }
+
+    /// Folds `other` into `self`: counters add, phase counts take the
+    /// maximum, per-phase rows add element-wise. Used by parameter sweeps
+    /// to aggregate independent cells into one run-level summary.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.phases = self.phases.max(other.phases);
+        self.last_active_phase = self.last_active_phase.max(other.last_active_phase);
+        self.messages_by_correct += other.messages_by_correct;
+        self.signatures_by_correct += other.signatures_by_correct;
+        self.bytes_by_correct += other.bytes_by_correct;
+        self.messages_by_faulty += other.messages_by_faulty;
+        if self.per_phase.len() < other.per_phase.len() {
+            self.per_phase
+                .resize(other.per_phase.len(), PhaseMetrics::default());
+        }
+        for (slot, theirs) in self.per_phase.iter_mut().zip(&other.per_phase) {
+            slot.messages_by_correct += theirs.messages_by_correct;
+            slot.signatures_by_correct += theirs.signatures_by_correct;
+            slot.messages_by_faulty += theirs.messages_by_faulty;
+            slot.hash_invocations += theirs.hash_invocations;
+            slot.sig_verifications += theirs.sig_verifications;
+        }
+        for (kind, count) in &other.by_kind_correct {
+            *self.by_kind_correct.entry(kind).or_insert(0) += count;
+        }
+        self.crypto = self.crypto.add(&other.crypto);
     }
 }
 
@@ -129,6 +188,44 @@ mod tests {
         let mut m = Metrics::default();
         m.record_send(5, false, 0, 0, "a");
         assert_eq!(m.last_active_phase, 0);
+    }
+
+    #[test]
+    fn phase_crypto_and_merge_accumulate() {
+        let delta = CryptoStats {
+            hash_invocations: 10,
+            tag_ops: 4,
+            sig_verifications: 3,
+            cache_hits: 1,
+            cache_misses: 2,
+        };
+        let mut a = Metrics::default();
+        a.record_send(1, true, 1, 8, "x");
+        a.record_phase_crypto(2, delta);
+        assert_eq!(a.per_phase[1].hash_invocations, 10);
+        assert_eq!(a.per_phase[1].sig_verifications, 3);
+        assert_eq!(a.crypto.cache_hits, 1);
+        a.absorb_crypto(delta);
+        assert_eq!(a.crypto.hash_invocations, 20);
+
+        let mut b = Metrics {
+            phases: 5,
+            ..Default::default()
+        };
+        b.record_send(3, false, 0, 0, "x");
+        b.record_send(1, true, 2, 4, "y");
+        b.record_phase_crypto(1, delta);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.phases, 5);
+        assert_eq!(merged.messages_by_correct, 2);
+        assert_eq!(merged.messages_by_faulty, 1);
+        assert_eq!(merged.per_phase.len(), 3);
+        assert_eq!(merged.per_phase[0].hash_invocations, 10);
+        assert_eq!(merged.crypto.hash_invocations, 30);
+        assert_eq!(merged.by_kind_correct.get("x"), Some(&1));
+        assert_eq!(merged.by_kind_correct.get("y"), Some(&1));
     }
 
     #[test]

@@ -5,28 +5,27 @@
 //! and validation* surface of a protocol: a [`Spammer`] floods random
 //! targets with arbitrary payloads every phase, and [`RandomOmit`] drops
 //! each outgoing message of an honest actor with a configured probability.
-//! Both are deterministic in their seed (`rand::rngs::StdRng`).
+//! Both are deterministic in their seed ([`SimRng`]).
 //!
 //! A correct protocol must tolerate any number of spammed bytes from its
 //! `t` faulty processors: every algorithm crate runs fuzz suites built on
 //! these actors.
 
 use crate::actor::{Actor, Envelope, Outbox, Payload};
+use ba_crypto::rng::SimRng;
 use ba_crypto::{ProcessId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates one adversarial payload per call.
 pub trait PayloadFuzzer<P>: std::fmt::Debug {
     /// Produces the next payload aimed at `target` during `phase`.
-    fn next(&mut self, rng: &mut StdRng, phase: usize, target: ProcessId) -> P;
+    fn next(&mut self, rng: &mut SimRng, phase: usize, target: ProcessId) -> P;
 }
 
 /// A faulty processor that sends `per_phase` random payloads to random
 /// targets every phase, decides nothing, and ignores its inbox.
 #[derive(Debug)]
 pub struct Spammer<P, F> {
-    rng: StdRng,
+    rng: SimRng,
     n: usize,
     per_phase: usize,
     fuzzer: F,
@@ -37,7 +36,7 @@ impl<P, F> Spammer<P, F> {
     /// Creates the spammer over `n` targets.
     pub fn new(n: usize, per_phase: usize, seed: u64, fuzzer: F) -> Self {
         Spammer {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
             n,
             per_phase,
             fuzzer,
@@ -49,7 +48,7 @@ impl<P, F> Spammer<P, F> {
 impl<P: Payload, F: PayloadFuzzer<P>> Actor<P> for Spammer<P, F> {
     fn step(&mut self, phase: usize, _inbox: &[Envelope<P>], out: &mut Outbox<P>) {
         for _ in 0..self.per_phase {
-            let target = ProcessId(self.rng.random_range(0..self.n as u32));
+            let target = ProcessId(self.rng.range_u32(0, self.n as u32));
             let payload = self.fuzzer.next(&mut self.rng, phase, target);
             out.send(target, payload);
         }
@@ -67,7 +66,7 @@ impl<P: Payload, F: PayloadFuzzer<P>> Actor<P> for Spammer<P, F> {
 #[derive(Debug)]
 pub struct RandomOmit<A> {
     inner: A,
-    rng: StdRng,
+    rng: SimRng,
     drop_per_mille: u32,
 }
 
@@ -76,7 +75,7 @@ impl<A> RandomOmit<A> {
     pub fn new(inner: A, drop_per_mille: u32, seed: u64) -> Self {
         RandomOmit {
             inner,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
             drop_per_mille,
         }
     }
@@ -87,7 +86,7 @@ impl<P: Payload, A: Actor<P>> Actor<P> for RandomOmit<A> {
         let mut scratch = Outbox::new(out.sender());
         self.inner.step(phase, inbox, &mut scratch);
         for env in scratch.into_staged() {
-            if self.rng.random_range(0..1000) >= self.drop_per_mille {
+            if self.rng.range_u32(0, 1000) >= self.drop_per_mille {
                 out.send(env.to, env.payload);
             }
         }
@@ -109,8 +108,8 @@ impl<P: Payload, A: Actor<P>> Actor<P> for RandomOmit<A> {
 pub struct ValueFuzzer;
 
 impl PayloadFuzzer<Value> for ValueFuzzer {
-    fn next(&mut self, rng: &mut StdRng, _phase: usize, _target: ProcessId) -> Value {
-        Value(rng.random())
+    fn next(&mut self, rng: &mut SimRng, _phase: usize, _target: ProcessId) -> Value {
+        Value(rng.next_u64())
     }
 }
 
