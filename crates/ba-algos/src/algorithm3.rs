@@ -531,6 +531,10 @@ pub struct Alg3Options {
     pub seed: u64,
     /// Signature scheme.
     pub scheme: SchemeKind,
+    /// Worker threads for intra-phase stepping (`0`/`1` = sequential).
+    /// Results are byte-identical for any value — see
+    /// [`Simulation::with_threads`].
+    pub threads: usize,
 }
 
 /// Builds and runs an Algorithm 3 scenario.
@@ -637,7 +641,9 @@ pub fn run(
     }
     assert!(fault_count <= t, "fault plan exceeds t");
 
-    let mut sim = Simulation::new(actors);
+    let mut sim = Simulation::new(actors)
+        .with_threads(options.threads)
+        .with_registry(&registry);
     let outcome = sim.run(params.phases());
     into_report(outcome, ProcessId(0), value)
 }
@@ -863,6 +869,7 @@ mod tests {
                         fault,
                         seed,
                         scheme: SchemeKind::Fast,
+                        ..Default::default()
                     },
                 )
                 .unwrap();

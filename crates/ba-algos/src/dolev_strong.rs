@@ -306,6 +306,10 @@ pub struct DsOptions {
     pub seed: u64,
     /// Signature scheme.
     pub scheme: SchemeKind,
+    /// Worker threads for intra-phase stepping (`0`/`1` = sequential).
+    /// Results are byte-identical for any value — see
+    /// [`Simulation::with_threads`].
+    pub threads: usize,
 }
 
 /// Builds and runs a Dolev–Strong scenario with `n` processors and up to
@@ -388,7 +392,9 @@ pub fn run(
         }
     }
 
-    let mut sim = Simulation::new(actors);
+    let mut sim = Simulation::new(actors)
+        .with_threads(options.threads)
+        .with_registry(&registry);
     let outcome = sim.run(params.phases());
     into_report(outcome, ProcessId(0), value)
 }
@@ -568,6 +574,7 @@ mod tests {
                         fault: DsFault::Equivocate { ones },
                         seed,
                         scheme: SchemeKind::Fast,
+                        ..Default::default()
                     },
                 )
                 .unwrap();

@@ -1,0 +1,325 @@
+//! Benchmark for the simulation engine's data plane.
+//!
+//! Three questions, one section each:
+//!
+//! * `chain_fanout` — is `Chain::clone` O(1)? Broadcasting a length-L
+//!   chain to 63 peers must cost the same for L = 8, 32 and 128 now that
+//!   chains share their signature storage (`Arc` copy-on-write);
+//! * `flood` — what do mailbox pooling and parallel intra-phase stepping
+//!   buy on a broadcast-heavy chain-relay workload (every actor endorses
+//!   once and rebroadcasts every phase, n² messages per phase)? Strategies:
+//!   sequential without pooling (the seed engine), sequential pooled, and
+//!   pooled with 4 worker threads;
+//! * `dolev_strong` / `algorithm3` — the same comparison on the two real
+//!   protocol workloads the experiments scale up.
+//!
+//! Every strategy of every workload must produce identical `Metrics` — the
+//! run aborts otherwise. Emits a JSON report to the path given as the first
+//! argument (default `BENCH_engine.json`) including the host's
+//! `available_parallelism`, so a single-core container's numbers are
+//! interpretable: there, parallel stepping can only show its (small)
+//! coordination overhead, never a speedup.
+//!
+//! ```text
+//! cargo run -p ba-bench --release --bin bench_engine
+//! ```
+//!
+//! `--dump-trace <threads>` instead prints a traced deterministic run
+//! (decisions, metrics, every envelope) to stdout; CI compares the output
+//! of `--dump-trace 1` and `--dump-trace 4` byte-for-byte.
+
+use ba_algos::{algorithm3, dolev_strong};
+use ba_bench::microbench::{bench, print_samples, Sample};
+use ba_crypto::keys::{KeyRegistry, SchemeKind, Signer, Verifier};
+use ba_crypto::{Chain, ProcessId, Value};
+use ba_sim::{Actor, Envelope, Metrics, Outbox, RunOutcome, Simulation};
+use std::fmt::Write as _;
+
+const FANOUT_PEERS: usize = 64;
+const FANOUT_LENGTHS: [usize; 3] = [8, 32, 128];
+const FLOOD_SIZES: [usize; 2] = [16, 64];
+const FLOOD_PHASES: usize = 4;
+
+/// Broadcast-heavy chain relay: actor 0 starts a signed chain; every actor
+/// verifies what it hears, endorses the longest chain once, and
+/// rebroadcasts its best chain every phase — n² messages per phase, all of
+/// them `Chain` payloads, all verified against the shared registry.
+#[derive(Debug)]
+struct FloodRelay {
+    signer: Signer,
+    verifier: Verifier,
+    n: usize,
+    endorsed: bool,
+    best: Option<Chain>,
+}
+
+impl Actor<Chain> for FloodRelay {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<Chain>], out: &mut Outbox<Chain>) {
+        if phase == 1 && out.sender() == ProcessId(0) {
+            let mut chain = Chain::new(3, Value::ONE);
+            chain.sign_and_append(&self.signer);
+            self.endorsed = true;
+            self.best = Some(chain);
+        }
+        for env in inbox {
+            if env.payload.verify(&self.verifier).is_err() {
+                continue;
+            }
+            let longer = self
+                .best
+                .as_ref()
+                .is_none_or(|b| env.payload.len() > b.len());
+            if longer {
+                self.best = Some(env.payload.clone());
+            }
+        }
+        if let Some(best) = &mut self.best {
+            if !self.endorsed {
+                self.endorsed = true;
+                best.sign_and_append(&self.signer);
+            }
+            let chain = best.clone();
+            out.broadcast((0..self.n as u32).map(ProcessId), chain);
+        }
+    }
+    fn decision(&self) -> Option<Value> {
+        self.best.as_ref().map(|c| c.value())
+    }
+}
+
+fn run_flood(n: usize, threads: usize, pooling: bool, traced: bool) -> RunOutcome<Chain> {
+    let registry = KeyRegistry::new(n, 7, SchemeKind::Fast);
+    let actors: Vec<Box<dyn Actor<Chain>>> = (0..n)
+        .map(|i| {
+            Box::new(FloodRelay {
+                signer: registry.signer(ProcessId(i as u32)),
+                verifier: registry.verifier(),
+                n,
+                endorsed: false,
+                best: None,
+            }) as Box<dyn Actor<Chain>>
+        })
+        .collect();
+    let mut sim = Simulation::new(actors)
+        .with_threads(threads)
+        .with_registry(&registry)
+        .with_mailbox_pooling(pooling);
+    if traced {
+        sim = sim.with_trace();
+    }
+    sim.run(FLOOD_PHASES)
+}
+
+fn dump_trace(threads: usize) {
+    let outcome = run_flood(16, threads, true, true);
+    println!("decisions: {:?}", outcome.decisions);
+    println!("metrics: {:#?}", outcome.metrics);
+    for (k, phase) in outcome.trace.phases.iter().enumerate() {
+        for env in &phase.envelopes {
+            println!(
+                "phase {} | {:>3} -> {:>3} | {:?}",
+                k + 1,
+                env.from.index(),
+                env.to.index(),
+                env.payload
+            );
+        }
+    }
+}
+
+struct Row {
+    section: &'static str,
+    label: String,
+    n: usize,
+    threads: usize,
+    pooled: bool,
+    sample: Sample,
+}
+
+fn json_rows(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pooled\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
+            r.section,
+            r.label,
+            r.n,
+            r.threads,
+            r.pooled,
+            r.sample.median_ns,
+            r.sample.mean_ns,
+            r.sample.min_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--dump-trace") {
+        let threads: usize = args
+            .get(2)
+            .and_then(|v| v.parse().ok())
+            .expect("--dump-trace needs a thread count");
+        dump_trace(threads);
+        return;
+    }
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // -- chain_fanout: broadcast cost must be flat in chain length --------
+    for len in FANOUT_LENGTHS {
+        let registry = KeyRegistry::new(len.max(FANOUT_PEERS), 42, SchemeKind::Fast);
+        let mut chain = Chain::new(3, Value::ONE);
+        for i in 0..len {
+            chain.sign_and_append(&registry.signer(ProcessId(i as u32)));
+        }
+        let from = ProcessId(FANOUT_PEERS as u32 - 1);
+        rows.push(Row {
+            section: "chain_fanout",
+            label: format!("L={len}"),
+            n: FANOUT_PEERS,
+            threads: 1,
+            pooled: false,
+            sample: bench(
+                format!("fanout L={len:>3} to {} peers", FANOUT_PEERS - 1),
+                || {
+                    let mut out: Outbox<Chain> = Outbox::new(from);
+                    out.broadcast((0..FANOUT_PEERS as u32).map(ProcessId), chain.clone());
+                    out.staged_len()
+                },
+            ),
+        });
+    }
+    let fanout_flat = {
+        let shortest = rows[0].sample.median_ns;
+        let longest = rows[FANOUT_LENGTHS.len() - 1].sample.median_ns;
+        // O(L) copying would scale ~16× from L=8 to L=128; shared storage
+        // should keep the ratio near 1. Allow generous noise.
+        longest < shortest * 4.0
+    };
+
+    // -- flood: engine strategies on the synthetic broadcast workload -----
+    let strategies: [(&str, usize, bool); 3] = [
+        ("seq-unpooled", 1, false),
+        ("seq-pooled", 1, true),
+        ("par4-pooled", 4, true),
+    ];
+    let mut flood_identical = true;
+    for n in FLOOD_SIZES {
+        let baseline: Metrics = run_flood(n, 1, false, false).metrics;
+        for (label, threads, pooled) in strategies {
+            let outcome = run_flood(n, threads, pooled, false);
+            flood_identical &= outcome.metrics == baseline;
+            rows.push(Row {
+                section: "flood",
+                label: label.to_string(),
+                n,
+                threads,
+                pooled,
+                sample: bench(format!("flood n={n:>3} {label}"), || {
+                    run_flood(n, threads, pooled, false)
+                        .metrics
+                        .messages_total()
+                }),
+            });
+        }
+    }
+
+    // -- real protocol workloads ------------------------------------------
+    let mut ds_identical = true;
+    for n in [32usize, 64] {
+        let t = 4;
+        let run_ds = |threads: usize| {
+            dolev_strong::run(
+                n,
+                t,
+                Value::ONE,
+                dolev_strong::DsOptions {
+                    variant: dolev_strong::Variant::Broadcast,
+                    scheme: SchemeKind::Fast,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let baseline = run_ds(1).outcome.metrics;
+        for threads in [1usize, 4] {
+            ds_identical &= run_ds(threads).outcome.metrics == baseline;
+            rows.push(Row {
+                section: "dolev_strong",
+                label: format!("t={t} threads={threads}"),
+                n,
+                threads,
+                pooled: true,
+                sample: bench(format!("dolev-strong n={n:>3} threads={threads}"), || {
+                    run_ds(threads).outcome.metrics.messages_by_correct
+                }),
+            });
+        }
+    }
+
+    let mut alg3_identical = true;
+    {
+        let (n, t, s) = (64usize, 3usize, 12usize);
+        let run_a3 = |threads: usize| {
+            algorithm3::run(
+                n,
+                t,
+                s,
+                Value::ONE,
+                algorithm3::Alg3Options {
+                    scheme: SchemeKind::Fast,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let baseline = run_a3(1).outcome.metrics;
+        for threads in [1usize, 4] {
+            alg3_identical &= run_a3(threads).outcome.metrics == baseline;
+            rows.push(Row {
+                section: "algorithm3",
+                label: format!("t={t} s={s} threads={threads}"),
+                n,
+                threads,
+                pooled: true,
+                sample: bench(format!("algorithm3 n={n:>3} threads={threads}"), || {
+                    run_a3(threads).outcome.metrics.messages_by_correct
+                }),
+            });
+        }
+    }
+
+    assert!(
+        flood_identical && ds_identical && alg3_identical,
+        "metrics diverged across engine strategies — determinism contract broken"
+    );
+
+    let samples: Vec<Sample> = rows.iter().map(|r| r.sample.clone()).collect();
+    print_samples("engine data plane", &samples);
+
+    let mut json = String::from("{\n  \"bench\": \"engine\",\n");
+    let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(
+        json,
+        "  \"checks\": {{\"chain_fanout_flat\": {fanout_flat}, \"flood_metrics_identical\": {flood_identical}, \"dolev_strong_metrics_identical\": {ds_identical}, \"algorithm3_metrics_identical\": {alg3_identical}}},"
+    );
+    json.push_str("  \"rows\": [\n");
+    json.push_str(&json_rows(&rows));
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

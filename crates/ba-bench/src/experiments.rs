@@ -8,7 +8,7 @@ use ba_algos::{
 use ba_crypto::{ProcessId, SchemeKind, Value};
 use ba_model::{theorem1, theorem2};
 
-/// Runs one experiment by id (`"e1"`..`"e14"`).
+/// Runs one experiment by id (`"e1"`..`"e15"`).
 ///
 /// # Panics
 /// Panics on an unknown id.
@@ -28,13 +28,14 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e12" => e12(),
         "e13" => e13(),
         "e14" => e14(),
-        other => panic!("unknown experiment {other} (use e1..e14)"),
+        "e15" => e15(),
+        other => panic!("unknown experiment {other} (use e1..e15)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs a batch of experiments, fanning the independent ids across up to
@@ -1143,6 +1144,103 @@ pub fn e14() -> Vec<Table> {
         )
         .unwrap();
         push("Algorithm 5", n, t, &r.outcome.metrics);
+    }
+    vec![t_out]
+}
+
+/// E15 — engine scaling: parallel intra-phase stepping is observationally
+/// equivalent to the sequential engine.
+///
+/// Each workload runs twice, sequentially and across 4 worker threads, and
+/// every accounting column must match exactly: the engine routes staged
+/// messages in actor-id order on the calling thread and puts the shared
+/// verifier cache into deferred phase-snapshot mode
+/// (`Simulation::with_registry`), so `Metrics`, decisions and traces are
+/// byte-identical for any thread count. Wall-clock numbers live in the
+/// engine benchmark (`bench_engine` → `BENCH_engine.json`); this table pins
+/// the determinism contract the parallelism rests on.
+pub fn e15() -> Vec<Table> {
+    let mut t_out = Table::new(
+        "E15 — engine scaling across worker threads (Fast scheme): all accounting byte-identical between sequential and parallel intra-phase stepping",
+        &[
+            "workload",
+            "n",
+            "t",
+            "threads",
+            "messages",
+            "signatures",
+            "hashes",
+            "sig checks",
+            "identical across threads",
+        ],
+    );
+    for (n, t) in [(16usize, 3usize), (64, 3)] {
+        let run_with = |threads: usize| {
+            dolev_strong::run(
+                n,
+                t,
+                Value::ONE,
+                dolev_strong::DsOptions {
+                    variant: dolev_strong::Variant::Broadcast,
+                    scheme: SchemeKind::Fast,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let seq = run_with(1);
+        let par = run_with(4);
+        let same = seq.outcome.metrics == par.outcome.metrics
+            && seq.outcome.decisions == par.outcome.decisions;
+        for (threads, r) in [(1usize, &seq), (4, &par)] {
+            let m = &r.outcome.metrics;
+            t_out.row(cells![
+                "Dolev-Strong broadcast",
+                n,
+                t,
+                threads,
+                m.messages_by_correct,
+                m.signatures_by_correct,
+                m.crypto.hash_invocations,
+                m.crypto.sig_verifications,
+                check(same)
+            ]);
+        }
+    }
+    for (n, t, s) in [(64usize, 3usize, 12usize)] {
+        let run_with = |threads: usize| {
+            algorithm3::run(
+                n,
+                t,
+                s,
+                Value::ONE,
+                algorithm3::Alg3Options {
+                    scheme: SchemeKind::Fast,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let seq = run_with(1);
+        let par = run_with(4);
+        let same = seq.outcome.metrics == par.outcome.metrics
+            && seq.outcome.decisions == par.outcome.decisions;
+        for (threads, r) in [(1usize, &seq), (4, &par)] {
+            let m = &r.outcome.metrics;
+            t_out.row(cells![
+                "Algorithm 3",
+                n,
+                t,
+                threads,
+                m.messages_by_correct,
+                m.signatures_by_correct,
+                m.crypto.hash_invocations,
+                m.crypto.sig_verifications,
+                check(same)
+            ]);
+        }
     }
     vec![t_out]
 }

@@ -21,15 +21,20 @@
 //! | E12 | Ablation — proof-of-work activation gating vs always-activate |
 //! | E13 | Algorithm 1 decision latency vs the `t+2` bound |
 //! | E14 | Crypto cost — hashes, signature checks, verifier-cache hit rate |
+//! | E15 | Engine scaling — sequential vs parallel stepping, byte-identical |
 //!
 //! Run them with `cargo run -p ba-bench --bin experiments -- all` (or a
 //! single id); ids fan out across worker threads by default (`--seq` /
 //! `--threads N` to control it) with byte-identical stdout either way.
 //! Runtime benches live in `benches/`, timed by the in-tree [`microbench`]
 //! harness (no external dependency; the registry is unreachable in the
-//! environments this workspace targets), and
+//! environments this workspace targets).
 //! `cargo run -p ba-bench --release --bin bench_chain_verify` regenerates
-//! `BENCH_chain_verify.json`.
+//! `BENCH_chain_verify.json`, and
+//! `cargo run -p ba-bench --release --bin bench_engine` regenerates
+//! `BENCH_engine.json` (mailbox pooling, O(1) chain cloning and parallel
+//! intra-phase stepping; `--dump-trace N` prints a traced run for the CI
+//! determinism check).
 
 pub mod experiments;
 pub mod microbench;

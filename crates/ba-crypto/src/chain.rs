@@ -33,6 +33,18 @@
 //! O(1); verification always recomputes the digests from the fields so a
 //! tampered chain can never ride a stale tip.
 //!
+//! # Shared signature storage
+//!
+//! The signature buffer lives behind an [`Arc`]: `Chain::clone` is O(1)
+//! (a refcount bump), so broadcasting a length-`L` chain to `n − 1`
+//! recipients costs one allocation instead of `n − 1` signature-vector
+//! copies. [`sign_and_append`](Chain::sign_and_append) is copy-on-write —
+//! it copies the buffer exactly once when clones still share it — which
+//! moves the relay pattern's per-hop cost from `O(n·L)` copied signatures
+//! to `O(L)`. Sharing is an ownership optimization only: chains remain
+//! value types (cloning then mutating never aliases), enforced by the
+//! copy-on-write tests.
+//!
 //! [`verify`](Chain::verify) additionally consults the registry's shared
 //! [`VerifierCache`](crate::keys::VerifierCache): digests of fully verified
 //! prefixes are memoized, so re-verifying a chain that grew by `k`
@@ -48,6 +60,7 @@ use crate::sha256::{Sha256, DIGEST_LEN};
 use crate::wire::{Decoder, Encoder};
 use crate::{ProcessId, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// A signed chain: `domain`-tagged value plus ordered signatures.
 ///
@@ -72,7 +85,15 @@ use std::fmt;
 pub struct Chain {
     domain: u32,
     value: Value,
-    sigs: Vec<Signature>,
+    /// Shared signature buffer. `Chain::clone` bumps a refcount instead of
+    /// copying `L` signatures, so a broadcast of a length-`L` chain to
+    /// `n − 1` peers costs one allocation total rather than `n − 1`
+    /// signature-vector copies. [`sign_and_append`](Self::sign_and_append)
+    /// is copy-on-write: it copies the buffer only when another chain still
+    /// shares it (the relay pattern — receive, clone, extend — pays exactly
+    /// one copy at the extension point, where the seed engine paid one copy
+    /// per recipient at the broadcast point).
+    sigs: Arc<Vec<Signature>>,
     /// Rolling digest over everything above (`d_L`); makes
     /// [`sign_and_append`](Self::sign_and_append) O(1). Never trusted by
     /// verification, which recomputes digests from the other fields.
@@ -83,7 +104,11 @@ pub struct Chain {
 /// deliberately constructs field-tampered chains whose tip is stale.
 impl PartialEq for Chain {
     fn eq(&self, other: &Self) -> bool {
-        self.domain == other.domain && self.value == other.value && self.sigs == other.sigs
+        self.domain == other.domain
+            && self.value == other.value
+            // Chains cloned from one another share the buffer; compare the
+            // pointer first so the common broadcast case is O(1).
+            && (Arc::ptr_eq(&self.sigs, &other.sigs) || self.sigs == other.sigs)
     }
 }
 
@@ -110,7 +135,7 @@ impl Chain {
         Chain {
             domain,
             value,
-            sigs: Vec::new(),
+            sigs: Arc::new(Vec::new()),
             tip: seed_digest(domain, value),
         }
     }
@@ -166,7 +191,7 @@ impl Chain {
         let mut digests = Vec::with_capacity(self.sigs.len() + 1);
         let mut d = seed_digest(self.domain, self.value);
         digests.push(d);
-        for sig in &self.sigs {
+        for sig in self.sigs.iter() {
             d = extend_digest(&d, sig);
             digests.push(d);
         }
@@ -174,13 +199,22 @@ impl Chain {
     }
 
     /// Signs the current chain state with `signer` and appends the
-    /// signature. O(1) thanks to the rolling tip digest. Returns
-    /// `&mut self` for chaining.
+    /// signature. O(1) thanks to the rolling tip digest — except when the
+    /// signature buffer is still shared with a clone (copy-on-write: the
+    /// buffer is copied once, then this chain owns it exclusively).
+    /// Returns `&mut self` for chaining.
     pub fn sign_and_append(&mut self, signer: &Signer) -> &mut Self {
         let sig = signer.sign(&self.tip);
         self.tip = extend_digest(&self.tip, &sig);
-        self.sigs.push(sig);
+        Arc::make_mut(&mut self.sigs).push(sig);
         self
+    }
+
+    /// Whether this chain's signature buffer is shared with another chain
+    /// (diagnostics and tests; a shared buffer is what makes
+    /// [`Clone`] O(1)).
+    pub fn shares_storage_with(&self, other: &Chain) -> bool {
+        Arc::ptr_eq(&self.sigs, &other.sigs)
     }
 
     /// Verifies every signature against its prefix digest, resuming after
@@ -275,8 +309,12 @@ impl Chain {
 
     /// Returns a copy truncated to the first `len` signatures — the only
     /// chain mutation (besides extension) available to an adversary.
+    /// A no-op truncation (`len >= self.len()`) shares storage with `self`.
     pub fn truncated(&self, len: usize) -> Chain {
-        let sigs = self.sigs[..len.min(self.sigs.len())].to_vec();
+        if len >= self.sigs.len() {
+            return self.clone();
+        }
+        let sigs = self.sigs[..len].to_vec();
         let mut tip = seed_digest(self.domain, self.value);
         for sig in &sigs {
             tip = extend_digest(&tip, sig);
@@ -284,7 +322,7 @@ impl Chain {
         Chain {
             domain: self.domain,
             value: self.value,
-            sigs,
+            sigs: Arc::new(sigs),
             tip,
         }
     }
@@ -294,7 +332,7 @@ impl Chain {
         enc.u32(self.domain)
             .value(self.value)
             .u32(self.sigs.len() as u32);
-        for sig in &self.sigs {
+        for sig in self.sigs.iter() {
             sig.encode(enc);
         }
     }
@@ -319,7 +357,7 @@ impl Chain {
         Ok(Chain {
             domain,
             value,
-            sigs,
+            sigs: Arc::new(sigs),
             tip,
         })
     }
@@ -343,6 +381,13 @@ mod tests {
 
     fn reg() -> KeyRegistry {
         KeyRegistry::new(6, 99, SchemeKind::Hmac)
+    }
+
+    /// Direct access to the signature buffer for building tampered chains
+    /// (an adversary re-assembling observed signatures; real code only ever
+    /// goes through [`Chain::sign_and_append`] / [`Chain::truncated`]).
+    fn sigs_mut(c: &mut Chain) -> &mut Vec<Signature> {
+        Arc::make_mut(&mut c.sigs)
     }
 
     fn signed_chain(reg: &KeyRegistry, ids: &[u32]) -> Chain {
@@ -399,7 +444,7 @@ mod tests {
         let reg = reg();
         let c = signed_chain(&reg, &[0, 1, 2]);
         let mut tampered = c.clone();
-        tampered.sigs.swap(1, 2);
+        sigs_mut(&mut tampered).swap(1, 2);
         assert!(tampered.verify(&reg.verifier()).is_err());
     }
 
@@ -411,7 +456,8 @@ mod tests {
         let good = signed_chain(&reg, &[0, 1]);
         let mut fake = Chain::new(1, Value::ZERO);
         fake.sign_and_append(&reg.signer(ProcessId(0)));
-        fake.sigs.push(good.sigs[1].clone());
+        let spliced = good.sigs[1].clone();
+        sigs_mut(&mut fake).push(spliced);
         assert!(fake.verify(&reg.verifier()).is_err());
     }
 
@@ -463,8 +509,7 @@ mod tests {
 
         // Faulty p5 forges p2's signature: rejected.
         let mut f = signed_chain(&reg, &[0, 1]);
-        f.sigs
-            .push(Signature::forged(ProcessId(2), SchemeKind::Hmac));
+        sigs_mut(&mut f).push(Signature::forged(ProcessId(2), SchemeKind::Hmac));
         assert!(f.verify(&reg.verifier()).is_err());
     }
 
@@ -504,6 +549,55 @@ mod tests {
         let reg = reg();
         let c = signed_chain(&reg, &[0, 2]);
         assert_eq!(c.to_string(), "chain[1 v1 p0 p2]");
+    }
+
+    #[test]
+    fn clone_shares_signature_storage() {
+        // The zero-copy fan-out contract: cloning is a refcount bump, so a
+        // broadcast of one chain to n − 1 peers performs no signature
+        // copies at all.
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1, 2]);
+        let copies: Vec<Chain> = (0..8).map(|_| c.clone()).collect();
+        for copy in &copies {
+            assert!(copy.shares_storage_with(&c));
+            assert_eq!(copy, &c);
+        }
+        c.verify(&reg.verifier()).unwrap();
+    }
+
+    #[test]
+    fn append_after_clone_is_copy_on_write() {
+        // The relay pattern: receive a chain, clone it, extend the clone.
+        // The extension must not disturb the original (or any other clone),
+        // and the extended chain stops sharing storage.
+        let reg = reg();
+        let original = signed_chain(&reg, &[0, 1]);
+        let mut relay = original.clone();
+        relay.sign_and_append(&reg.signer(ProcessId(2)));
+        assert!(!relay.shares_storage_with(&original));
+        assert_eq!(original.len(), 2, "original untouched by the COW append");
+        assert_eq!(relay.len(), 3);
+        original.verify(&reg.verifier()).unwrap();
+        relay.verify(&reg.verifier()).unwrap();
+
+        // Unshared append keeps the O(1) push path (no reallocation of a
+        // fresh buffer per signature): the buffer pointer is stable while
+        // capacity suffices.
+        let mut solo = signed_chain(&reg, &[0]);
+        let before = solo.clone();
+        solo.sign_and_append(&reg.signer(ProcessId(1)));
+        assert!(!solo.shares_storage_with(&before));
+        assert_eq!(before.len(), 1);
+    }
+
+    #[test]
+    fn noop_truncation_shares_storage() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1, 2]);
+        assert!(c.truncated(3).shares_storage_with(&c));
+        assert!(c.truncated(10).shares_storage_with(&c));
+        assert!(!c.truncated(2).shares_storage_with(&c));
     }
 
     #[test]
@@ -572,8 +666,7 @@ mod tests {
         }
         c.verify(&v).unwrap();
         let mut bad = c.clone();
-        bad.sigs
-            .push(Signature::forged(ProcessId(5), SchemeKind::Fast));
+        sigs_mut(&mut bad).push(Signature::forged(ProcessId(5), SchemeKind::Fast));
         assert!(bad.verify(&v).is_err());
         // And the failed chain's prefixes beyond the valid part must not
         // have been cached: re-verifying still fails.
@@ -669,20 +762,21 @@ mod tests {
                         if c.len() >= 2 {
                             let i = gen.usize_in(0, c.len());
                             let j = gen.usize_in(0, c.len());
-                            c.sigs.swap(i, j);
+                            sigs_mut(&mut c).swap(i, j);
                         }
                     }
                     5 => {
                         // forged extension
                         let id = gen.u32_in(0, 10);
-                        c.sigs.push(Signature::forged(ProcessId(id), kind));
+                        sigs_mut(&mut c).push(Signature::forged(ProcessId(id), kind));
                     }
                     6 => {
                         // splice a signature minted under a different
                         // registry (wrong keys) onto this chain
                         let mut o = Chain::new(domain, value);
                         o.sign_and_append(&foreign.signer(ProcessId(gen.u32_in(0, 8))));
-                        c.sigs.push(o.sigs[0].clone());
+                        let spliced = o.sigs[0].clone();
+                        sigs_mut(&mut c).push(spliced);
                     }
                     _ => {
                         // honest extension

@@ -30,7 +30,7 @@ use crate::wire::{Decoder, Encoder};
 use crate::ProcessId;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which tag construction a [`KeyRegistry`] uses.
@@ -140,9 +140,32 @@ impl fmt::Display for Signature {
 /// because signature validity depends only on the registry's keys, never
 /// on who is asking. It is a pure runtime optimization: accept/reject
 /// behavior is bit-identical with or without it.
+///
+/// # Deferred (phase-snapshot) mode
+///
+/// With immediate writes, the cache's hit/miss pattern — and therefore the
+/// per-run work counters — depends on the order in which actors verify
+/// chains *within* one simulation phase. A parallel engine stepping actors
+/// on worker threads cannot reproduce the sequential order, so the
+/// counters would become schedule-dependent. [`set_deferred`]
+/// (Self::set_deferred) switches the cache to snapshot semantics: lookups
+/// see only the state the cache had at the last [`flush_pending`]
+/// (Self::flush_pending) (the engine flushes at every phase barrier), and
+/// inserts accumulate in a pending buffer until that flush. Every actor in
+/// a phase then observes the same cache state no matter how the phase is
+/// scheduled, making hit/miss/verification counts byte-identical for any
+/// thread count. Deferred mode never changes accept/reject outcomes —
+/// only which verifications are skipped as redundant.
 #[derive(Debug, Default)]
 pub struct VerifierCache {
     verified: Mutex<HashSet<[u8; DIGEST_LEN]>>,
+    /// Inserts buffered while in deferred mode, applied at the next flush.
+    /// Duplicates are fine (the target is a set); only the *multiset* of
+    /// buffered digests must be schedule-independent, which it is because
+    /// each actor's verifications are deterministic.
+    pending: Mutex<Vec<[u8; DIGEST_LEN]>>,
+    /// Whether inserts are currently buffered instead of applied.
+    deferred: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -179,13 +202,53 @@ impl VerifierCache {
         found
     }
 
-    /// Marks every digest in `digests` as a verified prefix.
+    /// Marks every digest in `digests` as a verified prefix. In deferred
+    /// mode the digests only become visible to lookups at the next
+    /// [`flush_pending`](Self::flush_pending).
     pub fn insert_verified(&self, digests: &[[u8; DIGEST_LEN]]) {
+        if self.deferred.load(Ordering::Acquire) {
+            self.pending
+                .lock()
+                .expect("verifier cache poisoned")
+                .extend_from_slice(digests);
+            return;
+        }
         let mut verified = self.verified.lock().expect("verifier cache poisoned");
         if verified.len() + digests.len() > CACHE_CAP {
             verified.clear();
         }
         verified.extend(digests.iter().copied());
+    }
+
+    /// Switches between immediate writes (the default) and deferred
+    /// phase-snapshot writes (see the type docs). Turning deferred mode
+    /// *off* flushes any buffered inserts.
+    pub fn set_deferred(&self, deferred: bool) {
+        self.deferred.store(deferred, Ordering::Release);
+        if !deferred {
+            self.flush_pending();
+        }
+    }
+
+    /// Whether inserts are currently deferred.
+    pub fn is_deferred(&self) -> bool {
+        self.deferred.load(Ordering::Acquire)
+    }
+
+    /// Publishes all buffered inserts to lookups — the simulation engine's
+    /// phase barrier. The buffer is applied as one batch so the cap-clear
+    /// decision depends only on the (schedule-independent) number of
+    /// buffered digests, never on intra-phase ordering.
+    pub fn flush_pending(&self) {
+        let mut pending = self.pending.lock().expect("verifier cache poisoned");
+        if pending.is_empty() {
+            return;
+        }
+        let mut verified = self.verified.lock().expect("verifier cache poisoned");
+        if verified.len() + pending.len() > CACHE_CAP {
+            verified.clear();
+        }
+        verified.extend(pending.drain(..));
     }
 
     /// Number of lookups that found a reusable verified prefix.
@@ -575,6 +638,52 @@ mod tests {
         digest[..8].copy_from_slice(&(CACHE_CAP as u64).to_be_bytes());
         cache.insert_verified(&[digest]);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn deferred_inserts_invisible_until_flush() {
+        let cache = VerifierCache::new();
+        cache.set_deferred(true);
+        assert!(cache.is_deferred());
+        let d = [9u8; 32];
+        cache.insert_verified(&[d]);
+        // Buffered, not published: lookups still miss.
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.longest_verified_prefix(&[d]), None);
+        cache.flush_pending();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.longest_verified_prefix(&[d]), Some(0));
+    }
+
+    #[test]
+    fn disabling_deferred_mode_flushes() {
+        let cache = VerifierCache::new();
+        cache.set_deferred(true);
+        cache.insert_verified(&[[4u8; 32]]);
+        assert_eq!(cache.len(), 0);
+        cache.set_deferred(false);
+        assert!(!cache.is_deferred());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn deferred_flush_applies_cap_as_one_batch() {
+        let cache = VerifierCache::new();
+        let mut digest = [0u8; 32];
+        for i in 0..(CACHE_CAP as u64) {
+            digest[..8].copy_from_slice(&i.to_be_bytes());
+            cache.insert_verified(&[digest]);
+        }
+        assert_eq!(cache.len(), CACHE_CAP);
+        cache.set_deferred(true);
+        // Two buffered inserts; combined they overflow the cap, so the
+        // flush clears once and then applies the whole batch.
+        digest[..8].copy_from_slice(&(CACHE_CAP as u64).to_be_bytes());
+        cache.insert_verified(&[digest]);
+        digest[..8].copy_from_slice(&(CACHE_CAP as u64 + 1).to_be_bytes());
+        cache.insert_verified(&[digest]);
+        cache.flush_pending();
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

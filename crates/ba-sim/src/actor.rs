@@ -10,7 +10,13 @@ use core::fmt;
 /// [`signature_count`](Payload::signature_count) for payloads carrying
 /// signatures so the engine can reproduce the paper's signature counts, and
 /// [`weight_bytes`](Payload::weight_bytes) when encoded size is meaningful.
-pub trait Payload: Clone + fmt::Debug {
+///
+/// `Send + Sync` is required so the engine can step actors across scoped
+/// worker threads (see [`Simulation::with_threads`]); every payload in the
+/// workspace is plain data, so the bound costs nothing in practice.
+///
+/// [`Simulation::with_threads`]: crate::engine::Simulation::with_threads
+pub trait Payload: Clone + fmt::Debug + Send + Sync {
     /// Number of signatures appended to this message (the paper's second
     /// cost measure). Defaults to zero for unauthenticated payloads.
     fn signature_count(&self) -> usize {
@@ -89,6 +95,15 @@ impl<P: Payload> Outbox<P> {
         }
     }
 
+    /// Creates an outbox sending as `from`, recycling `buf` as the staging
+    /// storage. The buffer is cleared but its capacity is kept — the
+    /// engine's mailbox pool uses this so steady-state phases allocate
+    /// nothing.
+    pub(crate) fn with_buffer(from: ProcessId, mut buf: Vec<Envelope<P>>) -> Self {
+        buf.clear();
+        Outbox { from, staged: buf }
+    }
+
     /// The identity this outbox sends as.
     pub fn sender(&self) -> ProcessId {
         self.from
@@ -108,14 +123,27 @@ impl<P: Payload> Outbox<P> {
     }
 
     /// Queues `payload` for every identity in `targets` except the sender.
+    ///
+    /// The payload is moved into the last send rather than cloned for every
+    /// target, so a broadcast to `k` recipients costs `k − 1` clones. With
+    /// [`Chain`](ba_crypto::Chain)'s shared signature storage each of those
+    /// clones is O(1), making chain fan-out effectively zero-copy.
     pub fn broadcast<I>(&mut self, targets: I, payload: P)
     where
         I: IntoIterator<Item = ProcessId>,
         P: Clone,
     {
-        for to in targets {
-            self.send(to, payload.clone());
+        let mut iter = targets.into_iter();
+        // Hold one target in `pending` so the final send can consume the
+        // payload by value.
+        let Some(mut pending) = iter.next() else {
+            return;
+        };
+        for next in iter {
+            self.send(pending, payload.clone());
+            pending = next;
         }
+        self.send(pending, payload);
     }
 
     /// Number of messages staged so far this phase.
@@ -143,7 +171,12 @@ impl<P: Payload> Outbox<P> {
 /// [`adversary`](crate::adversary)); the engine is oblivious. What a
 /// Byzantine actor *cannot* do is forge signatures — it only ever holds its
 /// own [`Signer`](ba_crypto::Signer) handle.
-pub trait Actor<P: Payload>: fmt::Debug {
+///
+/// The `Send` supertrait lets the engine move actors to scoped worker
+/// threads for intra-phase parallel stepping
+/// ([`Simulation::with_threads`](crate::engine::Simulation::with_threads));
+/// actor state in this workspace is owned plain data, so the bound is free.
+pub trait Actor<P: Payload>: fmt::Debug + Send {
     /// Executes phase `phase` given the previous phase's inbox, staging
     /// sends into `out`.
     fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>);
@@ -203,6 +236,57 @@ mod tests {
         let mut out: Outbox<Value> = Outbox::new(ProcessId(0));
         out.broadcast((0..4).map(ProcessId), Value::ZERO);
         assert_eq!(out.staged_len(), 3);
+    }
+
+    #[derive(Debug)]
+    struct CountingPayload(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+    impl Clone for CountingPayload {
+        fn clone(&self) -> Self {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CountingPayload(self.0.clone())
+        }
+    }
+    impl Payload for CountingPayload {}
+
+    #[test]
+    fn broadcast_moves_payload_into_final_send() {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut out: Outbox<CountingPayload> = Outbox::new(ProcessId(0));
+        out.broadcast((0..4).map(ProcessId), CountingPayload(clones.clone()));
+        // Four targets, one of which is the sender: three envelopes staged,
+        // and the payload moved into the last send — so exactly three
+        // clones total (the sender's copy is cloned then dropped by the
+        // self-send filter, the final target receives the original).
+        assert_eq!(out.staged_len(), 3);
+        assert_eq!(clones.load(std::sync::atomic::Ordering::Relaxed), 3);
+
+        // Without the sender among the targets: k targets, k − 1 clones.
+        clones.store(0, std::sync::atomic::Ordering::Relaxed);
+        let mut out: Outbox<CountingPayload> = Outbox::new(ProcessId(9));
+        out.broadcast((0..4).map(ProcessId), CountingPayload(clones.clone()));
+        assert_eq!(out.staged_len(), 4);
+        assert_eq!(clones.load(std::sync::atomic::Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn broadcast_to_empty_target_list_is_a_no_op() {
+        let mut out: Outbox<Value> = Outbox::new(ProcessId(0));
+        out.broadcast(std::iter::empty(), Value::ONE);
+        assert_eq!(out.staged_len(), 0);
+    }
+
+    #[test]
+    fn with_buffer_recycles_capacity() {
+        let mut out: Outbox<Value> = Outbox::new(ProcessId(0));
+        out.send(ProcessId(1), Value::ONE);
+        out.send(ProcessId(2), Value::ONE);
+        let buf = out.into_staged();
+        let cap = buf.capacity();
+        assert!(cap >= 2);
+        let recycled: Outbox<Value> = Outbox::with_buffer(ProcessId(5), buf);
+        assert_eq!(recycled.staged_len(), 0);
+        assert_eq!(recycled.sender(), ProcessId(5));
+        assert_eq!(recycled.staged.capacity(), cap);
     }
 
     #[test]

@@ -1,8 +1,35 @@
 //! The lock-step phase engine.
+//!
+//! # Data plane
+//!
+//! The engine owns a double-buffered mailbox pool: one `Vec<Envelope>` per
+//! actor for the current phase's deliveries, one collecting the next
+//! phase's, swapped at the phase barrier. With pooling enabled (the
+//! default) the buffers retain their capacity across phases, so a
+//! steady-state phase allocates nothing; per-actor outbox staging buffers
+//! are recycled the same way through [`Outbox::with_buffer`].
+//!
+//! # Intra-phase parallelism
+//!
+//! In the lock-step model actors are independent *within* a phase — every
+//! actor only reads its own inbox (frozen at the barrier) and writes its
+//! own outbox. [`Simulation::with_threads`] exploits this by stepping
+//! contiguous actor chunks on scoped worker threads. Everything
+//! order-sensitive stays on the calling thread: staged envelopes are routed
+//! (and metrics/trace recorded) strictly in actor-id order after all
+//! workers join, so `Metrics`, the trace and every decision are
+//! byte-identical for any thread count. Per-phase crypto counters stay
+//! identical too: each worker returns its thread-local [`CryptoStats`]
+//! delta (the sum over workers is schedule-independent), and a run wired to
+//! a [`KeyRegistry`] via [`Simulation::with_registry`] puts the shared
+//! verifier cache into deferred phase-snapshot mode, so intra-phase cache
+//! lookups see only the state frozen at the previous barrier regardless of
+//! scheduling.
 
 use crate::actor::{Actor, Envelope, Outbox, Payload};
 use crate::metrics::Metrics;
 use crate::trace::{PhaseTrace, Trace};
+use ba_crypto::keys::KeyRegistry;
 use ba_crypto::stats::CryptoStats;
 use ba_crypto::{ProcessId, Value};
 
@@ -46,6 +73,9 @@ pub struct Simulation<P: Payload> {
     actors: Vec<Box<dyn Actor<P>>>,
     record_trace: bool,
     observer: Option<PhaseObserver<P>>,
+    threads: usize,
+    pooling: bool,
+    registry: Option<KeyRegistry>,
 }
 
 impl<P: Payload> std::fmt::Debug for Simulation<P> {
@@ -53,6 +83,8 @@ impl<P: Payload> std::fmt::Debug for Simulation<P> {
         f.debug_struct("Simulation")
             .field("n", &self.actors.len())
             .field("record_trace", &self.record_trace)
+            .field("threads", &self.threads)
+            .field("pooling", &self.pooling)
             .finish()
     }
 }
@@ -64,12 +96,44 @@ impl<P: Payload> Simulation<P> {
             actors,
             record_trace: false,
             observer: None,
+            threads: 1,
+            pooling: true,
+            registry: None,
         }
     }
 
     /// Enables full message tracing (see [`Trace`]).
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Steps actors across `threads` scoped worker threads within each
+    /// phase (see the [module docs](self) for the determinism contract).
+    /// `0` and `1` both mean sequential, the default.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Declares the [`KeyRegistry`] whose verifier cache this run's actors
+    /// share. For the duration of the run the cache operates in deferred
+    /// phase-snapshot mode (flushed at every phase barrier), which makes
+    /// the per-phase cache hit/miss counters independent of how actors are
+    /// scheduled within a phase. Required for byte-identical `Metrics`
+    /// across thread counts when actors verify chains; runs that never
+    /// touch a shared cache don't need it.
+    pub fn with_registry(mut self, registry: &KeyRegistry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Enables or disables the mailbox pool (default: enabled). With
+    /// pooling off the engine allocates fresh inbox and outbox buffers
+    /// every phase — the seed behaviour, kept reachable so the engine
+    /// benchmark can measure what pooling buys.
+    pub fn with_mailbox_pooling(mut self, pooling: bool) -> Self {
+        self.pooling = pooling;
         self
     }
 
@@ -104,25 +168,40 @@ impl<P: Payload> Simulation<P> {
         let mut metrics = Metrics::default();
         let mut trace = Trace::default();
 
-        // inboxes[i] holds messages delivered to actor i this phase.
+        // Double-buffered mailbox pool: `inboxes[i]` holds messages
+        // delivered to actor i this phase, `next_inboxes[i]` collects its
+        // deliveries for phase k + 1; the pair swaps at the barrier.
+        // `outboxes[i]` is actor i's recycled staging buffer.
         let mut inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
+        let mut next_inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
+        let mut outboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
         let mut executed = 0usize;
+
+        if let Some(registry) = &self.registry {
+            registry.cache().set_deferred(true);
+        }
 
         let keep_phase_log = self.record_trace || self.observer.is_some();
         for phase in 1..=phases {
             executed = phase;
-            let mut next_inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
             let mut phase_trace = PhaseTrace::default();
             let mut any_sent = false;
-            // Everything below runs on this thread, so the thread-local
-            // crypto counters give an exact per-phase work delta.
-            let crypto_before = CryptoStats::snapshot();
 
-            for (i, actor) in self.actors.iter_mut().enumerate() {
-                let id = ProcessId(i as u32);
-                let mut out = Outbox::new(id);
-                actor.step(phase, &inboxes[i], &mut out);
-                for env in out.into_staged() {
+            // The calling thread's counter delta covers sequential stepping
+            // (and is ~zero under parallel stepping, where each worker
+            // reports its own thread-local delta instead).
+            let crypto_before = CryptoStats::snapshot();
+            let worker_deltas = self.step_phase(phase, &inboxes, &mut outboxes);
+            let mut phase_crypto = CryptoStats::snapshot().since(&crypto_before);
+            for delta in &worker_deltas {
+                phase_crypto = phase_crypto.add(delta);
+            }
+
+            // Route strictly in actor-id order on this thread — the single
+            // point where ordering matters, so metrics, trace and delivery
+            // order are independent of how the stepping was scheduled.
+            for (i, staged) in outboxes.iter_mut().enumerate() {
+                for env in staged.drain(..) {
                     let to = env.to.index();
                     if to >= n {
                         // Sends to nonexistent processors are dropped; a
@@ -144,26 +223,46 @@ impl<P: Payload> Simulation<P> {
                 }
             }
 
-            metrics.record_phase_crypto(phase, CryptoStats::snapshot().since(&crypto_before));
+            metrics.record_phase_crypto(phase, phase_crypto);
             if let Some(observer) = &mut self.observer {
                 observer(phase, &phase_trace.envelopes);
             }
             if self.record_trace {
                 trace.phases.push(phase_trace);
             }
-            inboxes = next_inboxes;
+            if let Some(registry) = &self.registry {
+                registry.cache().flush_pending();
+            }
+
+            // Phase barrier: consumed inboxes become next phase's
+            // collection buffers. Pooling keeps their capacity; without it
+            // they are reallocated from scratch (seed behaviour).
+            std::mem::swap(&mut inboxes, &mut next_inboxes);
+            if self.pooling {
+                for buf in &mut next_inboxes {
+                    buf.clear();
+                }
+            } else {
+                next_inboxes = vec![Vec::new(); n];
+                outboxes = vec![Vec::new(); n];
+            }
 
             if stop_when_quiet && !any_sent {
                 break;
             }
         }
 
-        // Deliver the last phase's messages.
+        // Deliver the last phase's messages (sequentially: finalize is
+        // cheap and order-stable accounting matters more than speed here).
         let crypto_before = CryptoStats::snapshot();
         for (i, actor) in self.actors.iter_mut().enumerate() {
             actor.finalize(&inboxes[i]);
         }
         metrics.absorb_crypto(CryptoStats::snapshot().since(&crypto_before));
+
+        if let Some(registry) = &self.registry {
+            registry.cache().set_deferred(false);
+        }
 
         metrics.phases = executed;
         RunOutcome {
@@ -172,6 +271,69 @@ impl<P: Payload> Simulation<P> {
             metrics,
             trace,
         }
+    }
+
+    /// Steps every actor once for `phase`, staging each actor's sends into
+    /// `outboxes[i]`. Sequential when one worker suffices; otherwise actors
+    /// are split into contiguous chunks stepped on scoped threads, and each
+    /// worker's thread-local [`CryptoStats`] delta is returned for the
+    /// caller to fold into the per-phase metrics.
+    fn step_phase(
+        &mut self,
+        phase: usize,
+        inboxes: &[Vec<Envelope<P>>],
+        outboxes: &mut [Vec<Envelope<P>>],
+    ) -> Vec<CryptoStats> {
+        let n = self.actors.len();
+        let pooling = self.pooling;
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for (i, actor) in self.actors.iter_mut().enumerate() {
+                let id = ProcessId(i as u32);
+                let mut out = if pooling {
+                    Outbox::with_buffer(id, std::mem::take(&mut outboxes[i]))
+                } else {
+                    Outbox::new(id)
+                };
+                actor.step(phase, &inboxes[i], &mut out);
+                outboxes[i] = out.into_staged();
+            }
+            return Vec::new();
+        }
+
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, (actor_chunk, (inbox_chunk, outbox_chunk))) in self
+                .actors
+                .chunks_mut(chunk)
+                .zip(inboxes.chunks(chunk).zip(outboxes.chunks_mut(chunk)))
+                .enumerate()
+            {
+                let base = w * chunk;
+                handles.push(scope.spawn(move || {
+                    let before = CryptoStats::snapshot();
+                    for (j, actor) in actor_chunk.iter_mut().enumerate() {
+                        let id = ProcessId((base + j) as u32);
+                        let mut out = if pooling {
+                            Outbox::with_buffer(id, std::mem::take(&mut outbox_chunk[j]))
+                        } else {
+                            Outbox::new(id)
+                        };
+                        actor.step(phase, &inbox_chunk[j], &mut out);
+                        outbox_chunk[j] = out.into_staged();
+                    }
+                    CryptoStats::snapshot().since(&before)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(delta) => delta,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        })
     }
 }
 
@@ -332,6 +494,184 @@ mod tests {
         let mut sim = Simulation::new(vec![Box::new(Wild) as Box<dyn Actor<Value>>]);
         let outcome = sim.run(1);
         assert_eq!(outcome.metrics.messages_total(), 0);
+    }
+
+    /// Dolev-Strong-style chain relay: actor 0 starts a signed chain in
+    /// phase 1; every actor verifies incoming chains against the shared
+    /// registry (exercising the verifier cache), endorses the longest one
+    /// once, and rebroadcasts. Heavy enough to make scheduling effects
+    /// visible if the engine had any.
+    #[derive(Debug)]
+    struct ChainRelay {
+        signer: ba_crypto::keys::Signer,
+        verifier: ba_crypto::keys::Verifier,
+        n: usize,
+        relayed: bool,
+        accepted: Option<Value>,
+    }
+
+    impl Actor<ba_crypto::Chain> for ChainRelay {
+        fn step(
+            &mut self,
+            phase: usize,
+            inbox: &[Envelope<ba_crypto::Chain>],
+            out: &mut Outbox<ba_crypto::Chain>,
+        ) {
+            if phase == 1 && out.sender() == ProcessId(0) && !self.relayed {
+                self.relayed = true;
+                let mut chain = ba_crypto::Chain::new(7, Value::ONE);
+                chain.sign_and_append(&self.signer);
+                self.accepted = Some(chain.value());
+                out.broadcast((0..self.n as u32).map(ProcessId), chain);
+                return;
+            }
+            for env in inbox {
+                if env.payload.verify(&self.verifier).is_err() {
+                    continue;
+                }
+                self.accepted.get_or_insert(env.payload.value());
+                if !self.relayed {
+                    self.relayed = true;
+                    let mut chain = env.payload.clone();
+                    chain.sign_and_append(&self.signer);
+                    out.broadcast((0..self.n as u32).map(ProcessId), chain);
+                }
+            }
+        }
+        fn decision(&self) -> Option<Value> {
+            self.accepted
+        }
+    }
+
+    fn chain_relay_run(n: usize, threads: usize, pooling: bool) -> RunOutcome<ba_crypto::Chain> {
+        use ba_crypto::keys::{KeyRegistry, SchemeKind};
+        // Fresh registry per run: the shared verifier cache starts cold, so
+        // cache counters are comparable across runs.
+        let registry = KeyRegistry::new(n, 99, SchemeKind::Fast);
+        let actors: Vec<Box<dyn Actor<ba_crypto::Chain>>> = (0..n)
+            .map(|i| {
+                Box::new(ChainRelay {
+                    signer: registry.signer(ProcessId(i as u32)),
+                    verifier: registry.verifier(),
+                    n,
+                    relayed: false,
+                    accepted: None,
+                }) as Box<dyn Actor<ba_crypto::Chain>>
+            })
+            .collect();
+        let mut sim = Simulation::new(actors)
+            .with_trace()
+            .with_threads(threads)
+            .with_registry(&registry)
+            .with_mailbox_pooling(pooling);
+        sim.run(3)
+    }
+
+    #[test]
+    fn parallel_stepping_matches_sequential_byte_for_byte() {
+        let baseline = chain_relay_run(8, 1, true);
+        for threads in [2, 4, 8] {
+            let run = chain_relay_run(8, threads, true);
+            assert_eq!(run.decisions, baseline.decisions, "threads={threads}");
+            assert_eq!(run.correct, baseline.correct, "threads={threads}");
+            assert_eq!(run.metrics, baseline.metrics, "threads={threads}");
+            assert_eq!(run.trace.len(), baseline.trace.len(), "threads={threads}");
+            for (k, (a, b)) in run
+                .trace
+                .phases
+                .iter()
+                .zip(baseline.trace.phases.iter())
+                .enumerate()
+            {
+                assert_eq!(a.envelopes, b.envelopes, "threads={threads} phase={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_phase_crypto_totals_equal_across_thread_counts() {
+        // Satellite: pin the CryptoStats accounting specifically — every
+        // phase's hash and signature-check totals under multi-threaded
+        // stepping equal the sequential run's exactly.
+        let sequential = chain_relay_run(8, 1, true);
+        let parallel = chain_relay_run(8, 4, true);
+        assert_eq!(
+            sequential.metrics.per_phase.len(),
+            parallel.metrics.per_phase.len()
+        );
+        for (k, (seq, par)) in sequential
+            .metrics
+            .per_phase
+            .iter()
+            .zip(parallel.metrics.per_phase.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                seq.hash_invocations,
+                par.hash_invocations,
+                "phase {} hash totals",
+                k + 1
+            );
+            assert_eq!(
+                seq.sig_verifications,
+                par.sig_verifications,
+                "phase {} signature-check totals",
+                k + 1
+            );
+        }
+        assert_eq!(sequential.metrics.crypto, parallel.metrics.crypto);
+        assert!(sequential.metrics.crypto.hash_invocations > 0);
+        assert!(sequential.metrics.crypto.sig_verifications > 0);
+    }
+
+    #[test]
+    fn mailbox_pooling_does_not_change_results() {
+        let pooled = chain_relay_run(6, 1, true);
+        let unpooled = chain_relay_run(6, 1, false);
+        assert_eq!(pooled.decisions, unpooled.decisions);
+        assert_eq!(pooled.metrics, unpooled.metrics);
+        let pooled_par = chain_relay_run(6, 4, true);
+        let unpooled_par = chain_relay_run(6, 4, false);
+        assert_eq!(pooled_par.decisions, unpooled_par.decisions);
+        assert_eq!(pooled_par.metrics, unpooled_par.metrics);
+        assert_eq!(pooled.metrics, unpooled_par.metrics);
+    }
+
+    #[test]
+    fn zero_threads_is_treated_as_sequential() {
+        let mut sim = Simulation::new(vec![
+            Box::new(Flooder {
+                n: 2,
+                value: Value(5),
+                stop_after: 1,
+            }) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+        ])
+        .with_threads(0);
+        let outcome = sim.run(2);
+        assert_eq!(outcome.decisions[1], Some(Value(5)));
+    }
+
+    #[test]
+    fn parallel_run_preserves_quiescence_and_finalize_semantics() {
+        let run = |threads: usize| {
+            let mut sim = Simulation::new(vec![
+                Box::new(Flooder {
+                    n: 3,
+                    value: Value(1),
+                    stop_after: 2,
+                }) as Box<dyn Actor<Value>>,
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+            ])
+            .with_threads(threads);
+            sim.run_until_quiescent(100)
+        };
+        let seq = run(1);
+        let par = run(3);
+        assert_eq!(par.metrics.phases, 3);
+        assert_eq!(par.metrics, seq.metrics);
+        assert_eq!(par.decisions, seq.decisions);
     }
 
     #[test]

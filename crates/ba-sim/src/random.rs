@@ -16,7 +16,10 @@ use ba_crypto::rng::SimRng;
 use ba_crypto::{ProcessId, Value};
 
 /// Generates one adversarial payload per call.
-pub trait PayloadFuzzer<P>: std::fmt::Debug {
+///
+/// `Send` because fuzzers live inside actors, which the engine may step on
+/// worker threads ([`Actor`]'s supertrait).
+pub trait PayloadFuzzer<P>: std::fmt::Debug + Send {
     /// Produces the next payload aimed at `target` during `phase`.
     fn next(&mut self, rng: &mut SimRng, phase: usize, target: ProcessId) -> P;
 }

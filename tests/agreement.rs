@@ -121,6 +121,7 @@ fn algorithm3_agreement_matrix() {
                         fault: clone3(&fault),
                         seed,
                         scheme: SchemeKind::Fast,
+                        ..Default::default()
                     },
                 )
                 .expect("agreement must hold");
@@ -203,6 +204,7 @@ fn baselines_agreement_matrix() {
                         },
                         seed,
                         scheme: SchemeKind::Fast,
+                        ..Default::default()
                     },
                 )
                 .expect("agreement must hold");

@@ -19,6 +19,7 @@ fn same_seed_same_everything() {
                 },
                 seed: 42,
                 scheme: SchemeKind::Hmac,
+                ..Default::default()
             },
         )
         .unwrap()
