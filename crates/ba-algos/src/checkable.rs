@@ -1,0 +1,461 @@
+//! Checkable configuration surfaces for the `ba-check` model checker.
+//!
+//! The checker explores [`ScheduleSpec`]s — who is faulty, how, and which
+//! links drop — but it cannot know how to build each algorithm's actors.
+//! This module is that binding: every [`CheckTarget`] names one algorithm
+//! configuration, validates a schedule against its parameter constraints,
+//! compiles the schedule onto the algorithm's honest actors (mapping
+//! [`FaultBehavior::Equivocate`] to the algorithm's own signed-message
+//! adversary, everything else through [`FaultBehavior::apply`]) and runs it
+//! through the deterministic engine.
+//!
+//! The registry deliberately includes one **unsound** target,
+//! [`weakened Dolev–Strong`](DsParams::weaken_relay_threshold): its relay
+//! threshold is off by one, so the right omission schedule splits the
+//! correct processors. It exists so the checker's corpus can prove the
+//! explorer finds real violations and the shrinker minimizes them.
+
+use crate::algorithm1::{adversaries::EquivocatingTransmitter, Algo1Actor, Algo1Params};
+use crate::bounds;
+use crate::dolev_strong::{DsActor, DsEquivocator, DsParams, Variant};
+use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Value};
+use ba_sim::schedule::{FaultBehavior, ScheduleSpec};
+use ba_sim::{check_byzantine_agreement, Actor, AgreementViolation, RunVerdict, Simulation};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One schedule-driven run request against a [`CheckTarget`].
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Number of processors.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// The transmitter's input value (binary).
+    pub value: Value,
+    /// Key-registry seed.
+    pub seed: u64,
+    /// Worker threads for intra-phase stepping (results are byte-identical
+    /// for any value).
+    pub threads: usize,
+    /// The fault schedule under test.
+    pub spec: ScheduleSpec,
+}
+
+/// What one checked run produced: the agreement verdict plus the message
+/// counts the paper's bound predicates judge.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The Byzantine Agreement verdict.
+    pub verdict: Result<RunVerdict, AgreementViolation>,
+    /// Messages sent by correct processors (the paper's count).
+    pub messages_by_correct: u64,
+    /// The closed-form worst-case bound for this target's parameters.
+    pub message_bound: u64,
+    /// Messages the schedule suppressed (adversary wrappers + link drops).
+    pub omitted_messages: u64,
+    /// Phases executed.
+    pub phases: usize,
+}
+
+impl CheckOutcome {
+    /// The agreement violation, if the run broke Byzantine Agreement.
+    pub fn violation(&self) -> Option<&AgreementViolation> {
+        self.verdict.as_ref().err()
+    }
+
+    /// Whether correct-sender traffic exceeded the target's bound.
+    pub fn bound_exceeded(&self) -> bool {
+        self.messages_by_correct > self.message_bound
+    }
+
+    /// A stable one-line description of what failed, if anything —
+    /// agreement violations first, then bound violations.
+    pub fn failure(&self) -> Option<String> {
+        if let Err(violation) = &self.verdict {
+            return Some(violation.to_string());
+        }
+        if self.bound_exceeded() {
+            return Some(format!(
+                "correct processors sent {} messages, exceeding the bound {}",
+                self.messages_by_correct, self.message_bound
+            ));
+        }
+        None
+    }
+}
+
+/// One named, checkable algorithm configuration.
+#[derive(Clone, Copy)]
+pub struct CheckTarget {
+    /// Stable name used by the CLI, the corpus format and reports.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Whether the target is expected to satisfy Byzantine Agreement under
+    /// every well-formed schedule. Violations on a sound target are bugs;
+    /// on an unsound target they are the corpus's reason to exist.
+    pub sound: bool,
+    supports: fn(n: usize, t: usize) -> bool,
+    run_fn: fn(&CheckConfig) -> CheckOutcome,
+}
+
+impl std::fmt::Debug for CheckTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckTarget")
+            .field("name", &self.name)
+            .field("sound", &self.sound)
+            .finish()
+    }
+}
+
+impl CheckTarget {
+    /// Whether the target accepts the dimensions `(n, t)`.
+    pub fn supports(&self, n: usize, t: usize) -> bool {
+        (self.supports)(n, t)
+    }
+
+    /// Full validation of a config: dimensions, schedule well-formedness,
+    /// and the target-specific rule that equivocation only makes sense on
+    /// the transmitter (processor 0).
+    ///
+    /// # Errors
+    /// A human-readable description of the first problem found.
+    pub fn validate(&self, cfg: &CheckConfig) -> Result<(), String> {
+        if !self.supports(cfg.n, cfg.t) {
+            return Err(format!(
+                "target {} does not support n = {}, t = {}",
+                self.name, cfg.n, cfg.t
+            ));
+        }
+        if cfg.value != Value::ZERO && cfg.value != Value::ONE {
+            return Err(format!("value {} is not binary", cfg.value));
+        }
+        cfg.spec.validate(cfg.n, cfg.t)?;
+        for (p, behavior) in &cfg.spec.faults {
+            if matches!(behavior, FaultBehavior::Equivocate { .. }) && p.index() != 0 {
+                return Err(format!(
+                    "equivocation scheduled on {p}, but only the transmitter can equivocate"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the target under `cfg`'s schedule. Callers must have validated
+    /// the config; a malformed one may panic inside the algorithm.
+    pub fn run(&self, cfg: &CheckConfig) -> CheckOutcome {
+        debug_assert!(self.validate(cfg).is_ok());
+        (self.run_fn)(cfg)
+    }
+}
+
+/// The registry of checkable targets.
+pub fn targets() -> &'static [CheckTarget] {
+    const TARGETS: &[CheckTarget] = &[
+        CheckTarget {
+            name: "ds-broadcast",
+            summary: "Dolev-Strong, broadcast variant (t + 1 phases, O(n^2) messages)",
+            sound: true,
+            supports: ds_supports,
+            run_fn: run_ds_broadcast,
+        },
+        CheckTarget {
+            name: "ds-relay",
+            summary: "Dolev-Strong, committee-relay variant (t + 3 phases, O(nt) messages)",
+            sound: true,
+            supports: ds_supports,
+            run_fn: run_ds_relay,
+        },
+        CheckTarget {
+            name: "ds-weak-relay-threshold",
+            summary:
+                "Dolev-Strong broadcast with an off-by-one relay threshold (deliberately broken)",
+            sound: false,
+            supports: ds_supports,
+            run_fn: run_ds_weak,
+        },
+        CheckTarget {
+            name: "algorithm1",
+            summary: "Algorithm 1, the bipartite signature-chain algorithm (n = 2t + 1)",
+            sound: true,
+            supports: alg1_supports,
+            run_fn: run_algorithm1,
+        },
+    ];
+    TARGETS
+}
+
+/// Looks a target up by its stable name.
+pub fn find_target(name: &str) -> Option<&'static CheckTarget> {
+    targets().iter().find(|target| target.name == name)
+}
+
+fn ds_supports(n: usize, t: usize) -> bool {
+    t >= 1 && n >= t + 2
+}
+
+fn alg1_supports(n: usize, t: usize) -> bool {
+    t >= 1 && n == 2 * t + 1
+}
+
+fn run_ds_broadcast(cfg: &CheckConfig) -> CheckOutcome {
+    run_ds(cfg, Variant::Broadcast, false)
+}
+
+fn run_ds_relay(cfg: &CheckConfig) -> CheckOutcome {
+    run_ds(cfg, Variant::Relay, false)
+}
+
+fn run_ds_weak(cfg: &CheckConfig) -> CheckOutcome {
+    run_ds(cfg, Variant::Broadcast, true)
+}
+
+fn run_ds(cfg: &CheckConfig, variant: Variant, weaken: bool) -> CheckOutcome {
+    let registry = KeyRegistry::new(cfg.n, cfg.seed, SchemeKind::Fast);
+    let mut params = DsParams::standard(cfg.n, cfg.t, variant, registry.verifier());
+    params.weaken_relay_threshold = weaken;
+    let params = Arc::new(params);
+    let honest = |p: ProcessId| -> Box<dyn Actor<Chain>> {
+        let own = (p == params.transmitter).then_some(cfg.value);
+        Box::new(DsActor::new(params.clone(), p, registry.signer(p), own))
+    };
+    let actors: Vec<Box<dyn Actor<Chain>>> = (0..cfg.n as u32)
+        .map(ProcessId)
+        .map(|p| match cfg.spec.behavior_of(p) {
+            None => honest(p),
+            Some(FaultBehavior::Equivocate { ones }) => Box::new(DsEquivocator::new(
+                registry.signer(p),
+                cfg.n,
+                Value::ONE,
+                ones.iter().copied(),
+                Value::ZERO,
+            )),
+            Some(other) => other.apply(honest(p)),
+        })
+        .collect();
+    let phases = params.phases();
+    finish(
+        cfg,
+        &registry,
+        actors,
+        phases,
+        bounds::dolev_strong_max_messages(cfg.n as u64),
+    )
+}
+
+fn run_algorithm1(cfg: &CheckConfig) -> CheckOutcome {
+    let registry = KeyRegistry::new(cfg.n, cfg.seed, SchemeKind::Fast);
+    let params = Arc::new(Algo1Params {
+        t: cfg.t,
+        verifier: registry.verifier(),
+    });
+    let honest = |p: ProcessId| -> Box<dyn Actor<Chain>> {
+        let own = (p.index() == 0).then_some(cfg.value);
+        Box::new(Algo1Actor::new(params.clone(), p, registry.signer(p), own))
+    };
+    let actors: Vec<Box<dyn Actor<Chain>>> = (0..cfg.n as u32)
+        .map(ProcessId)
+        .map(|p| match cfg.spec.behavior_of(p) {
+            None => honest(p),
+            Some(FaultBehavior::Equivocate { ones }) => {
+                let ones: BTreeSet<ProcessId> = ones.iter().copied().collect();
+                let zeros: Vec<ProcessId> = (1..cfg.n as u32)
+                    .map(ProcessId)
+                    .filter(|q| !ones.contains(q))
+                    .collect();
+                Box::new(EquivocatingTransmitter::new(
+                    registry.signer(p),
+                    ones,
+                    zeros,
+                ))
+            }
+            Some(other) => other.apply(honest(p)),
+        })
+        .collect();
+    finish(
+        cfg,
+        &registry,
+        actors,
+        cfg.t + 2,
+        bounds::alg1_max_messages(cfg.t as u64),
+    )
+}
+
+fn finish(
+    cfg: &CheckConfig,
+    registry: &KeyRegistry,
+    actors: Vec<Box<dyn Actor<Chain>>>,
+    phases: usize,
+    message_bound: u64,
+) -> CheckOutcome {
+    let mut sim = Simulation::new(actors)
+        .with_threads(cfg.threads)
+        .with_registry(registry)
+        .with_link_drops(cfg.spec.link_drops.iter().copied());
+    let outcome = sim.run(phases);
+    let verdict = check_byzantine_agreement(&outcome, ProcessId(0), cfg.value);
+    CheckOutcome {
+        verdict,
+        messages_by_correct: outcome.metrics.messages_by_correct,
+        message_bound,
+        omitted_messages: outcome.metrics.omitted_messages,
+        phases: outcome.metrics.phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::schedule::LinkDrop;
+
+    fn cfg(target_n: usize, t: usize, spec: ScheduleSpec) -> CheckConfig {
+        CheckConfig {
+            n: target_n,
+            t,
+            value: Value::ONE,
+            seed: 0,
+            threads: 1,
+            spec,
+        }
+    }
+
+    /// The schedule that breaks the weakened Dolev-Strong variant: the
+    /// faulty transmitter omits its phase-1 send to p2, so p2 can only
+    /// learn the value from length-(t + 1) relays — which the off-by-one
+    /// threshold rejects.
+    fn splitting_spec() -> ScheduleSpec {
+        ScheduleSpec {
+            faults: vec![(
+                ProcessId(0),
+                FaultBehavior::OmitTo {
+                    targets: vec![ProcessId(2)],
+                },
+            )],
+            link_drops: vec![],
+        }
+    }
+
+    #[test]
+    fn registry_resolves_names() {
+        assert_eq!(targets().len(), 4);
+        for target in targets() {
+            assert_eq!(find_target(target.name).unwrap().name, target.name);
+        }
+        assert!(find_target("nope").is_none());
+        assert!(find_target("ds-broadcast").unwrap().sound);
+        assert!(!find_target("ds-weak-relay-threshold").unwrap().sound);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let ds = find_target("ds-broadcast").unwrap();
+        assert!(ds.validate(&cfg(4, 1, ScheduleSpec::default())).is_ok());
+        assert!(ds.validate(&cfg(2, 1, ScheduleSpec::default())).is_err());
+        let mut non_binary = cfg(4, 1, ScheduleSpec::default());
+        non_binary.value = Value(7);
+        assert!(ds.validate(&non_binary).is_err());
+        // Equivocation off the transmitter is target-invalid even though
+        // the spec itself is well-formed.
+        let eq_spec = ScheduleSpec {
+            faults: vec![(ProcessId(1), FaultBehavior::Equivocate { ones: vec![] })],
+            link_drops: vec![],
+        };
+        assert!(ds.validate(&cfg(4, 1, eq_spec)).is_err());
+
+        let alg1 = find_target("algorithm1").unwrap();
+        assert!(alg1.validate(&cfg(5, 2, ScheduleSpec::default())).is_ok());
+        assert!(alg1.validate(&cfg(6, 2, ScheduleSpec::default())).is_err());
+    }
+
+    #[test]
+    fn sound_targets_survive_restriction_schedules() {
+        let specs = [
+            ScheduleSpec::default(),
+            ScheduleSpec {
+                faults: vec![(ProcessId(0), FaultBehavior::Silent)],
+                link_drops: vec![],
+            },
+            ScheduleSpec {
+                faults: vec![(ProcessId(1), FaultBehavior::CrashAt { phase: 2 })],
+                link_drops: vec![],
+            },
+            splitting_spec(),
+            ScheduleSpec {
+                faults: vec![(ProcessId(0), FaultBehavior::Passive)],
+                link_drops: vec![LinkDrop {
+                    phase: 1,
+                    from: ProcessId(0),
+                    to: ProcessId(3),
+                }],
+            },
+            ScheduleSpec {
+                faults: vec![(
+                    ProcessId(0),
+                    FaultBehavior::Equivocate {
+                        ones: vec![ProcessId(1)],
+                    },
+                )],
+                link_drops: vec![],
+            },
+        ];
+        for target_name in ["ds-broadcast", "ds-relay"] {
+            let target = find_target(target_name).unwrap();
+            for spec in &specs {
+                let config = cfg(5, 2, spec.clone());
+                target.validate(&config).unwrap();
+                let outcome = target.run(&config);
+                assert_eq!(outcome.failure(), None, "{target_name} {spec:?}");
+            }
+        }
+        let alg1 = find_target("algorithm1").unwrap();
+        for spec in &specs {
+            let config = cfg(5, 2, spec.clone());
+            alg1.validate(&config).unwrap();
+            let outcome = alg1.run(&config);
+            assert_eq!(outcome.failure(), None, "algorithm1 {spec:?}");
+        }
+    }
+
+    #[test]
+    fn weakened_target_splits_under_transmitter_omission() {
+        let weak = find_target("ds-weak-relay-threshold").unwrap();
+        let config = cfg(4, 1, splitting_spec());
+        weak.validate(&config).unwrap();
+        let outcome = weak.run(&config);
+        assert!(
+            matches!(
+                outcome.violation(),
+                Some(AgreementViolation::Disagreement { .. })
+            ),
+            "expected disagreement, got {:?}",
+            outcome.verdict
+        );
+        // The same schedule is harmless against the correct protocol.
+        let sound = find_target("ds-broadcast").unwrap();
+        assert_eq!(sound.run(&config).failure(), None);
+    }
+
+    #[test]
+    fn runs_are_thread_count_independent() {
+        for target in targets() {
+            let n = if target.name == "algorithm1" { 5 } else { 4 };
+            let t = if target.name == "algorithm1" { 2 } else { 1 };
+            let mut config = cfg(n, t, splitting_spec());
+            let sequential = target.run(&config);
+            config.threads = 4;
+            let parallel = target.run(&config);
+            assert_eq!(sequential.verdict, parallel.verdict, "{}", target.name);
+            assert_eq!(
+                sequential.messages_by_correct, parallel.messages_by_correct,
+                "{}",
+                target.name
+            );
+            assert_eq!(
+                sequential.omitted_messages, parallel.omitted_messages,
+                "{}",
+                target.name
+            );
+        }
+    }
+}

@@ -56,6 +56,15 @@ pub struct DsParams {
     pub transmitter: ProcessId,
     /// Chain domain (instance separation for parallel embeddings).
     pub domain: u32,
+    /// **Deliberately broken variant for checker validation.** When set,
+    /// the acceptance rule additionally requires `chain.len() <= t` — an
+    /// off-by-one behind the correct `t + 1` relay threshold, so a chain
+    /// completing at the final phase is wrongly rejected. A faulty
+    /// transmitter that omits one processor then splits the correct set:
+    /// the omitted processor rejects the length-`t + 1` relays everyone
+    /// else extracted from. Exists so `ba-check` can prove its explorer
+    /// finds a real agreement violation; never enable it elsewhere.
+    pub weaken_relay_threshold: bool,
 }
 
 impl DsParams {
@@ -68,6 +77,7 @@ impl DsParams {
             verifier,
             transmitter: ProcessId(0),
             domain: domains::DOLEV_STRONG,
+            weaken_relay_threshold: false,
         }
     }
 
@@ -97,6 +107,7 @@ impl DsParams {
     pub fn is_acceptable(&self, chain: &Chain, k: usize, me: ProcessId) -> bool {
         chain.domain() == self.domain
             && chain.len() == k
+            && (!self.weaken_relay_threshold || chain.len() <= self.t)
             && chain.verify_simple_path(&self.verifier).is_ok()
             && chain.first_signer() == Some(self.transmitter)
             && !chain.contains_signer(me)
@@ -529,6 +540,27 @@ mod tests {
         assert!(!params.is_acceptable(&chain(&[0, 3]), 2, ProcessId(3)));
         // Duplicate signers rejected.
         assert!(!params.is_acceptable(&chain(&[0, 1, 1]), 3, ProcessId(3)));
+    }
+
+    #[test]
+    fn weakened_threshold_rejects_final_phase_chains() {
+        let n = 6;
+        let registry = KeyRegistry::new(n, 0, SchemeKind::Hmac);
+        let mut params = DsParams::standard(n, 2, Variant::Broadcast, registry.verifier());
+        params.weaken_relay_threshold = true;
+        let chain = |ids: &[u32]| {
+            let mut c = Chain::new(domains::DOLEV_STRONG, Value::ONE);
+            for &i in ids {
+                c.sign_and_append(&registry.signer(ProcessId(i)));
+            }
+            c
+        };
+        // Chains up to length t still accepted...
+        assert!(params.is_acceptable(&chain(&[0]), 1, ProcessId(3)));
+        assert!(params.is_acceptable(&chain(&[0, 1]), 2, ProcessId(3)));
+        // ...but a length-(t + 1) chain arriving at phase t + 1 — legal in
+        // the correct protocol — is wrongly rejected.
+        assert!(!params.is_acceptable(&chain(&[0, 1, 2]), 3, ProcessId(3)));
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn instance_params(n: usize, t: usize, instance: u32, verifier: Verifier) -> Arc
         verifier,
         transmitter: ProcessId(instance),
         domain: IC_DOMAIN_BASE + instance,
+        weaken_relay_threshold: false,
     })
 }
 

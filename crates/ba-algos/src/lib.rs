@@ -40,6 +40,10 @@
 //!   modification of Algorithm 1;
 //! * [`ic`] — interactive consistency (vector agreement) from parallel
 //!   Dolev–Strong instances;
+//! * [`checkable`] — the named target registry the `ba-check` model
+//!   checker drives: each target compiles a declarative fault schedule
+//!   onto one algorithm configuration and reports the agreement verdict
+//!   next to the paper's message-bound predicate;
 //! * [`trees`] — the complete-binary-tree bookkeeping behind Algorithm 5;
 //! * [`fuzz`] — chain-aware payload fuzzers and spam harnesses proving
 //!   the validators hold up under arbitrary Byzantine bytes.
@@ -70,6 +74,7 @@ pub mod algorithm3;
 pub mod algorithm4;
 pub mod algorithm5;
 pub mod bounds;
+pub mod checkable;
 pub mod common;
 pub mod dolev_strong;
 pub mod fuzz;
@@ -78,4 +83,5 @@ pub mod om;
 pub mod trees;
 
 pub use agree::{agree, AgreeOptions, AgreeReport, Selected};
+pub use checkable::{find_target, targets, CheckConfig, CheckOutcome, CheckTarget};
 pub use common::{domains, AlgoReport};

@@ -1,0 +1,206 @@
+//! Command-line front end for the `ba-check` model checker.
+//!
+//! ```text
+//! cargo run -p ba-bench --bin check --release
+//!     # smoke mode: explore every sound target with a small exhaustive
+//!     # budget, then replay the committed regression corpus
+//!
+//! cargo run -p ba-bench --bin check --release -- \
+//!     --target ds-weak-relay-threshold --n 4 --t 1 --budget 200
+//!     # explore one target; violations print as corpus-format JSON
+//!
+//! cargo run -p ba-bench --bin check --release -- \
+//!     --target ds-broadcast --n 7 --t 3 --random --budget 500 --seed 7
+//!     # seeded random sampling for dimensions too large to enumerate
+//!
+//! cargo run -p ba-bench --bin check --release -- --replay-corpus
+//!     # replay the committed corpus only
+//! ```
+//!
+//! Exit status: nonzero when a *sound* target violates, when corpus replay
+//! fails, or on usage errors. Violations of targets registered as unsound
+//! (e.g. `ds-weak-relay-threshold`) are the expected outcome and print
+//! without failing the run. Reports are byte-identical at any `--threads`.
+
+use ba_check::corpus::{self, default_corpus_path, CorpusEntry};
+use ba_check::{explore, find_target, targets, ExploreOptions, Strategy, Violation};
+use ba_sim::sweep::default_threads;
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Cli {
+    target: Option<String>,
+    n: usize,
+    t: usize,
+    value: u64,
+    seed: u64,
+    budget: usize,
+    threads: usize,
+    strategy: Strategy,
+    replay_only: bool,
+    corpus_path: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: check [--target NAME] [--n N] [--t T] [--value 0|1] [--seed S] \
+         [--budget B] [--random] [--threads K] [--replay-corpus] [--corpus PATH]\n\
+         registered targets:"
+    );
+    for target in targets() {
+        eprintln!("  {:<26} {}", target.name, target.summary);
+    }
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        target: None,
+        n: 4,
+        t: 1,
+        value: 1,
+        seed: 0,
+        budget: 150,
+        threads: default_threads().max(1),
+        strategy: Strategy::Exhaustive,
+        replay_only: false,
+        corpus_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--target" => cli.target = Some(value_of("--target")),
+            "--n" => cli.n = parse_num(&value_of("--n"), "--n"),
+            "--t" => cli.t = parse_num(&value_of("--t"), "--t"),
+            "--value" => cli.value = parse_num(&value_of("--value"), "--value") as u64,
+            "--seed" => cli.seed = parse_num(&value_of("--seed"), "--seed") as u64,
+            "--budget" => cli.budget = parse_num(&value_of("--budget"), "--budget"),
+            "--threads" => cli.threads = parse_num(&value_of("--threads"), "--threads").max(1),
+            "--random" => cli.strategy = Strategy::Random,
+            "--replay-corpus" => cli.replay_only = true,
+            "--corpus" => cli.corpus_path = Some(value_of("--corpus")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    cli
+}
+
+fn parse_num(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects a non-negative integer, got {text:?}");
+        std::process::exit(2);
+    })
+}
+
+fn print_violation(violation: &Violation) {
+    println!("  found:     {}", violation.schedule.to_json().render());
+    println!("  failure:   {}", violation.failure);
+    println!("  minimized: {}", violation.minimized.to_json().render());
+    println!("  failure:   {}", violation.minimized_failure);
+}
+
+/// Explores one target; returns the number of violations found.
+fn run_target(cli: &Cli, name: &str, n: usize, t: usize) -> Result<usize, String> {
+    let target = find_target(name).ok_or_else(|| format!("unknown check target {name:?}"))?;
+    if !target.supports(n, t) {
+        return Err(format!("{name} does not support n = {n}, t = {t}"));
+    }
+    let report = explore(&ExploreOptions {
+        target,
+        n,
+        t,
+        value: cli.value,
+        seed: cli.seed,
+        budget: cli.budget,
+        threads: cli.threads,
+        strategy: cli.strategy,
+    });
+    let kind = if target.sound { "sound" } else { "unsound" };
+    println!(
+        "{}: explored {} schedule(s) at n = {n}, t = {t} ({kind}) — {} violation(s)",
+        target.name,
+        report.explored,
+        report.violations.len()
+    );
+    for violation in &report.violations {
+        print_violation(violation);
+    }
+    Ok(if target.sound {
+        report.violations.len()
+    } else {
+        0
+    })
+}
+
+fn replay_corpus(cli: &Cli) -> Result<(), String> {
+    let path: &str = cli
+        .corpus_path
+        .as_deref()
+        .unwrap_or_else(|| default_corpus_path());
+    let entries: Vec<CorpusEntry> = corpus::load(Path::new(path))?;
+    for (i, entry) in entries.iter().enumerate() {
+        corpus::replay_minimal(entry, cli.threads)
+            .map_err(|e| format!("corpus entry {i} ({}): {e}", entry.schedule.target))?;
+    }
+    println!(
+        "corpus: replayed {} minimized counterexample(s) from {path}",
+        entries.len()
+    );
+    Ok(())
+}
+
+/// Smoke mode: every sound target at its smallest supported dimensions,
+/// then the committed corpus.
+fn run_smoke(cli: &Cli) -> Result<usize, String> {
+    let mut unexpected = 0;
+    for target in targets().iter().filter(|target| target.sound) {
+        // Smallest dimensions each algorithm family supports.
+        let (n, t) = if target.supports(4, 1) {
+            (4, 1)
+        } else {
+            (3, 1)
+        };
+        unexpected += run_target(cli, target.name, n, t)?;
+    }
+    replay_corpus(cli)?;
+    Ok(unexpected)
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let started = std::time::Instant::now();
+    let outcome = if cli.replay_only {
+        replay_corpus(&cli).map(|()| 0)
+    } else if cli.target.is_some() {
+        let name = cli.target.clone().expect("checked above");
+        run_target(&cli, &name, cli.n, cli.t)
+    } else {
+        run_smoke(&cli)
+    };
+    eprintln!(
+        "check finished on {} thread(s) in {:.2?}",
+        cli.threads,
+        started.elapsed()
+    );
+    match outcome {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(violations) => {
+            eprintln!("{violations} unexpected violation(s) on sound target(s)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

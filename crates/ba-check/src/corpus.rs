@@ -1,0 +1,221 @@
+//! The JSON regression corpus: minimized counterexamples committed to the
+//! repository and replayed by tests and CI.
+//!
+//! Format (version 1):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     { "target": "...", "n": 4, "t": 1, "value": 1, "seed": 0,
+//!       "faults": [...], "link_drops": [...],
+//!       "failure": "correct processors disagree: ..." }
+//!   ]
+//! }
+//! ```
+//!
+//! Replay is strict: an entry passes only if the schedule still fails with
+//! the *exact* recorded failure string — a changed message means the
+//! behaviour drifted and the corpus entry must be regenerated on purpose.
+
+use crate::json::{self, Json};
+use crate::schedule::FaultSchedule;
+use crate::shrink;
+use std::path::Path;
+
+/// One committed counterexample: a minimized schedule plus the failure it
+/// reproduces.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusEntry {
+    /// The minimized failing schedule.
+    pub schedule: FaultSchedule,
+    /// The exact failure string the schedule must reproduce.
+    pub failure: String,
+}
+
+/// The corpus format version this module reads and writes.
+pub const CORPUS_VERSION: u64 = 1;
+
+/// Path of the corpus committed with this crate.
+pub fn default_corpus_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/corpus/regressions.json")
+}
+
+/// Renders entries as pretty-printed corpus JSON.
+pub fn render(entries: &[CorpusEntry]) -> String {
+    let rendered = entries
+        .iter()
+        .map(|entry| {
+            let Json::Obj(mut pairs) = entry.schedule.to_json() else {
+                unreachable!("FaultSchedule::to_json returns an object");
+            };
+            pairs.push(("failure".to_string(), Json::Str(entry.failure.clone())));
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("version".to_string(), Json::Int(CORPUS_VERSION)),
+        ("entries".to_string(), Json::Arr(rendered)),
+    ])
+    .pretty()
+}
+
+/// Parses corpus JSON text.
+///
+/// # Errors
+/// Syntax errors, an unsupported version, or malformed entries.
+pub fn parse(text: &str) -> Result<Vec<CorpusEntry>, String> {
+    let root = json::parse(text)?;
+    let version = root
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("corpus missing integer field \"version\"")?;
+    if version != CORPUS_VERSION {
+        return Err(format!(
+            "unsupported corpus version {version} (this build reads {CORPUS_VERSION})"
+        ));
+    }
+    root.get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("corpus missing array field \"entries\"")?
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let schedule = FaultSchedule::from_json(item).map_err(|e| format!("entry {i}: {e}"))?;
+            let failure = item
+                .get("failure")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i}: missing string field \"failure\""))?
+                .to_string();
+            Ok(CorpusEntry { schedule, failure })
+        })
+        .collect()
+}
+
+/// Loads a corpus file.
+///
+/// # Errors
+/// I/O failures (with the path) or parse errors.
+pub fn load(path: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading corpus {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Writes entries to a corpus file, creating parent directories as needed.
+///
+/// # Errors
+/// I/O failures (with the path).
+pub fn save(path: &Path, entries: &[CorpusEntry]) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("creating corpus directory {}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, render(entries))
+        .map_err(|e| format!("writing corpus {}: {e}", path.display()))
+}
+
+/// Replays one entry: the schedule must resolve, fail, and reproduce the
+/// recorded failure string exactly.
+///
+/// # Errors
+/// Resolution failures, a vanished failure, or a drifted failure string.
+pub fn replay(entry: &CorpusEntry, threads: usize) -> Result<(), String> {
+    let target = entry.schedule.resolve()?;
+    match target.run(&entry.schedule.config(threads)).failure() {
+        Some(f) if f == entry.failure => Ok(()),
+        Some(f) => Err(format!(
+            "failure drifted: expected {:?}, reproduced {:?}",
+            entry.failure, f
+        )),
+        None => Err(format!(
+            "schedule no longer fails (expected {:?})",
+            entry.failure
+        )),
+    }
+}
+
+/// Replays an entry and re-checks that its schedule is still 1-minimal.
+///
+/// # Errors
+/// Replay failures or minimality violations.
+pub fn replay_minimal(entry: &CorpusEntry, threads: usize) -> Result<(), String> {
+    replay(entry, threads)?;
+    let target = entry.schedule.resolve()?;
+    shrink::assert_minimal(target, &entry.schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_crypto::ProcessId;
+    use ba_sim::schedule::{FaultBehavior, ScheduleSpec};
+
+    fn splitting_entry() -> CorpusEntry {
+        let schedule = FaultSchedule {
+            target: "ds-weak-relay-threshold".to_string(),
+            n: 4,
+            t: 1,
+            value: 1,
+            seed: 0,
+            spec: ScheduleSpec {
+                faults: vec![(
+                    ProcessId(0),
+                    FaultBehavior::OmitTo {
+                        targets: vec![ProcessId(2)],
+                    },
+                )],
+                link_drops: vec![],
+            },
+        };
+        let failure = schedule
+            .resolve()
+            .unwrap()
+            .run(&schedule.config(1))
+            .failure()
+            .expect("the splitting schedule fails on the weakened target");
+        CorpusEntry { schedule, failure }
+    }
+
+    #[test]
+    fn corpus_roundtrips() {
+        let entries = vec![splitting_entry()];
+        let text = render(&entries);
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn replay_accepts_exact_match_and_rejects_drift() {
+        let entry = splitting_entry();
+        replay(&entry, 1).unwrap();
+        replay_minimal(&entry, 1).unwrap();
+
+        let mut drifted = entry.clone();
+        drifted.failure = "some other failure".to_string();
+        assert!(replay(&drifted, 1).unwrap_err().contains("drifted"));
+
+        let mut vanished = entry.clone();
+        vanished.schedule.target = "ds-broadcast".to_string();
+        assert!(replay(&vanished, 1)
+            .unwrap_err()
+            .contains("no longer fails"));
+    }
+
+    /// Regenerates the committed corpus from the known-bad schedule so the
+    /// recorded failure strings always come from an actual run. Invoke with
+    /// `cargo test -p ba-check regenerate_committed_corpus -- --ignored`
+    /// after an intentional behaviour change.
+    #[test]
+    #[ignore = "writes the committed corpus; run explicitly after intentional changes"]
+    fn regenerate_committed_corpus() {
+        let entry = splitting_entry();
+        replay_minimal(&entry, 1).unwrap();
+        save(Path::new(default_corpus_path()), &[entry]).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = render(&[splitting_entry()]).replace("\"version\": 1", "\"version\": 2");
+        assert!(parse(&text).unwrap_err().contains("version 2"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Deterministic exploration of the fault-schedule space.
+//!
+//! Two seeded strategies generate candidate [`ScheduleSpec`]s:
+//!
+//! * [`Strategy::Exhaustive`] — bounded enumeration for small `(n, t)`:
+//!   single faults with every menu behaviour first (small counterexamples
+//!   surface early), then the Passive-plus-link-drop family, then
+//!   multi-fault products, truncated at the budget;
+//! * [`Strategy::Random`] — [`SimRng`]-driven sampling for spaces too large
+//!   to enumerate; candidate `i` is drawn from `derive_seed(seed, i)`, so
+//!   the sample set depends only on `(seed, budget)`.
+//!
+//! Candidates run through the target via [`run_sweep`]: outer fan-out
+//! across worker threads, every inner simulation sequential, results
+//! re-sorted by candidate index — the violation list is byte-identical at
+//! any thread count. Each violating schedule is then shrunk to a minimal
+//! counterexample (see [`shrink`](crate::shrink)).
+
+use crate::schedule::FaultSchedule;
+use crate::shrink;
+use ba_algos::checkable::CheckTarget;
+use ba_crypto::rng::{derive_seed, SimRng};
+use ba_crypto::ProcessId;
+use ba_sim::schedule::{FaultBehavior, LinkDrop, ScheduleSpec};
+use ba_sim::sweep::run_sweep;
+use std::collections::BTreeSet;
+
+/// How the schedule space is covered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Bounded exhaustive enumeration (small `(n, t)`).
+    Exhaustive,
+    /// Seeded random sampling (large `(n, t)`).
+    Random,
+}
+
+/// Parameters of one exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// The target under test.
+    pub target: &'static CheckTarget,
+    /// Number of processors.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// The transmitter's input value (binary).
+    pub value: u64,
+    /// Base seed: key registries use it directly, random sampling derives
+    /// per-candidate seeds from it.
+    pub seed: u64,
+    /// Maximum number of schedules to run.
+    pub budget: usize,
+    /// Worker threads for the outer fan-out (inner runs are sequential;
+    /// results are identical for any value).
+    pub threads: usize,
+    /// Coverage strategy.
+    pub strategy: Strategy,
+}
+
+/// One discovered violation: the schedule as found and its shrunk form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The schedule as the explorer found it.
+    pub schedule: FaultSchedule,
+    /// What failed (agreement violation or bound excess).
+    pub failure: String,
+    /// The greedily-minimized counterexample.
+    pub minimized: FaultSchedule,
+    /// The minimized schedule's failure (may differ in wording from
+    /// `failure` while still violating).
+    pub minimized_failure: String,
+}
+
+/// Result of one exploration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExploreReport {
+    /// The target's name.
+    pub target: String,
+    /// How many schedules actually ran.
+    pub explored: usize,
+    /// Violations in candidate order.
+    pub violations: Vec<Violation>,
+}
+
+/// Explores the schedule space per `options`.
+pub fn explore(options: &ExploreOptions) -> ExploreReport {
+    let specs = match options.strategy {
+        Strategy::Exhaustive => enumerate_schedules(options),
+        Strategy::Random => sample_schedules(options),
+    };
+    let failures: Vec<Option<String>> = run_sweep(&specs, options.threads, |_, spec| {
+        let schedule = bind(options, spec.clone());
+        options.target.run(&schedule.config(1)).failure()
+    });
+
+    let violating: Vec<(FaultSchedule, String)> = specs
+        .iter()
+        .zip(failures)
+        .filter_map(|(spec, failure)| failure.map(|f| (bind(options, spec.clone()), f)))
+        .collect();
+    // Shrinking is greedy and deterministic per schedule; fan the violations
+    // out the same way the runs were.
+    let minimized: Vec<(FaultSchedule, String)> =
+        run_sweep(&violating, options.threads, |_, (schedule, _)| {
+            shrink::shrink(options.target, schedule)
+        });
+    let violations = violating
+        .into_iter()
+        .zip(minimized)
+        .map(
+            |((schedule, failure), (minimized, minimized_failure))| Violation {
+                schedule,
+                failure,
+                minimized,
+                minimized_failure,
+            },
+        )
+        .collect();
+
+    ExploreReport {
+        target: options.target.name.to_string(),
+        explored: specs.len(),
+        violations,
+    }
+}
+
+fn bind(options: &ExploreOptions, spec: ScheduleSpec) -> FaultSchedule {
+    FaultSchedule {
+        target: options.target.name.to_string(),
+        n: options.n,
+        t: options.t,
+        value: options.value,
+        seed: options.seed,
+        spec,
+    }
+}
+
+/// The per-processor behaviour menu for exhaustive enumeration: every
+/// restriction the adapter can compile, with single-element target sets
+/// (multi-element omissions are reachable by the random strategy and would
+/// shrink back to singles anyway).
+fn behavior_menu(p: u32, n: usize) -> Vec<FaultBehavior> {
+    let mut menu = vec![
+        FaultBehavior::Silent,
+        FaultBehavior::CrashAt { phase: 2 },
+        FaultBehavior::Passive,
+    ];
+    for q in 0..n as u32 {
+        if q != p {
+            menu.push(FaultBehavior::OmitTo {
+                targets: vec![ProcessId(q)],
+            });
+        }
+    }
+    if p == 0 {
+        for q in 1..n as u32 {
+            menu.push(FaultBehavior::Equivocate {
+                ones: vec![ProcessId(q)],
+            });
+        }
+    }
+    menu
+}
+
+fn push_valid(options: &ExploreOptions, spec: ScheduleSpec, out: &mut Vec<ScheduleSpec>) -> bool {
+    if out.len() >= options.budget {
+        return false;
+    }
+    let schedule = bind(options, spec.clone());
+    if options.target.validate(&schedule.config(1)).is_ok() {
+        out.push(spec);
+    }
+    out.len() < options.budget
+}
+
+/// Enumerates schedules for small `(n, t)` in a fixed order: the empty
+/// schedule, all single faults, the Passive-plus-single-link-drop family,
+/// then multi-fault behaviour products — truncated at the budget.
+pub fn enumerate_schedules(options: &ExploreOptions) -> Vec<ScheduleSpec> {
+    let n = options.n;
+    let mut out = Vec::new();
+    if !push_valid(options, ScheduleSpec::default(), &mut out) {
+        return out;
+    }
+
+    // Single faults, every menu behaviour.
+    for p in 0..n as u32 {
+        for behavior in behavior_menu(p, n) {
+            let spec = ScheduleSpec {
+                faults: vec![(ProcessId(p), behavior)],
+                link_drops: vec![],
+            };
+            if !push_valid(options, spec, &mut out) {
+                return out;
+            }
+        }
+    }
+
+    // Engine-level link drops: a passive faulty sender whose single link
+    // to one peer is cut in one early phase.
+    for p in 0..n as u32 {
+        for phase in 1..=2usize {
+            for to in 0..n as u32 {
+                if to == p {
+                    continue;
+                }
+                let spec = ScheduleSpec {
+                    faults: vec![(ProcessId(p), FaultBehavior::Passive)],
+                    link_drops: vec![LinkDrop {
+                        phase,
+                        from: ProcessId(p),
+                        to: ProcessId(to),
+                    }],
+                };
+                if !push_valid(options, spec, &mut out) {
+                    return out;
+                }
+            }
+        }
+    }
+
+    // Multi-fault products over sorted fault sets of size 2..=t, by
+    // ascending bitmask then lexicographic behaviour choice (odometer).
+    if options.t >= 2 && n <= 16 {
+        for mask in 1u32..(1 << n) {
+            let size = mask.count_ones() as usize;
+            if size < 2 || size > options.t {
+                continue;
+            }
+            let members: Vec<u32> = (0..n as u32).filter(|p| mask & (1 << p) != 0).collect();
+            let menus: Vec<Vec<FaultBehavior>> =
+                members.iter().map(|&p| behavior_menu(p, n)).collect();
+            let mut odometer = vec![0usize; members.len()];
+            loop {
+                let faults: Vec<(ProcessId, FaultBehavior)> = members
+                    .iter()
+                    .zip(&menus)
+                    .zip(&odometer)
+                    .map(|((&p, menu), &i)| (ProcessId(p), menu[i].clone()))
+                    .collect();
+                let spec = ScheduleSpec {
+                    faults,
+                    link_drops: vec![],
+                };
+                if !push_valid(options, spec, &mut out) {
+                    return out;
+                }
+                // Advance the odometer.
+                let mut digit = 0;
+                loop {
+                    if digit == odometer.len() {
+                        break;
+                    }
+                    odometer[digit] += 1;
+                    if odometer[digit] < menus[digit].len() {
+                        break;
+                    }
+                    odometer[digit] = 0;
+                    digit += 1;
+                }
+                if digit == odometer.len() {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Samples `budget` random schedules; candidate `i` depends only on
+/// `derive_seed(seed, i)`, never on thread scheduling. Candidates the
+/// target rejects are skipped (deterministically), so the result may hold
+/// fewer than `budget` specs.
+pub fn sample_schedules(options: &ExploreOptions) -> Vec<ScheduleSpec> {
+    let phases_hint = options.t + 3;
+    let mut out = Vec::new();
+    for i in 0..options.budget {
+        let mut rng = SimRng::new(derive_seed(options.seed, i as u64));
+        let spec = random_spec(&mut rng, options.n, options.t, phases_hint);
+        let schedule = bind(options, spec.clone());
+        if options.target.validate(&schedule.config(1)).is_ok() {
+            out.push(spec);
+        }
+    }
+    out
+}
+
+fn random_spec(rng: &mut SimRng, n: usize, t: usize, phases_hint: usize) -> ScheduleSpec {
+    let fault_count = rng.range_usize(1, t + 1);
+    let mut pids: BTreeSet<u32> = BTreeSet::new();
+    while pids.len() < fault_count {
+        pids.insert(rng.range_u32(0, n as u32));
+    }
+    let faults: Vec<(ProcessId, FaultBehavior)> = pids
+        .iter()
+        .map(|&p| {
+            let behavior = match rng.range_u32(0, 5) {
+                0 => FaultBehavior::Silent,
+                1 => FaultBehavior::CrashAt {
+                    phase: rng.range_usize(1, phases_hint + 1),
+                },
+                2 => {
+                    let targets: Vec<ProcessId> = (0..n as u32)
+                        .filter(|&q| q != p && rng.next_bool())
+                        .map(ProcessId)
+                        .collect();
+                    if targets.is_empty() {
+                        FaultBehavior::Passive
+                    } else {
+                        FaultBehavior::OmitTo { targets }
+                    }
+                }
+                3 => FaultBehavior::Passive,
+                _ if p == 0 => {
+                    let mut ones: Vec<ProcessId> = (1..n as u32)
+                        .filter(|_| rng.next_bool())
+                        .map(ProcessId)
+                        .collect();
+                    if ones.is_empty() {
+                        ones.push(ProcessId(rng.range_u32(1, n as u32)));
+                    }
+                    FaultBehavior::Equivocate { ones }
+                }
+                _ => FaultBehavior::Silent,
+            };
+            (ProcessId(p), behavior)
+        })
+        .collect();
+
+    let mut drops: BTreeSet<LinkDrop> = BTreeSet::new();
+    let faulty: Vec<u32> = pids.iter().copied().collect();
+    for _ in 0..rng.range_usize(0, 3) {
+        let from = faulty[rng.range_usize(0, faulty.len())];
+        let to = rng.range_u32(0, n as u32);
+        if to != from {
+            drops.insert(LinkDrop {
+                phase: rng.range_usize(1, phases_hint + 1),
+                from: ProcessId(from),
+                to: ProcessId(to),
+            });
+        }
+    }
+    ScheduleSpec {
+        faults,
+        link_drops: drops.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_algos::checkable::find_target;
+
+    fn options(target: &'static str, strategy: Strategy) -> ExploreOptions {
+        ExploreOptions {
+            target: find_target(target).unwrap(),
+            n: 4,
+            t: 1,
+            value: 1,
+            seed: 7,
+            budget: 64,
+            threads: 1,
+            strategy,
+        }
+    }
+
+    #[test]
+    fn enumeration_is_ordered_and_budget_truncated() {
+        let opts = options("ds-broadcast", Strategy::Exhaustive);
+        let all = enumerate_schedules(&opts);
+        assert!(!all.is_empty());
+        assert_eq!(all[0], ScheduleSpec::default(), "empty schedule first");
+        assert!(all.len() <= opts.budget);
+        let truncated = enumerate_schedules(&ExploreOptions { budget: 5, ..opts });
+        assert_eq!(truncated.len(), 5);
+        assert_eq!(&all[..5], &truncated[..]);
+    }
+
+    #[test]
+    fn enumeration_covers_every_behavior_kind_and_link_drops() {
+        let opts = ExploreOptions {
+            budget: 10_000,
+            ..options("ds-broadcast", Strategy::Exhaustive)
+        };
+        let all = enumerate_schedules(&opts);
+        let tags: BTreeSet<&'static str> = all
+            .iter()
+            .flat_map(|s| s.faults.iter().map(|(_, b)| b.tag()))
+            .collect();
+        for expected in ["silent", "crash-at", "omit-to", "passive", "equivocate"] {
+            assert!(tags.contains(expected), "missing {expected}");
+        }
+        assert!(all.iter().any(|s| !s.link_drops.is_empty()));
+        // Every enumerated schedule passes target validation by construction.
+        for spec in &all {
+            bind(&opts, spec.clone()).resolve().unwrap();
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic_and_valid() {
+        let opts = ExploreOptions {
+            n: 7,
+            t: 3,
+            budget: 40,
+            ..options("ds-broadcast", Strategy::Random)
+        };
+        let a = sample_schedules(&opts);
+        let b = sample_schedules(&opts);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for spec in &a {
+            bind(&opts, spec.clone()).resolve().unwrap();
+        }
+        let other_seed = sample_schedules(&ExploreOptions { seed: 8, ..opts });
+        assert_ne!(a, other_seed, "different seeds sample differently");
+    }
+
+    #[test]
+    fn sound_target_explores_clean() {
+        let opts = options("ds-broadcast", Strategy::Exhaustive);
+        let report = explore(&opts);
+        assert_eq!(report.explored, enumerate_schedules(&opts).len());
+        assert!(report.explored > 0);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn weak_target_yields_minimized_violations() {
+        let report = explore(&ExploreOptions {
+            budget: 200,
+            ..options("ds-weak-relay-threshold", Strategy::Exhaustive)
+        });
+        assert!(!report.violations.is_empty());
+        for violation in &report.violations {
+            // Shrinking never grows the schedule.
+            assert!(
+                violation.minimized.spec.fault_count() <= violation.schedule.spec.fault_count()
+            );
+            // The minimized schedule still fails.
+            let target = find_target("ds-weak-relay-threshold").unwrap();
+            assert_eq!(
+                target.run(&violation.minimized.config(1)).failure(),
+                Some(violation.minimized_failure.clone())
+            );
+        }
+    }
+}

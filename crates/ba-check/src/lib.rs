@@ -1,0 +1,37 @@
+//! # ba-check — deterministic fault-schedule model checking
+//!
+//! A bounded model checker for the Byzantine Agreement algorithms in
+//! `ba-algos`. It drives each registered [`CheckTarget`] (see
+//! [`ba_algos::checkable`]) through explicit fault schedules and checks
+//! agreement, validity, and the paper's message-count bounds after every
+//! run.
+//!
+//! * [`schedule`] — [`FaultSchedule`]: a serializable check case (target
+//!   name, `(n, t)`, value, seed, [`ba_sim::schedule::ScheduleSpec`]);
+//! * [`explore`] — seeded exploration: bounded exhaustive enumeration for
+//!   small `(n, t)` and `SimRng`-driven random sampling for large, fanned
+//!   out with `run_sweep` so reports are byte-identical at any thread
+//!   count;
+//! * [`shrink`] — greedy deterministic shrinking of violating schedules to
+//!   1-minimal counterexamples;
+//! * [`corpus`] — the committed JSON regression corpus, replayed strictly
+//!   (exact failure-string match) by tests and CI;
+//! * [`json`] — the dependency-free JSON codec the corpus uses
+//!   (unsigned-integer-only numbers, so 64-bit seeds round-trip exactly).
+//!
+//! The determinism contract mirrors the simulator's: every decision the
+//! checker makes flows from `(target, n, t, value, seed, budget,
+//! strategy)` — never from thread scheduling, iteration order of hash
+//! containers, or wall-clock time.
+
+pub mod corpus;
+pub mod explore;
+pub mod json;
+pub mod schedule;
+pub mod shrink;
+
+pub use ba_algos::checkable::{find_target, targets, CheckTarget};
+pub use corpus::{replay, replay_minimal, CorpusEntry};
+pub use explore::{explore, ExploreOptions, ExploreReport, Strategy, Violation};
+pub use schedule::FaultSchedule;
+pub use shrink::{assert_minimal, shrink};

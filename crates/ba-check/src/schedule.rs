@@ -1,0 +1,304 @@
+//! The serializable fault schedule: a [`ScheduleSpec`] bound to a named
+//! check target and its run parameters, with a JSON form stable enough to
+//! commit as a regression corpus.
+
+use crate::json::{self, Json};
+use ba_algos::checkable::{CheckConfig, CheckTarget};
+use ba_crypto::{ProcessId, Value};
+use ba_sim::schedule::{FaultBehavior, LinkDrop, ScheduleSpec};
+
+/// A complete, replayable check case: the target, its parameters, and the
+/// fault schedule to drive it with.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultSchedule {
+    /// Name of the [`CheckTarget`] this schedule runs against.
+    pub target: String,
+    /// Number of processors.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// The transmitter's input value (binary).
+    pub value: u64,
+    /// Key-registry seed the run uses.
+    pub seed: u64,
+    /// The fault schedule itself.
+    pub spec: ScheduleSpec,
+}
+
+impl FaultSchedule {
+    /// The [`CheckConfig`] replaying this schedule with `threads` worker
+    /// threads (results are identical for any value).
+    pub fn config(&self, threads: usize) -> CheckConfig {
+        CheckConfig {
+            n: self.n,
+            t: self.t,
+            value: Value(self.value),
+            seed: self.seed,
+            threads,
+            spec: self.spec.clone(),
+        }
+    }
+
+    /// Resolves and validates this schedule's target.
+    ///
+    /// # Errors
+    /// Unknown target name, or a schedule the target rejects.
+    pub fn resolve(&self) -> Result<&'static CheckTarget, String> {
+        let target = ba_algos::checkable::find_target(&self.target)
+            .ok_or_else(|| format!("unknown check target {:?}", self.target))?;
+        target.validate(&self.config(1))?;
+        Ok(target)
+    }
+
+    /// The JSON object form (see the corpus format in `DESIGN.md`).
+    pub fn to_json(&self) -> Json {
+        let faults = self
+            .spec
+            .faults
+            .iter()
+            .map(|(p, behavior)| {
+                let mut pairs = vec![
+                    ("process".to_string(), Json::Int(u64::from(p.0))),
+                    (
+                        "behavior".to_string(),
+                        Json::Str(behavior.tag().to_string()),
+                    ),
+                ];
+                match behavior {
+                    FaultBehavior::Silent | FaultBehavior::Passive => {}
+                    FaultBehavior::CrashAt { phase } => {
+                        pairs.push(("phase".to_string(), Json::Int(*phase as u64)));
+                    }
+                    FaultBehavior::OmitTo { targets } => {
+                        pairs.push(("targets".to_string(), ids_to_json(targets)));
+                    }
+                    FaultBehavior::Equivocate { ones } => {
+                        pairs.push(("ones".to_string(), ids_to_json(ones)));
+                    }
+                }
+                Json::Obj(pairs)
+            })
+            .collect();
+        let drops = self
+            .spec
+            .link_drops
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("phase".to_string(), Json::Int(d.phase as u64)),
+                    ("from".to_string(), Json::Int(u64::from(d.from.0))),
+                    ("to".to_string(), Json::Int(u64::from(d.to.0))),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("target".to_string(), Json::Str(self.target.clone())),
+            ("n".to_string(), Json::Int(self.n as u64)),
+            ("t".to_string(), Json::Int(self.t as u64)),
+            ("value".to_string(), Json::Int(self.value)),
+            ("seed".to_string(), Json::Int(self.seed)),
+            ("faults".to_string(), Json::Arr(faults)),
+            ("link_drops".to_string(), Json::Arr(drops)),
+        ])
+    }
+
+    /// Parses the object form produced by [`FaultSchedule::to_json`].
+    ///
+    /// # Errors
+    /// A description of the first missing or ill-typed field.
+    pub fn from_json(value: &Json) -> Result<FaultSchedule, String> {
+        let target = value
+            .get("target")
+            .and_then(Json::as_str)
+            .ok_or("schedule missing string field \"target\"")?
+            .to_string();
+        let n = field_u64(value, "n")? as usize;
+        let t = field_u64(value, "t")? as usize;
+        let val = field_u64(value, "value")?;
+        let seed = field_u64(value, "seed")?;
+        let mut faults = Vec::new();
+        for entry in value
+            .get("faults")
+            .and_then(Json::as_arr)
+            .ok_or("schedule missing array field \"faults\"")?
+        {
+            let process = ProcessId(field_u64(entry, "process")? as u32);
+            let tag = entry
+                .get("behavior")
+                .and_then(Json::as_str)
+                .ok_or("fault missing string field \"behavior\"")?;
+            let behavior = match tag {
+                "silent" => FaultBehavior::Silent,
+                "passive" => FaultBehavior::Passive,
+                "crash-at" => FaultBehavior::CrashAt {
+                    phase: field_u64(entry, "phase")? as usize,
+                },
+                "omit-to" => FaultBehavior::OmitTo {
+                    targets: ids_from_json(entry, "targets")?,
+                },
+                "equivocate" => FaultBehavior::Equivocate {
+                    ones: ids_from_json(entry, "ones")?,
+                },
+                other => return Err(format!("unknown fault behavior {other:?}")),
+            };
+            faults.push((process, behavior));
+        }
+        let mut link_drops = Vec::new();
+        for entry in value
+            .get("link_drops")
+            .and_then(Json::as_arr)
+            .ok_or("schedule missing array field \"link_drops\"")?
+        {
+            link_drops.push(LinkDrop {
+                phase: field_u64(entry, "phase")? as usize,
+                from: ProcessId(field_u64(entry, "from")? as u32),
+                to: ProcessId(field_u64(entry, "to")? as u32),
+            });
+        }
+        Ok(FaultSchedule {
+            target,
+            n,
+            t,
+            value: val,
+            seed,
+            spec: ScheduleSpec { faults, link_drops },
+        })
+    }
+
+    /// Parses a schedule from JSON text.
+    ///
+    /// # Errors
+    /// Syntax errors from the parser or structural errors from
+    /// [`FaultSchedule::from_json`].
+    pub fn from_text(text: &str) -> Result<FaultSchedule, String> {
+        FaultSchedule::from_json(&json::parse(text)?)
+    }
+}
+
+fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn ids_to_json(ids: &[ProcessId]) -> Json {
+    Json::Arr(ids.iter().map(|p| Json::Int(u64::from(p.0))).collect())
+}
+
+fn ids_from_json(entry: &Json, key: &str) -> Result<Vec<ProcessId>, String> {
+    entry
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("fault missing array field {key:?}"))?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .map(|v| ProcessId(v as u32))
+                .ok_or_else(|| format!("non-integer id in {key:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_crypto::testkit::run_cases;
+
+    fn sample() -> FaultSchedule {
+        FaultSchedule {
+            target: "ds-weak-relay-threshold".to_string(),
+            n: 4,
+            t: 1,
+            value: 1,
+            seed: 0,
+            spec: ScheduleSpec {
+                faults: vec![(
+                    ProcessId(0),
+                    FaultBehavior::OmitTo {
+                        targets: vec![ProcessId(2)],
+                    },
+                )],
+                link_drops: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn sample_roundtrips_and_resolves() {
+        let schedule = sample();
+        let text = schedule.to_json().pretty();
+        let back = FaultSchedule::from_text(&text).unwrap();
+        assert_eq!(back, schedule);
+        let target = back.resolve().unwrap();
+        assert_eq!(target.name, "ds-weak-relay-threshold");
+        assert!(!target.sound);
+    }
+
+    #[test]
+    fn every_behavior_roundtrips() {
+        run_cases(24, 0x5EED, |gen| {
+            let n = gen.usize_in(3, 8);
+            let behaviors = [
+                FaultBehavior::Silent,
+                FaultBehavior::Passive,
+                FaultBehavior::CrashAt {
+                    phase: gen.usize_in(1, 6),
+                },
+                FaultBehavior::OmitTo {
+                    targets: vec![ProcessId(gen.u32_in(1, n as u32))],
+                },
+                FaultBehavior::Equivocate {
+                    ones: vec![ProcessId(gen.u32_in(1, n as u32))],
+                },
+            ];
+            let pick = gen.usize_in(0, behaviors.len());
+            let schedule = FaultSchedule {
+                target: "ds-broadcast".to_string(),
+                n,
+                t: gen.usize_in(1, n.saturating_sub(2).max(2)),
+                value: u64::from(gen.bool()),
+                seed: gen.u64(),
+                spec: ScheduleSpec {
+                    faults: vec![(ProcessId(0), behaviors[pick].clone())],
+                    link_drops: vec![LinkDrop {
+                        phase: gen.usize_in(1, 5),
+                        from: ProcessId(0),
+                        to: ProcessId(gen.u32_in(1, n as u32)),
+                    }],
+                },
+            };
+            let compact = FaultSchedule::from_text(&schedule.to_json().render()).unwrap();
+            assert_eq!(compact, schedule);
+        });
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_target_and_bad_spec() {
+        let mut schedule = sample();
+        schedule.target = "no-such-target".to_string();
+        assert!(schedule.resolve().unwrap_err().contains("unknown"));
+
+        let mut overbudget = sample();
+        overbudget.spec.faults = vec![
+            (ProcessId(0), FaultBehavior::Silent),
+            (ProcessId(1), FaultBehavior::Silent),
+        ];
+        assert!(overbudget.resolve().is_err(), "t = 1 allows one fault");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        assert!(FaultSchedule::from_text("{}")
+            .unwrap_err()
+            .contains("target"));
+        let missing_faults = "{\"target\":\"ds-broadcast\",\"n\":4,\"t\":1,\"value\":1,\"seed\":0}";
+        assert!(FaultSchedule::from_text(missing_faults)
+            .unwrap_err()
+            .contains("faults"));
+        let bad_behavior = sample().to_json().render().replace("omit-to", "explode");
+        assert!(FaultSchedule::from_text(&bad_behavior)
+            .unwrap_err()
+            .contains("explode"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Greedy counterexample shrinking.
+//!
+//! Given a failing [`FaultSchedule`], [`shrink`] repeatedly tries the
+//! smallest structural reductions — in a fixed order, accepting the first
+//! one that still fails — until no reduction keeps the failure alive:
+//!
+//! 1. drop a whole faulty processor (and its link drops);
+//! 2. remove a single link drop;
+//! 3. remove a single omission target (an emptied `OmitTo` becomes
+//!    `Passive`) or equivocation recipient;
+//! 4. delay a crash by one phase (capped at the run's phase count).
+//!
+//! Every accepted step strictly decreases the lexicographic measure
+//! (fault count, restriction count, total crash headroom), so the loop
+//! terminates; the fixpoint is *1-minimal*: removing any single faulty
+//! processor or omission from the result makes the violation disappear.
+//! The process is fully deterministic — same input schedule, same output.
+
+use crate::schedule::FaultSchedule;
+use ba_algos::checkable::CheckTarget;
+use ba_sim::schedule::FaultBehavior;
+
+/// Shrinks a failing schedule to a 1-minimal counterexample and returns it
+/// with its failure description.
+///
+/// # Panics
+/// Panics if `schedule` does not actually fail under `target`.
+pub fn shrink(target: &CheckTarget, schedule: &FaultSchedule) -> (FaultSchedule, String) {
+    let mut current = schedule.clone();
+    let mut failure = run_failure(target, &current)
+        .expect("shrink requires a schedule that fails under the target");
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if target.validate(&candidate.config(1)).is_err() {
+                continue;
+            }
+            if let Some(f) = run_failure(target, &candidate) {
+                current = candidate;
+                failure = f;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, failure);
+        }
+    }
+}
+
+/// Checks that `schedule` (which must fail under `target`) is 1-minimal:
+/// no single-fault or single-omission removal still fails.
+///
+/// # Errors
+/// Describes the first reduction that still violates, or reports that the
+/// schedule does not fail at all.
+pub fn assert_minimal(target: &CheckTarget, schedule: &FaultSchedule) -> Result<(), String> {
+    if run_failure(target, schedule).is_none() {
+        return Err("schedule does not fail, so minimality is vacuous".to_string());
+    }
+    for candidate in removal_candidates(schedule) {
+        if target.validate(&candidate.config(1)).is_err() {
+            continue;
+        }
+        if let Some(f) = run_failure(target, &candidate) {
+            return Err(format!(
+                "not minimal: a reduced schedule ({} fault(s), {} link drop(s)) still fails: {f}",
+                candidate.spec.fault_count(),
+                candidate.spec.link_drops.len(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_failure(target: &CheckTarget, schedule: &FaultSchedule) -> Option<String> {
+    target.run(&schedule.config(1)).failure()
+}
+
+/// Strict removals only (steps 1–3): the reductions whose failure would
+/// contradict 1-minimality.
+fn removal_candidates(schedule: &FaultSchedule) -> Vec<FaultSchedule> {
+    let mut out = Vec::new();
+
+    // 1. Drop a whole faulty processor, taking its link drops with it.
+    for i in 0..schedule.spec.faults.len() {
+        let mut c = schedule.clone();
+        let (pid, _) = c.spec.faults.remove(i);
+        c.spec.link_drops.retain(|d| d.from != pid);
+        out.push(c);
+    }
+
+    // 2. Remove a single link drop.
+    for j in 0..schedule.spec.link_drops.len() {
+        let mut c = schedule.clone();
+        c.spec.link_drops.remove(j);
+        out.push(c);
+    }
+
+    // 3. Remove a single omission target or equivocation recipient.
+    for (i, (_, behavior)) in schedule.spec.faults.iter().enumerate() {
+        match behavior {
+            FaultBehavior::OmitTo { targets } => {
+                for k in 0..targets.len() {
+                    let mut reduced = targets.clone();
+                    reduced.remove(k);
+                    let mut c = schedule.clone();
+                    c.spec.faults[i].1 = if reduced.is_empty() {
+                        FaultBehavior::Passive
+                    } else {
+                        FaultBehavior::OmitTo { targets: reduced }
+                    };
+                    out.push(c);
+                }
+            }
+            FaultBehavior::Equivocate { ones } => {
+                for k in 0..ones.len() {
+                    let mut reduced = ones.clone();
+                    reduced.remove(k);
+                    let mut c = schedule.clone();
+                    c.spec.faults[i].1 = FaultBehavior::Equivocate { ones: reduced };
+                    out.push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn candidates(schedule: &FaultSchedule) -> Vec<FaultSchedule> {
+    let mut out = removal_candidates(schedule);
+
+    // 4. Delay a crash by one phase — a processor that crashes later is
+    // "less faulty". Capped so the measure (total headroom to the cap)
+    // strictly decreases and the loop terminates.
+    let phase_cap = schedule.t + 4;
+    for (i, (_, behavior)) in schedule.spec.faults.iter().enumerate() {
+        if let FaultBehavior::CrashAt { phase } = behavior {
+            if *phase < phase_cap {
+                let mut c = schedule.clone();
+                c.spec.faults[i].1 = FaultBehavior::CrashAt { phase: phase + 1 };
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_algos::checkable::find_target;
+    use ba_crypto::ProcessId;
+    use ba_sim::schedule::{LinkDrop, ScheduleSpec};
+
+    fn weak_target() -> &'static CheckTarget {
+        find_target("ds-weak-relay-threshold").unwrap()
+    }
+
+    /// A deliberately bloated failing schedule: the splitting omission plus
+    /// an extra omission target and a link drop in a phase where the
+    /// transmitter sends nothing anyway.
+    fn bloated() -> FaultSchedule {
+        FaultSchedule {
+            target: "ds-weak-relay-threshold".to_string(),
+            n: 4,
+            t: 1,
+            value: 1,
+            seed: 0,
+            spec: ScheduleSpec {
+                faults: vec![(
+                    ProcessId(0),
+                    FaultBehavior::OmitTo {
+                        targets: vec![ProcessId(2), ProcessId(3)],
+                    },
+                )],
+                link_drops: vec![LinkDrop {
+                    phase: 2,
+                    from: ProcessId(0),
+                    to: ProcessId(1),
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn shrinks_bloated_schedule_to_one_minimal_core() {
+        let target = weak_target();
+        assert!(
+            target.run(&bloated().config(1)).failure().is_some(),
+            "precondition: the bloated schedule fails"
+        );
+        let (minimal, failure) = shrink(target, &bloated());
+        assert!(!failure.is_empty());
+        assert_eq!(minimal.spec.fault_count(), 1, "one faulty processor");
+        assert!(minimal.spec.link_drops.is_empty(), "drop was irrelevant");
+        assert_minimal(target, &minimal).unwrap();
+        // Shrinking is deterministic.
+        assert_eq!(shrink(target, &bloated()), (minimal, failure));
+    }
+
+    #[test]
+    fn assert_minimal_flags_reducible_schedules() {
+        let target = weak_target();
+        let err = assert_minimal(target, &bloated()).unwrap_err();
+        assert!(err.contains("not minimal"), "got: {err}");
+    }
+
+    #[test]
+    fn assert_minimal_rejects_passing_schedules() {
+        let mut passing = bloated();
+        passing.target = "ds-broadcast".to_string();
+        let sound = find_target("ds-broadcast").unwrap();
+        let err = assert_minimal(sound, &passing).unwrap_err();
+        assert!(err.contains("does not fail"), "got: {err}");
+    }
+}

@@ -1,0 +1,64 @@
+//! The checker's determinism contract: same `(target, n, t, value, seed,
+//! budget, strategy)` must yield an identical report — violation list and
+//! minimized counterexamples included — at any worker-thread count.
+
+use ba_check::{explore, find_target, ExploreOptions, Strategy};
+
+fn options(target: &'static str, strategy: Strategy, threads: usize) -> ExploreOptions {
+    ExploreOptions {
+        target: find_target(target).expect("registered target"),
+        n: 4,
+        t: 1,
+        value: 1,
+        seed: 0xBA5E,
+        budget: 120,
+        threads,
+        strategy,
+    }
+}
+
+#[test]
+fn exhaustive_reports_are_identical_at_one_and_four_threads() {
+    let weak_1 = explore(&options("ds-weak-relay-threshold", Strategy::Exhaustive, 1));
+    let weak_4 = explore(&options("ds-weak-relay-threshold", Strategy::Exhaustive, 4));
+    assert_eq!(weak_1, weak_4);
+    assert!(
+        !weak_1.violations.is_empty(),
+        "the weakened target must yield violations for the comparison to mean anything"
+    );
+    for violation in &weak_1.violations {
+        assert!(!violation.minimized.spec.faults.is_empty());
+    }
+}
+
+#[test]
+fn random_reports_are_identical_at_one_and_four_threads() {
+    for target in ["ds-broadcast", "ds-relay", "algorithm1"] {
+        let opts = |threads| ExploreOptions {
+            n: if target == "algorithm1" { 3 } else { 4 },
+            ..options(target, Strategy::Random, threads)
+        };
+        let one = explore(&opts(1));
+        let four = explore(&opts(4));
+        assert_eq!(one, four, "{target} diverged across thread counts");
+        assert!(one.explored > 0, "{target} sampled nothing");
+        assert!(
+            one.violations.is_empty(),
+            "{target} is sound but violated: {:?}",
+            one.violations[0].failure
+        );
+    }
+}
+
+#[test]
+fn reports_depend_on_the_seed_only_through_sampling() {
+    let base = explore(&options("ds-weak-relay-threshold", Strategy::Exhaustive, 2));
+    let reseeded = explore(&ExploreOptions {
+        seed: 0xF00D,
+        ..options("ds-weak-relay-threshold", Strategy::Exhaustive, 2)
+    });
+    // Exhaustive enumeration explores the same spec sequence regardless of
+    // seed; only the bound key-registry seed differs.
+    assert_eq!(base.explored, reseeded.explored);
+    assert_eq!(base.violations.len(), reseeded.violations.len());
+}

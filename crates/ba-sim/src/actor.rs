@@ -79,6 +79,7 @@ pub struct Envelope<P> {
 pub struct Outbox<P> {
     from: ProcessId,
     staged: Vec<Envelope<P>>,
+    omitted: u64,
 }
 
 impl<P: Payload> Outbox<P> {
@@ -92,6 +93,7 @@ impl<P: Payload> Outbox<P> {
         Outbox {
             from,
             staged: Vec::new(),
+            omitted: 0,
         }
     }
 
@@ -101,7 +103,11 @@ impl<P: Payload> Outbox<P> {
     /// nothing.
     pub(crate) fn with_buffer(from: ProcessId, mut buf: Vec<Envelope<P>>) -> Self {
         buf.clear();
-        Outbox { from, staged: buf }
+        Outbox {
+            from,
+            staged: buf,
+            omitted: 0,
+        }
     }
 
     /// The identity this outbox sends as.
@@ -149,6 +155,24 @@ impl<P: Payload> Outbox<P> {
     /// Number of messages staged so far this phase.
     pub fn staged_len(&self) -> usize {
         self.staged.len()
+    }
+
+    /// Records that `count` messages the wrapped honest actor wanted to
+    /// send were suppressed before reaching the network. Adversary
+    /// wrappers ([`OmitTo`](crate::adversary::OmitTo),
+    /// [`RandomOmit`](crate::random::RandomOmit), …) call this when they
+    /// filter a scratch outbox, so
+    /// [`Metrics::omitted_messages`](crate::metrics::Metrics::omitted_messages)
+    /// can distinguish a *quiet* run (nothing was ever sent) from a
+    /// *censored* one (traffic was produced and then suppressed).
+    pub fn note_omitted(&mut self, count: u64) {
+        self.omitted += count;
+    }
+
+    /// Number of suppressed sends recorded via
+    /// [`note_omitted`](Outbox::note_omitted).
+    pub fn omitted_count(&self) -> u64 {
+        self.omitted
     }
 
     /// Consumes the outbox, returning the staged envelopes (used by the

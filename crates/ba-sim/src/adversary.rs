@@ -84,11 +84,14 @@ impl<A> OmitTo<A> {
 impl<P: Payload, A: Actor<P>> Actor<P> for OmitTo<A> {
     fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>) {
         // Run the honest actor into a scratch outbox, then forward only the
-        // permitted envelopes.
+        // permitted envelopes, counting every suppression.
         let mut scratch = Outbox::new(out.sender());
         self.inner.step(phase, inbox, &mut scratch);
+        out.note_omitted(scratch.omitted_count());
         for env in scratch.into_staged() {
-            if !self.suppressed.contains(&env.to) {
+            if self.suppressed.contains(&env.to) {
+                out.note_omitted(1);
+            } else {
                 out.send(env.to, env.payload);
             }
         }
@@ -193,9 +196,12 @@ impl<P: Payload, A: Actor<P>> Actor<P> for RestrictPeers<A> {
             .collect();
         let mut scratch = Outbox::new(out.sender());
         self.inner.step(phase, &kept, &mut scratch);
+        out.note_omitted(scratch.omitted_count());
         for env in scratch.into_staged() {
             if self.peers.contains(&env.to) {
                 out.send(env.to, env.payload);
+            } else {
+                out.note_omitted(1);
             }
         }
     }
@@ -276,6 +282,7 @@ mod tests {
         let mut o = OmitTo::new(Echo::default(), [ProcessId(0)]);
         let mut out = Outbox::new(ProcessId(1));
         o.step(2, &[env(0, 5), env(2, 6)], &mut out);
+        assert_eq!(out.omitted_count(), 1, "the suppressed p0 echo is counted");
         let staged = out.into_staged();
         // Echo would send to p0 (twice: echo of env(0) and p0-copy is the
         // phase-1 only send) and p2; only the p2 echo survives.
@@ -317,6 +324,127 @@ mod tests {
         assert_eq!(staged.len(), 1);
         assert_eq!(staged[0].to, ProcessId(2));
         assert_eq!(r.decision(), Some(Value(6)));
+    }
+
+    mod props {
+        use super::*;
+        use crate::engine::{RunOutcome, Simulation};
+        use ba_crypto::rng::{derive_seed, SimRng};
+        use ba_crypto::testkit::run_cases;
+
+        /// A deterministic pseudo-random gossiper: folds its inbox into a
+        /// running digest and sends a seed-dependent number of messages to
+        /// seed-dependent targets every phase. Rich enough that any
+        /// behavioural difference between an honest actor and its `Crash`
+        /// wrapper before the crash phase would show up in the trace.
+        #[derive(Debug)]
+        struct Gossip {
+            rng: SimRng,
+            n: u32,
+            sum: u64,
+        }
+
+        impl Actor<Value> for Gossip {
+            fn step(&mut self, _phase: usize, inbox: &[Envelope<Value>], out: &mut Outbox<Value>) {
+                for env in inbox {
+                    self.sum = self
+                        .sum
+                        .wrapping_mul(31)
+                        .wrapping_add(env.payload.0 ^ env.from.index() as u64);
+                }
+                let sends = self.rng.range_u32(1, self.n + 1);
+                for _ in 0..sends {
+                    let to = ProcessId(self.rng.range_u32(0, self.n));
+                    out.send(to, Value(self.sum ^ self.rng.next_u64()));
+                }
+            }
+            fn decision(&self) -> Option<Value> {
+                Some(Value(self.sum))
+            }
+        }
+
+        fn gossip_run(
+            n: usize,
+            seed: u64,
+            crash: Option<(usize, usize)>,
+            phases: usize,
+        ) -> RunOutcome<Value> {
+            let actors: Vec<Box<dyn Actor<Value>>> = (0..n)
+                .map(|i| {
+                    let honest = Box::new(Gossip {
+                        rng: SimRng::new(derive_seed(seed, i as u64)),
+                        n: n as u32,
+                        sum: i as u64,
+                    }) as Box<dyn Actor<Value>>;
+                    match crash {
+                        Some((j, cp)) if j == i => {
+                            Box::new(Crash::new(honest, cp)) as Box<dyn Actor<Value>>
+                        }
+                        _ => honest,
+                    }
+                })
+                .collect();
+            Simulation::new(actors).with_trace().run(phases)
+        }
+
+        /// The doc comment on [`Crash`] claims it "behaves exactly like the
+        /// wrapped honest actor until (and excluding) `crash_phase`". Pin
+        /// that equivalence: for every phase before the crash, the traced
+        /// envelopes are byte-identical and the per-phase message totals
+        /// match; at the crash phase itself exactly the crashed processor's
+        /// sends disappear.
+        #[test]
+        fn prop_crash_prefix_is_byte_identical_to_honest() {
+            let phases = 6;
+            run_cases(24, 0xC5A5, |gen| {
+                let n = gen.usize_in(2, 6);
+                let j = gen.usize_in(0, n);
+                let cp = gen.usize_in(1, phases + 2);
+                let seed = gen.u64();
+                let baseline = gossip_run(n, seed, None, phases);
+                let crashed = gossip_run(n, seed, Some((j, cp)), phases);
+
+                for k in 0..cp.saturating_sub(1).min(phases) {
+                    assert_eq!(
+                        baseline.trace.phases[k].envelopes,
+                        crashed.trace.phases[k].envelopes,
+                        "phase {} trace diverged before the crash (n={n} j={j} cp={cp})",
+                        k + 1
+                    );
+                    let b = baseline
+                        .metrics
+                        .per_phase
+                        .get(k)
+                        .copied()
+                        .unwrap_or_default();
+                    let c = crashed
+                        .metrics
+                        .per_phase
+                        .get(k)
+                        .copied()
+                        .unwrap_or_default();
+                    assert_eq!(
+                        b.messages_by_correct + b.messages_by_faulty,
+                        c.messages_by_correct + c.messages_by_faulty,
+                        "phase {} message totals diverged before the crash",
+                        k + 1
+                    );
+                }
+                if cp <= phases {
+                    let k = cp - 1;
+                    let expect: Vec<Envelope<Value>> = baseline.trace.phases[k]
+                        .envelopes
+                        .iter()
+                        .filter(|e| e.from.index() != j)
+                        .cloned()
+                        .collect();
+                    assert_eq!(
+                        crashed.trace.phases[k].envelopes, expect,
+                        "at the crash phase only processor {j}'s sends may vanish"
+                    );
+                }
+            });
+        }
     }
 
     #[test]

@@ -28,10 +28,12 @@
 
 use crate::actor::{Actor, Envelope, Outbox, Payload};
 use crate::metrics::Metrics;
+use crate::schedule::LinkDrop;
 use crate::trace::{PhaseTrace, Trace};
 use ba_crypto::keys::KeyRegistry;
 use ba_crypto::stats::CryptoStats;
 use ba_crypto::{ProcessId, Value};
+use std::collections::BTreeSet;
 
 /// Result of driving a [`Simulation`] to completion.
 #[derive(Debug)]
@@ -76,6 +78,7 @@ pub struct Simulation<P: Payload> {
     threads: usize,
     pooling: bool,
     registry: Option<KeyRegistry>,
+    link_drops: BTreeSet<LinkDrop>,
 }
 
 impl<P: Payload> std::fmt::Debug for Simulation<P> {
@@ -99,6 +102,7 @@ impl<P: Payload> Simulation<P> {
             threads: 1,
             pooling: true,
             registry: None,
+            link_drops: BTreeSet::new(),
         }
     }
 
@@ -125,6 +129,21 @@ impl<P: Payload> Simulation<P> {
     /// touch a shared cache don't need it.
     pub fn with_registry(mut self, registry: &KeyRegistry) -> Self {
         self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Declares scheduled link drops: an envelope sent from `drop.from` to
+    /// `drop.to` during phase `drop.phase` is suppressed at the routing
+    /// barrier — it is never delivered, traced or counted as sent, only
+    /// accounted under [`Metrics::omitted_messages`]. Dropping happens on
+    /// the calling thread in actor-id order, so results stay byte-identical
+    /// for any thread count. Fault schedules use this to model a faulty
+    /// sender omitting specific links in specific phases without touching
+    /// the actor itself.
+    ///
+    /// [`Metrics::omitted_messages`]: crate::metrics::Metrics::omitted_messages
+    pub fn with_link_drops(mut self, drops: impl IntoIterator<Item = LinkDrop>) -> Self {
+        self.link_drops.extend(drops);
         self
     }
 
@@ -175,6 +194,10 @@ impl<P: Payload> Simulation<P> {
         let mut inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
         let mut next_inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
         let mut outboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
+        // Per-actor suppressed-send counts reported by adversary wrappers
+        // through `Outbox::note_omitted`, folded into the metrics in
+        // actor-id order after every phase.
+        let mut omitted: Vec<u64> = vec![0; n];
         let mut executed = 0usize;
 
         if let Some(registry) = &self.registry {
@@ -191,7 +214,7 @@ impl<P: Payload> Simulation<P> {
             // (and is ~zero under parallel stepping, where each worker
             // reports its own thread-local delta instead).
             let crypto_before = CryptoStats::snapshot();
-            let worker_deltas = self.step_phase(phase, &inboxes, &mut outboxes);
+            let worker_deltas = self.step_phase(phase, &inboxes, &mut outboxes, &mut omitted);
             let mut phase_crypto = CryptoStats::snapshot().since(&crypto_before);
             for delta in &worker_deltas {
                 phase_crypto = phase_crypto.add(delta);
@@ -201,11 +224,26 @@ impl<P: Payload> Simulation<P> {
             // point where ordering matters, so metrics, trace and delivery
             // order are independent of how the stepping was scheduled.
             for (i, staged) in outboxes.iter_mut().enumerate() {
+                metrics.record_omitted(phase, omitted[i]);
                 for env in staged.drain(..) {
                     let to = env.to.index();
                     if to >= n {
                         // Sends to nonexistent processors are dropped; a
                         // correct protocol never does this, an adversary may.
+                        continue;
+                    }
+                    if !self.link_drops.is_empty()
+                        && self.link_drops.contains(&LinkDrop {
+                            phase,
+                            from: env.from,
+                            to: env.to,
+                        })
+                    {
+                        // The schedule suppresses this link this phase: the
+                        // processor still "sent" (the system is not quiet),
+                        // but nothing reaches the wire.
+                        any_sent = true;
+                        metrics.record_omitted(phase, 1);
                         continue;
                     }
                     any_sent = true;
@@ -283,6 +321,7 @@ impl<P: Payload> Simulation<P> {
         phase: usize,
         inboxes: &[Vec<Envelope<P>>],
         outboxes: &mut [Vec<Envelope<P>>],
+        omitted: &mut [u64],
     ) -> Vec<CryptoStats> {
         let n = self.actors.len();
         let pooling = self.pooling;
@@ -296,6 +335,7 @@ impl<P: Payload> Simulation<P> {
                     Outbox::new(id)
                 };
                 actor.step(phase, &inboxes[i], &mut out);
+                omitted[i] = out.omitted_count();
                 outboxes[i] = out.into_staged();
             }
             return Vec::new();
@@ -304,9 +344,10 @@ impl<P: Payload> Simulation<P> {
         let chunk = n.div_ceil(workers);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for (w, (actor_chunk, (inbox_chunk, outbox_chunk))) in self
+            for (w, ((actor_chunk, omitted_chunk), (inbox_chunk, outbox_chunk))) in self
                 .actors
                 .chunks_mut(chunk)
+                .zip(omitted.chunks_mut(chunk))
                 .zip(inboxes.chunks(chunk).zip(outboxes.chunks_mut(chunk)))
                 .enumerate()
             {
@@ -321,6 +362,7 @@ impl<P: Payload> Simulation<P> {
                             Outbox::new(id)
                         };
                         actor.step(phase, &inbox_chunk[j], &mut out);
+                        omitted_chunk[j] = out.omitted_count();
                         outbox_chunk[j] = out.into_staged();
                     }
                     CryptoStats::snapshot().since(&before)
@@ -672,6 +714,103 @@ mod tests {
         assert_eq!(par.metrics.phases, 3);
         assert_eq!(par.metrics, seq.metrics);
         assert_eq!(par.decisions, seq.decisions);
+    }
+
+    #[test]
+    fn link_drops_suppress_deliver_and_count() {
+        let run = |drops: Vec<LinkDrop>| {
+            let mut sim = Simulation::new(vec![
+                Box::new(Flooder {
+                    n: 3,
+                    value: Value(5),
+                    stop_after: 2,
+                }) as Box<dyn Actor<Value>>,
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+            ])
+            .with_trace()
+            .with_link_drops(drops);
+            sim.run(2)
+        };
+        let clean = run(vec![]);
+        assert_eq!(clean.metrics.omitted_messages, 0);
+        assert_eq!(clean.decisions[1], Some(Value(5)));
+        assert_eq!(clean.decisions[2], Some(Value(5)));
+
+        // Drop only the phase-1 send to p1: p1 still hears phase 2's flood,
+        // but the dropped envelope is neither traced nor counted as sent.
+        let partial = run(vec![LinkDrop {
+            phase: 1,
+            from: ProcessId(0),
+            to: ProcessId(1),
+        }]);
+        assert_eq!(partial.metrics.omitted_messages, 1);
+        assert_eq!(
+            partial.metrics.messages_by_correct,
+            clean.metrics.messages_by_correct - 1
+        );
+        assert_eq!(
+            partial.trace.message_count(),
+            clean.trace.message_count() - 1
+        );
+        assert_eq!(partial.decisions[1], Some(Value(5)));
+
+        // Drop both phases to p1: p1 never hears anything and stays
+        // undecided while p2 is untouched.
+        let censored = run(vec![
+            LinkDrop {
+                phase: 1,
+                from: ProcessId(0),
+                to: ProcessId(1),
+            },
+            LinkDrop {
+                phase: 2,
+                from: ProcessId(0),
+                to: ProcessId(1),
+            },
+        ]);
+        assert_eq!(censored.metrics.omitted_messages, 2);
+        assert_eq!(censored.decisions[1], None);
+        assert_eq!(censored.decisions[2], Some(Value(5)));
+    }
+
+    #[test]
+    fn link_drops_are_thread_count_independent() {
+        let run = |threads: usize| {
+            let mut sim = Simulation::new(vec![
+                Box::new(Flooder {
+                    n: 4,
+                    value: Value(3),
+                    stop_after: 2,
+                }) as Box<dyn Actor<Value>>,
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+            ])
+            .with_trace()
+            .with_threads(threads)
+            .with_link_drops([
+                LinkDrop {
+                    phase: 1,
+                    from: ProcessId(0),
+                    to: ProcessId(2),
+                },
+                LinkDrop {
+                    phase: 2,
+                    from: ProcessId(0),
+                    to: ProcessId(3),
+                },
+            ]);
+            sim.run(2)
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.metrics.omitted_messages, 2);
+        assert_eq!(par.metrics, seq.metrics);
+        assert_eq!(par.decisions, seq.decisions);
+        for (a, b) in par.trace.phases.iter().zip(seq.trace.phases.iter()) {
+            assert_eq!(a.envelopes, b.envelopes);
+        }
     }
 
     #[test]

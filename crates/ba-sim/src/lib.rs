@@ -18,6 +18,10 @@
 //!   protocol-specific attacks live next to each algorithm;
 //! * [`checker`] — post-run verification of the two Byzantine Agreement
 //!   conditions;
+//! * [`schedule`] — the declarative fault-schedule vocabulary
+//!   ([`FaultBehavior`], [`LinkDrop`], [`ScheduleSpec`]) that the
+//!   `ba-check` model checker compiles onto the adversary wrappers and the
+//!   engine's link-drop hook;
 //! * [`trace`] — optional full message trace for debugging and for the
 //!   formal-model experiments;
 //! * [`sweep`] — deterministic fan-out of independent experiment cells
@@ -72,6 +76,7 @@ pub mod checker;
 pub mod engine;
 pub mod metrics;
 pub mod random;
+pub mod schedule;
 pub mod sweep;
 pub mod trace;
 
@@ -79,3 +84,4 @@ pub use actor::{Actor, Envelope, Outbox, Payload};
 pub use checker::{check_byzantine_agreement, AgreementViolation, RunVerdict};
 pub use engine::{RunOutcome, Simulation};
 pub use metrics::Metrics;
+pub use schedule::{FaultBehavior, LinkDrop, ScheduleSpec};

@@ -31,6 +31,10 @@ pub struct PhaseMetrics {
     pub hash_invocations: u64,
     /// Individual signature verifications performed this phase.
     pub sig_verifications: u64,
+    /// Messages suppressed during this phase — by an adversary wrapper
+    /// filtering an honest actor's outbox, or by a scheduled link drop in
+    /// the engine.
+    pub omitted: u64,
 }
 
 /// Aggregated run statistics.
@@ -56,6 +60,11 @@ pub struct Metrics {
     pub bytes_by_correct: u64,
     /// Messages sent by faulty processors (diagnostic only).
     pub messages_by_faulty: u64,
+    /// Messages suppressed by adversaries or scheduled link drops: traffic
+    /// an honest behaviour produced that never reached the network.
+    /// Distinguishes a *quiet* run from a *censored* one in checker
+    /// reports.
+    pub omitted_messages: u64,
     /// Per-phase breakdown.
     pub per_phase: Vec<PhaseMetrics>,
     /// Correct-sender message counts by payload kind (see
@@ -99,6 +108,19 @@ impl Metrics {
         }
     }
 
+    /// Records `count` suppressed messages during `phase` (1-based) — see
+    /// [`omitted_messages`](Metrics::omitted_messages).
+    pub(crate) fn record_omitted(&mut self, phase: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.per_phase.len() < phase {
+            self.per_phase.resize(phase, PhaseMetrics::default());
+        }
+        self.per_phase[phase - 1].omitted += count;
+        self.omitted_messages += count;
+    }
+
     /// Attributes a phase's cryptographic work delta to `phase` (1-based)
     /// and to the run totals.
     pub(crate) fn record_phase_crypto(&mut self, phase: usize, delta: CryptoStats) {
@@ -127,6 +149,7 @@ impl Metrics {
         self.signatures_by_correct += other.signatures_by_correct;
         self.bytes_by_correct += other.bytes_by_correct;
         self.messages_by_faulty += other.messages_by_faulty;
+        self.omitted_messages += other.omitted_messages;
         if self.per_phase.len() < other.per_phase.len() {
             self.per_phase
                 .resize(other.per_phase.len(), PhaseMetrics::default());
@@ -137,6 +160,7 @@ impl Metrics {
             slot.messages_by_faulty += theirs.messages_by_faulty;
             slot.hash_invocations += theirs.hash_invocations;
             slot.sig_verifications += theirs.sig_verifications;
+            slot.omitted += theirs.omitted;
         }
         for (kind, count) in &other.by_kind_correct {
             *self.by_kind_correct.entry(kind).or_insert(0) += count;
@@ -226,6 +250,23 @@ mod tests {
         assert_eq!(merged.crypto.hash_invocations, 30);
         assert_eq!(merged.by_kind_correct.get("x"), Some(&1));
         assert_eq!(merged.by_kind_correct.get("y"), Some(&1));
+    }
+
+    #[test]
+    fn omitted_counts_accumulate_and_merge() {
+        let mut m = Metrics::default();
+        m.record_omitted(2, 3);
+        m.record_omitted(2, 0); // zero is a no-op: no phase row materialized beyond 2
+        assert_eq!(m.omitted_messages, 3);
+        assert_eq!(m.per_phase.len(), 2);
+        assert_eq!(m.per_phase[1].omitted, 3);
+        assert_eq!(m.per_phase[0].omitted, 0);
+
+        let mut other = Metrics::default();
+        other.record_omitted(1, 5);
+        m.merge(&other);
+        assert_eq!(m.omitted_messages, 8);
+        assert_eq!(m.per_phase[0].omitted, 5);
     }
 
     #[test]

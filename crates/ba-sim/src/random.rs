@@ -88,9 +88,12 @@ impl<P: Payload, A: Actor<P>> Actor<P> for RandomOmit<A> {
     fn step(&mut self, phase: usize, inbox: &[Envelope<P>], out: &mut Outbox<P>) {
         let mut scratch = Outbox::new(out.sender());
         self.inner.step(phase, inbox, &mut scratch);
+        out.note_omitted(scratch.omitted_count());
         for env in scratch.into_staged() {
             if self.rng.range_u32(0, 1000) >= self.drop_per_mille {
                 out.send(env.to, env.payload);
+            } else {
+                out.note_omitted(1);
             }
         }
     }
@@ -187,6 +190,13 @@ mod tests {
             let outcome = sim.run(3);
             assert_eq!(
                 outcome.metrics.messages_by_faulty, expect,
+                "per_mille={per_mille}"
+            );
+            // Suppressed sends surface as omitted_messages — a "censored"
+            // run is distinguishable from a quiet one.
+            assert_eq!(
+                outcome.metrics.omitted_messages,
+                3 - expect,
                 "per_mille={per_mille}"
             );
         }
