@@ -19,7 +19,7 @@ use crate::algorithm1::{adversaries::EquivocatingTransmitter, Algo1Actor, Algo1P
 use crate::bounds;
 use crate::dolev_strong::{DsActor, DsEquivocator, DsParams, Variant};
 use ba_crypto::{Chain, KeyRegistry, ProcessId, SchemeKind, Value};
-use ba_sim::schedule::{FaultBehavior, ScheduleSpec};
+use ba_sim::schedule::{FaultBehavior, ScheduleError, ScheduleSpec};
 use ba_sim::{check_byzantine_agreement, Actor, AgreementViolation, RunVerdict, Simulation};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -56,9 +56,30 @@ pub struct CheckOutcome {
     pub omitted_messages: u64,
     /// Phases executed.
     pub phases: usize,
+    /// Set when the schedule could not even be compiled onto the target's
+    /// actors ([`ScheduleError`]); the run never happened and every count
+    /// above is zero.
+    pub schedule_error: Option<String>,
 }
 
 impl CheckOutcome {
+    /// An outcome for a schedule that failed to compile: no run happened,
+    /// the error is carried for [`CheckOutcome::failure`] to report.
+    fn from_schedule_error(err: ScheduleError) -> Self {
+        CheckOutcome {
+            verdict: Ok(RunVerdict {
+                agreed: None,
+                correct_count: 0,
+                transmitter_correct: false,
+            }),
+            messages_by_correct: 0,
+            message_bound: 0,
+            omitted_messages: 0,
+            phases: 0,
+            schedule_error: Some(err.to_string()),
+        }
+    }
+
     /// The agreement violation, if the run broke Byzantine Agreement.
     pub fn violation(&self) -> Option<&AgreementViolation> {
         self.verdict.as_ref().err()
@@ -70,8 +91,12 @@ impl CheckOutcome {
     }
 
     /// A stable one-line description of what failed, if anything —
-    /// agreement violations first, then bound violations.
+    /// schedule-compilation errors first (nothing ran), then agreement
+    /// violations, then bound violations.
     pub fn failure(&self) -> Option<String> {
+        if let Some(err) = &self.schedule_error {
+            return Some(format!("schedule error: {err}"));
+        }
         if let Err(violation) = &self.verdict {
             return Some(violation.to_string());
         }
@@ -83,6 +108,26 @@ impl CheckOutcome {
         }
         None
     }
+}
+
+/// A compiled-but-not-yet-run target: the actors with the schedule's fault
+/// behaviours applied, the key registry they sign against, and the phase /
+/// bound parameters.
+///
+/// [`CheckTarget::run`] drives a setup through the lock-step
+/// [`Simulation`]; the `ba-net` runtime drives the *same* setup through
+/// its message-passing scheduler, which is what makes the two executions
+/// comparable actor-for-actor.
+#[derive(Debug)]
+pub struct CheckSetup {
+    /// The key registry the actors were built against.
+    pub registry: KeyRegistry,
+    /// One actor per processor, fault behaviours already applied.
+    pub actors: Vec<Box<dyn Actor<Chain>>>,
+    /// Phases the algorithm needs to terminate.
+    pub phases: usize,
+    /// The closed-form worst-case message bound for these parameters.
+    pub message_bound: u64,
 }
 
 /// One named, checkable algorithm configuration.
@@ -97,7 +142,7 @@ pub struct CheckTarget {
     /// on an unsound target they are the corpus's reason to exist.
     pub sound: bool,
     supports: fn(n: usize, t: usize) -> bool,
-    run_fn: fn(&CheckConfig) -> CheckOutcome,
+    build_fn: fn(&CheckConfig) -> Result<CheckSetup, ScheduleError>,
 }
 
 impl std::fmt::Debug for CheckTarget {
@@ -142,11 +187,29 @@ impl CheckTarget {
         Ok(())
     }
 
-    /// Runs the target under `cfg`'s schedule. Callers must have validated
-    /// the config; a malformed one may panic inside the algorithm.
-    pub fn run(&self, cfg: &CheckConfig) -> CheckOutcome {
+    /// Compiles `cfg`'s schedule onto this target's actors without running
+    /// anything. Callers must have validated the config; a malformed one
+    /// may panic inside the algorithm.
+    ///
+    /// # Errors
+    /// [`ScheduleError`] when a fault behaviour cannot be mapped onto the
+    /// target (today only unmapped equivocation, which the registry targets
+    /// all intercept — the error path exists for external targets).
+    pub fn build(&self, cfg: &CheckConfig) -> Result<CheckSetup, ScheduleError> {
         debug_assert!(self.validate(cfg).is_ok());
-        (self.run_fn)(cfg)
+        (self.build_fn)(cfg)
+    }
+
+    /// Runs the target under `cfg`'s schedule through the lock-step
+    /// engine. Callers must have validated the config; a malformed one may
+    /// panic inside the algorithm. Schedule-compilation errors are folded
+    /// into the outcome ([`CheckOutcome::failure`]) rather than returned,
+    /// so explorers treat them as one more per-schedule report.
+    pub fn run(&self, cfg: &CheckConfig) -> CheckOutcome {
+        match self.build(cfg) {
+            Ok(setup) => drive(cfg, setup),
+            Err(err) => CheckOutcome::from_schedule_error(err),
+        }
     }
 }
 
@@ -158,14 +221,14 @@ pub fn targets() -> &'static [CheckTarget] {
             summary: "Dolev-Strong, broadcast variant (t + 1 phases, O(n^2) messages)",
             sound: true,
             supports: ds_supports,
-            run_fn: run_ds_broadcast,
+            build_fn: build_ds_broadcast,
         },
         CheckTarget {
             name: "ds-relay",
             summary: "Dolev-Strong, committee-relay variant (t + 3 phases, O(nt) messages)",
             sound: true,
             supports: ds_supports,
-            run_fn: run_ds_relay,
+            build_fn: build_ds_relay,
         },
         CheckTarget {
             name: "ds-weak-relay-threshold",
@@ -173,14 +236,14 @@ pub fn targets() -> &'static [CheckTarget] {
                 "Dolev-Strong broadcast with an off-by-one relay threshold (deliberately broken)",
             sound: false,
             supports: ds_supports,
-            run_fn: run_ds_weak,
+            build_fn: build_ds_weak,
         },
         CheckTarget {
             name: "algorithm1",
             summary: "Algorithm 1, the bipartite signature-chain algorithm (n = 2t + 1)",
             sound: true,
             supports: alg1_supports,
-            run_fn: run_algorithm1,
+            build_fn: build_algorithm1,
         },
     ];
     TARGETS
@@ -199,19 +262,23 @@ fn alg1_supports(n: usize, t: usize) -> bool {
     t >= 1 && n == 2 * t + 1
 }
 
-fn run_ds_broadcast(cfg: &CheckConfig) -> CheckOutcome {
-    run_ds(cfg, Variant::Broadcast, false)
+fn build_ds_broadcast(cfg: &CheckConfig) -> Result<CheckSetup, ScheduleError> {
+    build_ds(cfg, Variant::Broadcast, false)
 }
 
-fn run_ds_relay(cfg: &CheckConfig) -> CheckOutcome {
-    run_ds(cfg, Variant::Relay, false)
+fn build_ds_relay(cfg: &CheckConfig) -> Result<CheckSetup, ScheduleError> {
+    build_ds(cfg, Variant::Relay, false)
 }
 
-fn run_ds_weak(cfg: &CheckConfig) -> CheckOutcome {
-    run_ds(cfg, Variant::Broadcast, true)
+fn build_ds_weak(cfg: &CheckConfig) -> Result<CheckSetup, ScheduleError> {
+    build_ds(cfg, Variant::Broadcast, true)
 }
 
-fn run_ds(cfg: &CheckConfig, variant: Variant, weaken: bool) -> CheckOutcome {
+fn build_ds(
+    cfg: &CheckConfig,
+    variant: Variant,
+    weaken: bool,
+) -> Result<CheckSetup, ScheduleError> {
     let registry = KeyRegistry::new(cfg.n, cfg.seed, SchemeKind::Fast);
     let mut params = DsParams::standard(cfg.n, cfg.t, variant, registry.verifier());
     params.weaken_relay_threshold = weaken;
@@ -220,9 +287,9 @@ fn run_ds(cfg: &CheckConfig, variant: Variant, weaken: bool) -> CheckOutcome {
         let own = (p == params.transmitter).then_some(cfg.value);
         Box::new(DsActor::new(params.clone(), p, registry.signer(p), own))
     };
-    let actors: Vec<Box<dyn Actor<Chain>>> = (0..cfg.n as u32)
-        .map(ProcessId)
-        .map(|p| match cfg.spec.behavior_of(p) {
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(cfg.n);
+    for p in (0..cfg.n as u32).map(ProcessId) {
+        actors.push(match cfg.spec.behavior_of(p) {
             None => honest(p),
             Some(FaultBehavior::Equivocate { ones }) => Box::new(DsEquivocator::new(
                 registry.signer(p),
@@ -231,20 +298,19 @@ fn run_ds(cfg: &CheckConfig, variant: Variant, weaken: bool) -> CheckOutcome {
                 ones.iter().copied(),
                 Value::ZERO,
             )),
-            Some(other) => other.apply(honest(p)),
-        })
-        .collect();
+            Some(other) => other.apply(honest(p))?,
+        });
+    }
     let phases = params.phases();
-    finish(
-        cfg,
-        &registry,
+    Ok(CheckSetup {
+        registry,
         actors,
         phases,
-        bounds::dolev_strong_max_messages(cfg.n as u64),
-    )
+        message_bound: bounds::dolev_strong_max_messages(cfg.n as u64),
+    })
 }
 
-fn run_algorithm1(cfg: &CheckConfig) -> CheckOutcome {
+fn build_algorithm1(cfg: &CheckConfig) -> Result<CheckSetup, ScheduleError> {
     let registry = KeyRegistry::new(cfg.n, cfg.seed, SchemeKind::Fast);
     let params = Arc::new(Algo1Params {
         t: cfg.t,
@@ -254,9 +320,9 @@ fn run_algorithm1(cfg: &CheckConfig) -> CheckOutcome {
         let own = (p.index() == 0).then_some(cfg.value);
         Box::new(Algo1Actor::new(params.clone(), p, registry.signer(p), own))
     };
-    let actors: Vec<Box<dyn Actor<Chain>>> = (0..cfg.n as u32)
-        .map(ProcessId)
-        .map(|p| match cfg.spec.behavior_of(p) {
+    let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(cfg.n);
+    for p in (0..cfg.n as u32).map(ProcessId) {
+        actors.push(match cfg.spec.behavior_of(p) {
             None => honest(p),
             Some(FaultBehavior::Equivocate { ones }) => {
                 let ones: BTreeSet<ProcessId> = ones.iter().copied().collect();
@@ -270,37 +336,31 @@ fn run_algorithm1(cfg: &CheckConfig) -> CheckOutcome {
                     zeros,
                 ))
             }
-            Some(other) => other.apply(honest(p)),
-        })
-        .collect();
-    finish(
-        cfg,
-        &registry,
+            Some(other) => other.apply(honest(p))?,
+        });
+    }
+    Ok(CheckSetup {
+        registry,
         actors,
-        cfg.t + 2,
-        bounds::alg1_max_messages(cfg.t as u64),
-    )
+        phases: cfg.t + 2,
+        message_bound: bounds::alg1_max_messages(cfg.t as u64),
+    })
 }
 
-fn finish(
-    cfg: &CheckConfig,
-    registry: &KeyRegistry,
-    actors: Vec<Box<dyn Actor<Chain>>>,
-    phases: usize,
-    message_bound: u64,
-) -> CheckOutcome {
-    let mut sim = Simulation::new(actors)
+fn drive(cfg: &CheckConfig, setup: CheckSetup) -> CheckOutcome {
+    let mut sim = Simulation::new(setup.actors)
         .with_threads(cfg.threads)
-        .with_registry(registry)
+        .with_registry(&setup.registry)
         .with_link_drops(cfg.spec.link_drops.iter().copied());
-    let outcome = sim.run(phases);
+    let outcome = sim.run(setup.phases);
     let verdict = check_byzantine_agreement(&outcome, ProcessId(0), cfg.value);
     CheckOutcome {
         verdict,
         messages_by_correct: outcome.metrics.messages_by_correct,
-        message_bound,
+        message_bound: setup.message_bound,
         omitted_messages: outcome.metrics.omitted_messages,
         phases: outcome.metrics.phases,
+        schedule_error: None,
     }
 }
 
@@ -434,6 +494,32 @@ mod tests {
         // The same schedule is harmless against the correct protocol.
         let sound = find_target("ds-broadcast").unwrap();
         assert_eq!(sound.run(&config).failure(), None);
+    }
+
+    #[test]
+    fn schedule_errors_surface_as_failures_not_panics() {
+        let outcome = CheckOutcome::from_schedule_error(ScheduleError::UnmappedEquivocation);
+        let failure = outcome.failure().unwrap();
+        assert!(failure.starts_with("schedule error:"), "{failure}");
+        assert!(failure.contains("protocol-specific"), "{failure}");
+        // A schedule error outranks a bound violation in the report.
+        let mut both = outcome;
+        both.messages_by_correct = 10;
+        both.message_bound = 1;
+        assert!(both.failure().unwrap().starts_with("schedule error:"));
+    }
+
+    #[test]
+    fn build_exposes_the_same_setup_run_drives() {
+        let target = find_target("ds-broadcast").unwrap();
+        let config = cfg(4, 1, splitting_spec());
+        let setup = target.build(&config).unwrap();
+        assert_eq!(setup.actors.len(), 4);
+        assert!(setup.phases >= 2);
+        let outcome = target.run(&config);
+        assert_eq!(outcome.phases, setup.phases);
+        assert_eq!(outcome.message_bound, setup.message_bound);
+        assert_eq!(outcome.schedule_error, None);
     }
 
     #[test]

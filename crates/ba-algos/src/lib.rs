@@ -83,5 +83,5 @@ pub mod om;
 pub mod trees;
 
 pub use agree::{agree, AgreeOptions, AgreeReport, Selected};
-pub use checkable::{find_target, targets, CheckConfig, CheckOutcome, CheckTarget};
+pub use checkable::{find_target, targets, CheckConfig, CheckOutcome, CheckSetup, CheckTarget};
 pub use common::{domains, AlgoReport};

@@ -15,14 +15,33 @@
 //!
 //! cargo run -p ba-bench --bin check --release -- --replay-corpus
 //!     # replay the committed corpus only
+//!
+//! cargo run -p ba-bench --bin check --release -- --json
+//!     # same smoke run, but one machine-readable JSON document on stdout
 //! ```
 //!
 //! Exit status: nonzero when a *sound* target violates, when corpus replay
 //! fails, or on usage errors. Violations of targets registered as unsound
 //! (e.g. `ds-weak-relay-threshold`) are the expected outcome and print
 //! without failing the run. Reports are byte-identical at any `--threads`.
+//!
+//! With `--json` all human-readable report text moves off stdout and the
+//! run emits a single JSON document instead:
+//!
+//! ```json
+//! { "mode": "smoke",
+//!   "reports": [ { "target": "...", "n": 4, "t": 1, "sound": true,
+//!                  "explored": 150, "violations": [ ... ] } ],
+//!   "corpus": { "path": "...", "replayed": 3 },
+//!   "unexpected_violations": 0 }
+//! ```
+//!
+//! Each violation carries the found and minimized schedules in the same
+//! object format the corpus uses, so a pipeline can feed them straight
+//! back into `ba-check` (`FaultSchedule::from_json`).
 
 use ba_check::corpus::{self, default_corpus_path, CorpusEntry};
+use ba_check::json::Json;
 use ba_check::{explore, find_target, targets, ExploreOptions, Strategy, Violation};
 use ba_sim::sweep::default_threads;
 use std::path::Path;
@@ -39,12 +58,20 @@ struct Cli {
     strategy: Strategy,
     replay_only: bool,
     corpus_path: Option<String>,
+    json: bool,
+}
+
+/// Accumulates the machine-readable document when `--json` is active.
+#[derive(Default)]
+struct JsonOut {
+    reports: Vec<Json>,
+    corpus: Option<Json>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: check [--target NAME] [--n N] [--t T] [--value 0|1] [--seed S] \
-         [--budget B] [--random] [--threads K] [--replay-corpus] [--corpus PATH]\n\
+         [--budget B] [--random] [--threads K] [--replay-corpus] [--corpus PATH] [--json]\n\
          registered targets:"
     );
     for target in targets() {
@@ -65,6 +92,7 @@ fn parse_cli() -> Cli {
         strategy: Strategy::Exhaustive,
         replay_only: false,
         corpus_path: None,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -85,6 +113,7 @@ fn parse_cli() -> Cli {
             "--random" => cli.strategy = Strategy::Random,
             "--replay-corpus" => cli.replay_only = true,
             "--corpus" => cli.corpus_path = Some(value_of("--corpus")),
+            "--json" => cli.json = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -109,8 +138,26 @@ fn print_violation(violation: &Violation) {
     println!("  failure:   {}", violation.minimized_failure);
 }
 
+fn violation_json(violation: &Violation) -> Json {
+    Json::Obj(vec![
+        ("found".to_string(), violation.schedule.to_json()),
+        ("failure".to_string(), Json::Str(violation.failure.clone())),
+        ("minimized".to_string(), violation.minimized.to_json()),
+        (
+            "minimized_failure".to_string(),
+            Json::Str(violation.minimized_failure.clone()),
+        ),
+    ])
+}
+
 /// Explores one target; returns the number of violations found.
-fn run_target(cli: &Cli, name: &str, n: usize, t: usize) -> Result<usize, String> {
+fn run_target(
+    cli: &Cli,
+    out: &mut JsonOut,
+    name: &str,
+    n: usize,
+    t: usize,
+) -> Result<usize, String> {
     let target = find_target(name).ok_or_else(|| format!("unknown check target {name:?}"))?;
     if !target.supports(n, t) {
         return Err(format!("{name} does not support n = {n}, t = {t}"));
@@ -125,15 +172,29 @@ fn run_target(cli: &Cli, name: &str, n: usize, t: usize) -> Result<usize, String
         threads: cli.threads,
         strategy: cli.strategy,
     });
-    let kind = if target.sound { "sound" } else { "unsound" };
-    println!(
-        "{}: explored {} schedule(s) at n = {n}, t = {t} ({kind}) — {} violation(s)",
-        target.name,
-        report.explored,
-        report.violations.len()
-    );
-    for violation in &report.violations {
-        print_violation(violation);
+    if cli.json {
+        out.reports.push(Json::Obj(vec![
+            ("target".to_string(), Json::Str(target.name.to_string())),
+            ("n".to_string(), Json::Int(n as u64)),
+            ("t".to_string(), Json::Int(t as u64)),
+            ("sound".to_string(), Json::Bool(target.sound)),
+            ("explored".to_string(), Json::Int(report.explored as u64)),
+            (
+                "violations".to_string(),
+                Json::Arr(report.violations.iter().map(violation_json).collect()),
+            ),
+        ]));
+    } else {
+        let kind = if target.sound { "sound" } else { "unsound" };
+        println!(
+            "{}: explored {} schedule(s) at n = {n}, t = {t} ({kind}) — {} violation(s)",
+            target.name,
+            report.explored,
+            report.violations.len()
+        );
+        for violation in &report.violations {
+            print_violation(violation);
+        }
     }
     Ok(if target.sound {
         report.violations.len()
@@ -142,7 +203,7 @@ fn run_target(cli: &Cli, name: &str, n: usize, t: usize) -> Result<usize, String
     })
 }
 
-fn replay_corpus(cli: &Cli) -> Result<(), String> {
+fn replay_corpus(cli: &Cli, out: &mut JsonOut) -> Result<(), String> {
     let path: &str = cli
         .corpus_path
         .as_deref()
@@ -152,16 +213,23 @@ fn replay_corpus(cli: &Cli) -> Result<(), String> {
         corpus::replay_minimal(entry, cli.threads)
             .map_err(|e| format!("corpus entry {i} ({}): {e}", entry.schedule.target))?;
     }
-    println!(
-        "corpus: replayed {} minimized counterexample(s) from {path}",
-        entries.len()
-    );
+    if cli.json {
+        out.corpus = Some(Json::Obj(vec![
+            ("path".to_string(), Json::Str(path.to_string())),
+            ("replayed".to_string(), Json::Int(entries.len() as u64)),
+        ]));
+    } else {
+        println!(
+            "corpus: replayed {} minimized counterexample(s) from {path}",
+            entries.len()
+        );
+    }
     Ok(())
 }
 
 /// Smoke mode: every sound target at its smallest supported dimensions,
 /// then the committed corpus.
-fn run_smoke(cli: &Cli) -> Result<usize, String> {
+fn run_smoke(cli: &Cli, out: &mut JsonOut) -> Result<usize, String> {
     let mut unexpected = 0;
     for target in targets().iter().filter(|target| target.sound) {
         // Smallest dimensions each algorithm family supports.
@@ -170,23 +238,41 @@ fn run_smoke(cli: &Cli) -> Result<usize, String> {
         } else {
             (3, 1)
         };
-        unexpected += run_target(cli, target.name, n, t)?;
+        unexpected += run_target(cli, out, target.name, n, t)?;
     }
-    replay_corpus(cli)?;
+    replay_corpus(cli, out)?;
     Ok(unexpected)
 }
 
 fn main() -> ExitCode {
     let cli = parse_cli();
     let started = std::time::Instant::now();
-    let outcome = if cli.replay_only {
-        replay_corpus(&cli).map(|()| 0)
+    let mut out = JsonOut::default();
+    let (mode, outcome) = if cli.replay_only {
+        ("replay", replay_corpus(&cli, &mut out).map(|()| 0))
     } else if cli.target.is_some() {
         let name = cli.target.clone().expect("checked above");
-        run_target(&cli, &name, cli.n, cli.t)
+        ("explore", run_target(&cli, &mut out, &name, cli.n, cli.t))
     } else {
-        run_smoke(&cli)
+        ("smoke", run_smoke(&cli, &mut out))
     };
+    if cli.json {
+        let mut doc = vec![
+            ("mode".to_string(), Json::Str(mode.to_string())),
+            ("reports".to_string(), Json::Arr(out.reports)),
+        ];
+        if let Some(corpus) = out.corpus {
+            doc.push(("corpus".to_string(), corpus));
+        }
+        match &outcome {
+            Ok(unexpected) => doc.push((
+                "unexpected_violations".to_string(),
+                Json::Int(*unexpected as u64),
+            )),
+            Err(e) => doc.push(("error".to_string(), Json::Str(e.clone()))),
+        }
+        println!("{}", Json::Obj(doc).pretty());
+    }
     eprintln!(
         "check finished on {} thread(s) in {:.2?}",
         cli.threads,

@@ -8,7 +8,7 @@ use ba_algos::{
 use ba_crypto::{ProcessId, SchemeKind, Value};
 use ba_model::{theorem1, theorem2};
 
-/// Runs one experiment by id (`"e1"`..`"e15"`).
+/// Runs one experiment by id (`"e1"`..`"e16"`).
 ///
 /// # Panics
 /// Panics on an unknown id.
@@ -29,13 +29,15 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "e13" => e13(),
         "e14" => e14(),
         "e15" => e15(),
-        other => panic!("unknown experiment {other} (use e1..e15)"),
+        "e16" => e16(),
+        other => panic!("unknown experiment {other} (use e1..e16)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs a batch of experiments, fanning the independent ids across up to
@@ -1243,6 +1245,147 @@ pub fn e15() -> Vec<Table> {
         }
     }
     vec![t_out]
+}
+
+/// E16 — decisions under chaos vs the lock-step baseline.
+///
+/// The `ba-net` runtime replaces the engine's perfect synchronous wire
+/// with seeded per-link unreliability (loss, ack loss, duplication, delay,
+/// reordering) masked by retransmission with exponential backoff. The
+/// contract this table pins: under a reliable profile the runtime is
+/// byte-identical to the lock-step engine (decisions *and* `Metrics`);
+/// under recoverable chaos a sound target still reaches the same
+/// decisions, paying only physical retransmissions; and when the wire
+/// misbehaves past the fault budget the runtime aborts with a structured
+/// degradation verdict instead of deciding wrongly.
+pub fn e16() -> Vec<Table> {
+    use ba_algos::checkable::{find_target, CheckConfig};
+    use ba_net::{run_target, ChaosProfile, LinkChaos, NetConfig, NetRunError};
+    use ba_sim::schedule::ScheduleSpec;
+
+    let mut t_out = Table::new(
+        "E16 — ba-net runtime vs lock-step engine (ds-broadcast n = 4, t = 1, fault-free): decisions must match the baseline whenever the run completes",
+        &[
+            "profile",
+            "completed",
+            "decisions = baseline",
+            "metrics = baseline",
+            "retransmissions",
+            "frames failed",
+            "suspected",
+            "as expected",
+        ],
+    );
+    let target = find_target("ds-broadcast").expect("registered");
+    let cfg = CheckConfig {
+        n: 4,
+        t: 1,
+        value: Value::ONE,
+        seed: 3,
+        threads: 1,
+        spec: ScheduleSpec::default(),
+    };
+    let baseline = target.run(&cfg);
+    let base_verdict = baseline.verdict.as_ref().expect("sound fault-free run");
+    let net = NetConfig {
+        threads: 2,
+        ..NetConfig::default()
+    };
+    for name in ChaosProfile::NAMES {
+        let chaos = ChaosProfile::from_name(name, 41).expect("registry name");
+        // Lossless profiles must reproduce the baseline exactly; lossy ones
+        // may degrade, but a completed run must never decide differently.
+        let lossless = matches!(*name, "reliable" | "jitter");
+        match run_target(target, &cfg, &net, &chaos) {
+            Ok(run) => {
+                let decisions_match =
+                    run.agreement.as_ref().ok().map(|v| v.agreed) == Some(base_verdict.agreed);
+                let metrics_match = run.metrics.messages_by_correct == baseline.messages_by_correct;
+                let as_expected = decisions_match
+                    && (!lossless
+                        || (metrics_match
+                            && run.stats.frames_failed == 0
+                            && run.suspected.is_empty()))
+                    && (*name != "reliable" || run.stats.retransmissions == 0);
+                t_out.row(cells![
+                    *name,
+                    "yes",
+                    if decisions_match { "yes" } else { "no" },
+                    if metrics_match { "yes" } else { "no" },
+                    run.stats.retransmissions,
+                    run.stats.frames_failed,
+                    run.suspected.len(),
+                    check(as_expected)
+                ]);
+            }
+            Err(NetRunError::Degraded(verdict)) => {
+                t_out.row(cells![
+                    *name,
+                    "no (degraded)",
+                    "-",
+                    "-",
+                    verdict.stats.retransmissions,
+                    verdict.stats.frames_failed,
+                    verdict.suspected.len(),
+                    check(!lossless)
+                ]);
+            }
+            Err(e) => panic!("e16 {name}: {e}"),
+        }
+    }
+
+    let mut t_degrade = Table::new(
+        "E16b — graceful degradation: a permanently dead link is tolerated while the observable fault set fits the budget t, and the run aborts with a structured verdict the moment it does not",
+        &[
+            "scenario",
+            "scheduled faults",
+            "dead links",
+            "outcome",
+            "suspected",
+            "agreement",
+            "as expected",
+        ],
+    );
+    let dead_link = |from: u32, to: u32| {
+        ChaosProfile::reliable().with_link(ProcessId(from), ProcessId(to), LinkChaos::dead())
+    };
+    // Within budget: no scheduled faults, one dead sender, t = 1.
+    let run = run_target(target, &cfg, &net, &dead_link(1, 3)).expect("within budget");
+    t_degrade.row(cells![
+        "one dead link, budget free",
+        0,
+        1,
+        "completed",
+        run.suspected.len(),
+        if run.violated() { "VIOLATED" } else { "holds" },
+        check(!run.violated() && run.suspected.len() == 1)
+    ]);
+    // Over budget: the schedule already spends t on the transmitter.
+    let split_cfg = CheckConfig {
+        spec: ScheduleSpec {
+            faults: vec![(
+                ProcessId(0),
+                ba_sim::schedule::FaultBehavior::OmitTo {
+                    targets: vec![ProcessId(2)],
+                },
+            )],
+            link_drops: vec![],
+        },
+        ..cfg.clone()
+    };
+    let err =
+        run_target(target, &split_cfg, &net, &dead_link(1, 3)).expect_err("over budget must abort");
+    let aborted = matches!(err, NetRunError::Degraded(_));
+    t_degrade.row(cells![
+        "dead link + scheduled omission",
+        1,
+        1,
+        "aborted with verdict",
+        "-",
+        "no decision",
+        check(aborted)
+    ]);
+    vec![t_out, t_degrade]
 }
 
 #[cfg(test)]

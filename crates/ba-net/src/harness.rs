@@ -1,0 +1,172 @@
+//! Binding between the runtime and the `ba-algos` checkable registry: run
+//! any [`CheckTarget`] over the message-passing runtime, and prove
+//! byte-identical equivalence with the lock-step engine under a reliable
+//! wire.
+
+use crate::chaos::ChaosProfile;
+use crate::runtime::{NetConfig, NetRuntime};
+use crate::verdict::{DegradationVerdict, NetStats};
+use ba_algos::checkable::{CheckConfig, CheckTarget};
+use ba_crypto::{Chain, ProcessId, Value};
+use ba_sim::schedule::ScheduleError;
+use ba_sim::trace::Trace;
+use ba_sim::{check_byzantine_agreement, AgreementViolation, Metrics, RunOutcome, RunVerdict};
+
+/// Why a net-driven check run produced no decisions.
+#[derive(Clone, Debug)]
+pub enum NetRunError {
+    /// The schedule could not be compiled onto the target's actors.
+    Schedule(ScheduleError),
+    /// The runtime aborted with a graceful-degradation verdict.
+    Degraded(Box<DegradationVerdict>),
+}
+
+impl std::fmt::Display for NetRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetRunError::Schedule(err) => write!(f, "schedule error: {err}"),
+            NetRunError::Degraded(verdict) => write!(f, "{verdict}"),
+        }
+    }
+}
+
+impl std::error::Error for NetRunError {}
+
+/// One completed net-driven run of a checkable target.
+#[derive(Clone, Debug)]
+pub struct NetRun {
+    /// Each processor's decision.
+    pub decisions: Vec<Option<Value>>,
+    /// Correctness flags after suspicion (see
+    /// [`NetOutcome::correct`](crate::runtime::NetOutcome::correct)).
+    pub correct: Vec<bool>,
+    /// Logical traffic accounting.
+    pub metrics: Metrics,
+    /// Physical wire statistics.
+    pub stats: NetStats,
+    /// Suspected senders, in id order.
+    pub suspected: Vec<ProcessId>,
+    /// The Byzantine Agreement verdict over the post-suspicion correct
+    /// set.
+    pub agreement: Result<RunVerdict, AgreementViolation>,
+}
+
+impl NetRun {
+    /// Whether the run violated Byzantine Agreement — on a sound target
+    /// under within-budget chaos this must never be true.
+    pub fn violated(&self) -> bool {
+        self.agreement.is_err()
+    }
+}
+
+/// Runs `target` under `cfg`'s schedule through the message-passing
+/// runtime, with `net.fault_budget` forced to `cfg.t` (the schedule's own
+/// budget) and `net.threads` taken from the config.
+///
+/// # Errors
+/// [`NetRunError::Schedule`] when the schedule does not compile,
+/// [`NetRunError::Degraded`] when the runtime aborted.
+pub fn run_target(
+    target: &CheckTarget,
+    cfg: &CheckConfig,
+    net: &NetConfig,
+    chaos: &ChaosProfile,
+) -> Result<NetRun, NetRunError> {
+    let setup = target.build(cfg).map_err(NetRunError::Schedule)?;
+    let netcfg = NetConfig {
+        threads: net.threads,
+        fault_budget: cfg.t,
+        ..net.clone()
+    };
+    let runtime = NetRuntime::new(setup.actors, netcfg)
+        .with_registry(&setup.registry)
+        .with_link_drops(cfg.spec.link_drops.iter().copied())
+        .with_chaos(chaos.clone());
+    let outcome = runtime.run(setup.phases).map_err(NetRunError::Degraded)?;
+    // The checker only reads decisions and correctness flags; metrics and
+    // trace in the shim outcome are irrelevant to the verdict.
+    let shim: RunOutcome<Chain> = RunOutcome {
+        decisions: outcome.decisions.clone(),
+        correct: outcome.correct.clone(),
+        metrics: Metrics::default(),
+        trace: Trace::default(),
+    };
+    let agreement = check_byzantine_agreement(&shim, ProcessId(0), cfg.value);
+    Ok(NetRun {
+        decisions: outcome.decisions,
+        correct: outcome.correct,
+        metrics: outcome.metrics,
+        stats: outcome.stats,
+        suspected: outcome.suspected,
+        agreement,
+    })
+}
+
+/// Proves the runtime and the lock-step engine agree byte-for-byte on
+/// `target` under `cfg` with a reliable wire and `threads` workers.
+///
+/// # Errors
+/// A description of the first divergence: decisions, correctness flags, or
+/// any [`Metrics`] field.
+pub fn check_equivalence(
+    target: &CheckTarget,
+    cfg: &CheckConfig,
+    threads: usize,
+) -> Result<(), String> {
+    let lockstep = target.run(cfg);
+    if let Some(err) = &lockstep.schedule_error {
+        return Err(format!("lock-step schedule error: {err}"));
+    }
+    let setup = target
+        .build(cfg)
+        .map_err(|e| format!("net schedule error: {e}"))?;
+    // Re-run the engine from a fresh build to get its raw outcome (the
+    // CheckOutcome only carries summary counts).
+    let mut sim = ba_sim::Simulation::new(setup.actors)
+        .with_threads(cfg.threads)
+        .with_registry(&setup.registry)
+        .with_link_drops(cfg.spec.link_drops.iter().copied());
+    let engine = sim.run(setup.phases);
+
+    let net_setup = target
+        .build(cfg)
+        .map_err(|e| format!("net schedule error: {e}"))?;
+    let netcfg = NetConfig {
+        threads,
+        fault_budget: cfg.t,
+        ..NetConfig::default()
+    };
+    let runtime = NetRuntime::new(net_setup.actors, netcfg)
+        .with_registry(&net_setup.registry)
+        .with_link_drops(cfg.spec.link_drops.iter().copied())
+        .with_chaos(ChaosProfile::reliable());
+    let net = runtime
+        .run(net_setup.phases)
+        .map_err(|v| format!("net degraded under reliable wire: {v}"))?;
+
+    if net.decisions != engine.decisions {
+        return Err(format!(
+            "decisions diverge: engine {:?}, net {:?}",
+            engine.decisions, net.decisions
+        ));
+    }
+    if net.correct != engine.correct {
+        return Err(format!(
+            "correct flags diverge: engine {:?}, net {:?}",
+            engine.correct, net.correct
+        ));
+    }
+    if net.metrics != engine.metrics {
+        return Err(format!(
+            "metrics diverge:\n  engine: {:?}\n  net:    {:?}",
+            engine.metrics, net.metrics
+        ));
+    }
+    if !net.suspected.is_empty() {
+        return Err(format!(
+            "reliable wire suspected {:?} — nothing should fail",
+            net.suspected
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! A multi-threaded message-passing runtime for the Byzantine Agreement
+//! actors, with an *unreliable* wire underneath.
+//!
+//! The lock-step engine in `ba-sim` realizes the paper's synchronous
+//! model: every message sent in phase `k` arrives at phase `k + 1`,
+//! unconditionally. This crate asks what it takes to *earn* that
+//! abstraction on an unreliable substrate — and what to do when it cannot
+//! be earned:
+//!
+//! * [`chaos`] — seeded per-link unreliability profiles (loss, ack loss,
+//!   duplication, delay, reordering), the runtime's counterpart of the
+//!   fault-schedule vocabulary in [`ba_sim::schedule`];
+//! * [`wire`](crate::runtime) — virtual-tick delivery with bounded
+//!   retransmission, exponential backoff, acks and receiver-side dedup;
+//! * [`runtime`] — actor chunks on real worker threads behind mpsc
+//!   channels, a coordinator phase synchronizer with a wall-clock
+//!   watchdog, and graceful degradation: suspected senders are tolerated
+//!   while the observable fault set fits the budget `t`, and the run
+//!   aborts with a structured [`DegradationVerdict`] the moment it
+//!   doesn't — it never panics and never returns untrustworthy decisions;
+//! * [`verdict`] — the structured failure vocabulary ([`NetStats`],
+//!   [`FailedLink`], [`DegradationVerdict`]);
+//! * [`harness`] — drives any `ba-algos` checkable target through the
+//!   runtime and proves that, under a reliable wire, decisions and
+//!   [`Metrics`](ba_sim::Metrics) are byte-identical to
+//!   [`ba_sim::Simulation`] at any worker-thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use ba_crypto::{ProcessId, Value};
+//! use ba_net::{ChaosProfile, NetConfig, NetRuntime};
+//! use ba_sim::actor::{Actor, Envelope, Outbox};
+//!
+//! #[derive(Debug)]
+//! struct Sender(Value);
+//! #[derive(Debug)]
+//! struct Receiver(Option<Value>);
+//!
+//! impl Actor<Value> for Sender {
+//!     fn step(&mut self, phase: usize, _inbox: &[Envelope<Value>], out: &mut Outbox<Value>) {
+//!         if phase == 1 {
+//!             out.send(ProcessId(1), self.0);
+//!         }
+//!     }
+//!     fn decision(&self) -> Option<Value> { Some(self.0) }
+//! }
+//!
+//! impl Actor<Value> for Receiver {
+//!     fn step(&mut self, _phase: usize, inbox: &[Envelope<Value>], _out: &mut Outbox<Value>) {
+//!         if let Some(env) = inbox.first() {
+//!             self.0 = Some(env.payload);
+//!         }
+//!     }
+//!     fn decision(&self) -> Option<Value> { self.0 }
+//! }
+//!
+//! let runtime = NetRuntime::new(
+//!     vec![
+//!         Box::new(Sender(Value::ONE)) as Box<dyn Actor<Value>>,
+//!         Box::new(Receiver(None)),
+//!     ],
+//!     NetConfig { threads: 2, ..NetConfig::default() },
+//! )
+//! .with_chaos(ChaosProfile::jitter(7));
+//! let outcome = runtime.run(2).expect("jitter never exceeds the budget");
+//! assert_eq!(outcome.decisions, vec![Some(Value::ONE), Some(Value::ONE)]);
+//! assert_eq!(outcome.metrics.messages_by_correct, 1);
+//! ```
+
+pub mod chaos;
+pub mod harness;
+pub mod runtime;
+pub mod verdict;
+mod wire;
+
+pub use chaos::{ChaosProfile, LinkChaos};
+pub use harness::{check_equivalence, run_target, NetRun, NetRunError};
+pub use runtime::{NetConfig, NetOutcome, NetRuntime};
+pub use verdict::{DegradationReason, DegradationVerdict, FailedLink, NetStats};

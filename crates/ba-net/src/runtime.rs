@@ -1,0 +1,548 @@
+//! The message-passing runtime: actor chunks on real worker threads, a
+//! coordinator phase synchronizer, and the unreliable wire in between.
+//!
+//! # Architecture
+//!
+//! [`NetRuntime::run`] spawns `threads` workers, each owning a contiguous
+//! chunk of actors, wired to the coordinator with mpsc channels. Each phase
+//! proceeds as:
+//!
+//! 1. **dispatch** — the coordinator sends every worker its actors' inboxes;
+//! 2. **step** — workers step their actors concurrently and send back the
+//!    staged envelopes, per-actor suppressed-send counts and their
+//!    thread-local [`CryptoStats`] delta;
+//! 3. **barrier** — the coordinator collects replies under a wall-clock
+//!    watchdog ([`NetConfig::phase_timeout`]); a missing reply (stalled or
+//!    panicked worker) aborts with a [`WorkerStalled`] verdict;
+//! 4. **wire** — staged frames (in sender-id order, after scheduled link
+//!    drops) are played over the [`wire`](crate::wire): chaos-rolled loss,
+//!    delay, duplication, acks, bounded retransmission with exponential
+//!    backoff;
+//! 5. **budget** — permanently failed links make their *senders* suspected
+//!    (an omission-faulty sender explains every lost frame). While the
+//!    union of scheduled-faulty and suspected processors stays within the
+//!    budget `t` the run degrades gracefully — suspects are reported
+//!    `correct = false` so the agreement checker holds them to nothing.
+//!    The moment the union exceeds `t` the model is broken and the run
+//!    aborts with a [`FaultBudgetExceeded`] verdict: no decisions are
+//!    produced, because none could be trusted.
+//!
+//! # Equivalence with the lock-step engine
+//!
+//! Under [`ChaosProfile::reliable`] every frame arrives on its first
+//! attempt in staging order, so inbox contents, metrics and decisions are
+//! byte-identical to [`ba_sim::Simulation`] at any worker-thread count —
+//! the `harness` module proves this for every checkable target. The same
+//! [`Metrics`] recording primitives are used, workers return thread-local
+//! crypto deltas exactly like the engine's scoped workers, and a registry
+//! passed via [`NetRuntime::with_registry`] runs its verifier cache in the
+//! same deferred phase-snapshot mode.
+//!
+//! [`WorkerStalled`]: crate::verdict::DegradationReason::WorkerStalled
+//! [`FaultBudgetExceeded`]: crate::verdict::DegradationReason::FaultBudgetExceeded
+//! [`ChaosProfile::reliable`]: crate::chaos::ChaosProfile::reliable
+
+use crate::chaos::ChaosProfile;
+use crate::verdict::{DegradationReason, DegradationVerdict, NetStats};
+use crate::wire::{self, WirePolicy};
+use ba_crypto::keys::KeyRegistry;
+use ba_crypto::rng::SimRng;
+use ba_crypto::stats::CryptoStats;
+use ba_crypto::{ProcessId, Value};
+use ba_sim::schedule::LinkDrop;
+use ba_sim::transport::{Fate, ScheduledDrops, Transport};
+use ba_sim::{Actor, Envelope, Metrics, Outbox, Payload};
+use std::collections::BTreeSet;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Tuning knobs for the runtime.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Worker threads stepping actors (clamped to at least 1 and at most
+    /// the actor count).
+    pub threads: usize,
+    /// The fault budget `t`: the run aborts when scheduled-faulty plus
+    /// suspected processors exceed this.
+    pub fault_budget: usize,
+    /// Retransmissions allowed per frame after the first attempt.
+    pub max_retries: u32,
+    /// Virtual ticks one phase may use before it is declared blown.
+    pub deadline_ticks: u64,
+    /// Wall-clock watchdog for each phase barrier: how long the
+    /// coordinator waits for a worker before declaring it stalled.
+    pub phase_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            threads: 1,
+            fault_budget: 0,
+            max_retries: 4,
+            deadline_ticks: 128,
+            phase_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a completed (possibly degraded-but-sound) run produced.
+#[derive(Clone, Debug)]
+pub struct NetOutcome {
+    /// Each processor's decision, indexed by processor id.
+    pub decisions: Vec<Option<Value>>,
+    /// Which processors the run stands behind as correct: the actors'
+    /// own flags, minus any sender suspected via failed links.
+    pub correct: Vec<bool>,
+    /// Logical traffic accounting — byte-identical to the lock-step
+    /// engine's under a reliable profile.
+    pub metrics: Metrics,
+    /// Physical wire statistics (attempts, retransmissions, dedup, acks).
+    pub stats: NetStats,
+    /// Senders suspected faulty from permanently failed links, in id
+    /// order. Non-empty means the run degraded but stayed within budget.
+    pub suspected: Vec<ProcessId>,
+}
+
+/// One worker's barrier contribution: per-actor staged envelopes plus
+/// per-actor omitted-send counts.
+type StagedBatch<P> = (Vec<Vec<Envelope<P>>>, Vec<u64>);
+
+enum ToWorker<P> {
+    Step {
+        phase: usize,
+        inboxes: Vec<Vec<Envelope<P>>>,
+    },
+    Finalize {
+        inboxes: Vec<Vec<Envelope<P>>>,
+    },
+}
+
+enum FromWorker<P> {
+    Stepped {
+        worker: usize,
+        staged: Vec<Vec<Envelope<P>>>,
+        omitted: Vec<u64>,
+        crypto: CryptoStats,
+    },
+    Finalized {
+        worker: usize,
+        decisions: Vec<Option<Value>>,
+        crypto: CryptoStats,
+    },
+}
+
+struct Worker<P> {
+    tx: Sender<ToWorker<P>>,
+    base: usize,
+    len: usize,
+    // Dropped (detached), never joined: a stalled worker must not be able
+    // to hang the coordinator's abort path.
+    _handle: std::thread::JoinHandle<()>,
+}
+
+fn worker_loop<P: Payload + 'static>(
+    worker: usize,
+    base: usize,
+    mut actors: Vec<Box<dyn Actor<P>>>,
+    rx: Receiver<ToWorker<P>>,
+    tx: Sender<FromWorker<P>>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Step { phase, inboxes } => {
+                let before = CryptoStats::snapshot();
+                let mut staged = Vec::with_capacity(actors.len());
+                let mut omitted = Vec::with_capacity(actors.len());
+                for (j, actor) in actors.iter_mut().enumerate() {
+                    let mut out = Outbox::new(ProcessId((base + j) as u32));
+                    actor.step(phase, &inboxes[j], &mut out);
+                    omitted.push(out.omitted_count());
+                    staged.push(out.into_staged());
+                }
+                let crypto = CryptoStats::snapshot().since(&before);
+                if tx
+                    .send(FromWorker::Stepped {
+                        worker,
+                        staged,
+                        omitted,
+                        crypto,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ToWorker::Finalize { inboxes } => {
+                let before = CryptoStats::snapshot();
+                for (j, actor) in actors.iter_mut().enumerate() {
+                    actor.finalize(&inboxes[j]);
+                }
+                let crypto = CryptoStats::snapshot().since(&before);
+                let decisions = actors.iter().map(|a| a.decision()).collect();
+                if tx
+                    .send(FromWorker::Finalized {
+                        worker,
+                        decisions,
+                        crypto,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A message-passing run over `n` actors. Build with [`NetRuntime::new`],
+/// configure, then [`run`](NetRuntime::run) — the runtime is consumed
+/// because the actors move onto the worker threads.
+pub struct NetRuntime<P: Payload> {
+    actors: Vec<Box<dyn Actor<P>>>,
+    config: NetConfig,
+    chaos: ChaosProfile,
+    link_drops: BTreeSet<LinkDrop>,
+    registry: Option<KeyRegistry>,
+}
+
+impl<P: Payload> std::fmt::Debug for NetRuntime<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetRuntime")
+            .field("n", &self.actors.len())
+            .field("config", &self.config)
+            .field("chaos", &self.chaos)
+            .finish()
+    }
+}
+
+impl<P: Payload + 'static> NetRuntime<P> {
+    /// Creates a runtime over `actors`; actor `i` is processor `i`.
+    pub fn new(actors: Vec<Box<dyn Actor<P>>>, config: NetConfig) -> Self {
+        NetRuntime {
+            actors,
+            config,
+            chaos: ChaosProfile::reliable(),
+            link_drops: BTreeSet::new(),
+            registry: None,
+        }
+    }
+
+    /// Injects the chaos profile the wire rolls against (default:
+    /// [`ChaosProfile::reliable`]).
+    pub fn with_chaos(mut self, chaos: ChaosProfile) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Declares scheduled link drops, with exactly the semantics of
+    /// [`Simulation::with_link_drops`](ba_sim::Simulation::with_link_drops):
+    /// a matching frame is suppressed before it ever reaches the wire and
+    /// accounted under `omitted_messages`.
+    pub fn with_link_drops(mut self, drops: impl IntoIterator<Item = LinkDrop>) -> Self {
+        self.link_drops.extend(drops);
+        self
+    }
+
+    /// Declares the [`KeyRegistry`] whose verifier cache this run's actors
+    /// share; mirrors [`Simulation::with_registry`]'s deferred
+    /// phase-snapshot mode so crypto counters stay schedule-independent.
+    ///
+    /// [`Simulation::with_registry`]: ba_sim::Simulation::with_registry
+    pub fn with_registry(mut self, registry: &KeyRegistry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Runs exactly `phases` phases.
+    ///
+    /// # Errors
+    /// A [`DegradationVerdict`] (boxed — the verdict carries full wire
+    /// statistics) when the observable fault set exceeds the budget, a
+    /// phase's delivery deadline is blown, or a worker misses the phase
+    /// barrier. The runtime never panics on wire failures and never
+    /// returns decisions from a run whose fault assumptions broke.
+    pub fn run(self, phases: usize) -> Result<NetOutcome, Box<DegradationVerdict>> {
+        let NetRuntime {
+            actors,
+            config,
+            chaos,
+            link_drops,
+            registry,
+        } = self;
+        let n = actors.len();
+        let correct: Vec<bool> = actors.iter().map(|a| a.is_correct()).collect();
+        let scheduled_faulty: BTreeSet<ProcessId> = correct
+            .iter()
+            .enumerate()
+            .filter(|(_, ok)| !**ok)
+            .map(|(i, _)| ProcessId(i as u32))
+            .collect();
+
+        // Spawn workers over contiguous actor chunks, mirroring the
+        // engine's chunking so "threads = k" means the same partition.
+        let worker_count = config.threads.clamp(1, n.max(1));
+        let chunk = n.div_ceil(worker_count.max(1)).max(1);
+        let (reply_tx, reply_rx) = channel::<FromWorker<P>>();
+        let mut workers: Vec<Worker<P>> = Vec::with_capacity(worker_count);
+        let mut remaining = actors;
+        let mut base = 0usize;
+        let mut widx = 0usize;
+        while !remaining.is_empty() {
+            let take = chunk.min(remaining.len());
+            let rest = remaining.split_off(take);
+            let owned = std::mem::replace(&mut remaining, rest);
+            let (tx, rx) = channel::<ToWorker<P>>();
+            let reply = reply_tx.clone();
+            let (w, b) = (widx, base);
+            let handle = std::thread::spawn(move || worker_loop(w, b, owned, rx, reply));
+            workers.push(Worker {
+                tx,
+                base,
+                len: take,
+                _handle: handle,
+            });
+            base += take;
+            widx += 1;
+        }
+        drop(reply_tx);
+
+        if let Some(registry) = &registry {
+            registry.cache().set_deferred(true);
+        }
+
+        let mut scheduled = ScheduledDrops::new(link_drops.iter().copied());
+        let mut rng = SimRng::new(chaos.seed);
+        let policy = WirePolicy {
+            max_retries: config.max_retries,
+            deadline_ticks: config.deadline_ticks,
+        };
+        let mut metrics = Metrics::default();
+        let mut stats = NetStats::default();
+        let mut suspected: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
+
+        let finish_registry = |registry: &Option<KeyRegistry>| {
+            if let Some(registry) = registry {
+                registry.cache().set_deferred(false);
+            }
+        };
+        let verdict = |phase: usize,
+                       reason: DegradationReason,
+                       suspected: &BTreeSet<ProcessId>,
+                       stats: &NetStats,
+                       stalled: Vec<usize>| {
+            Box::new(DegradationVerdict {
+                phase,
+                reason,
+                suspected: suspected.iter().copied().collect(),
+                failed_links: stats.failed_links.clone(),
+                stalled_workers: stalled,
+                stats: stats.clone(),
+            })
+        };
+
+        for phase in 1..=phases {
+            // Dispatch: hand each worker its actors' inboxes.
+            for worker in &workers {
+                let slice: Vec<Vec<Envelope<P>>> = inboxes[worker.base..worker.base + worker.len]
+                    .iter_mut()
+                    .map(std::mem::take)
+                    .collect();
+                // A send failure means the worker is already dead; the
+                // barrier below will convert that into a verdict.
+                let _ = worker.tx.send(ToWorker::Step {
+                    phase,
+                    inboxes: slice,
+                });
+            }
+
+            // Barrier with wall-clock watchdog.
+            let mut staged_by_worker: Vec<Option<StagedBatch<P>>> =
+                (0..workers.len()).map(|_| None).collect();
+            let mut phase_crypto = CryptoStats::default();
+            let mut replied = 0usize;
+            while replied < workers.len() {
+                match reply_rx.recv_timeout(config.phase_timeout) {
+                    Ok(FromWorker::Stepped {
+                        worker,
+                        staged,
+                        omitted,
+                        crypto,
+                    }) => {
+                        phase_crypto = phase_crypto.add(&crypto);
+                        staged_by_worker[worker] = Some((staged, omitted));
+                        replied += 1;
+                    }
+                    Ok(FromWorker::Finalized { .. }) => {
+                        // Impossible by protocol order; ignore defensively.
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                        let stalled: Vec<usize> = staged_by_worker
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.is_none())
+                            .map(|(w, _)| w)
+                            .collect();
+                        finish_registry(&registry);
+                        return Err(verdict(
+                            phase,
+                            DegradationReason::WorkerStalled {
+                                waited_ms: config.phase_timeout.as_millis() as u64,
+                            },
+                            &suspected,
+                            &stats,
+                            stalled,
+                        ));
+                    }
+                }
+            }
+
+            // Accounting in actor-id order, exactly like the engine's
+            // routing barrier: suppressed sends, nonexistent receivers,
+            // scheduled link drops.
+            let mut frames: Vec<Envelope<P>> = Vec::new();
+            for slot in staged_by_worker {
+                let (staged, omitted) = slot.expect("all workers replied");
+                for (staged_one, omitted_one) in staged.into_iter().zip(omitted) {
+                    metrics.record_omitted(phase, omitted_one);
+                    for env in staged_one {
+                        if env.to.index() >= n {
+                            continue;
+                        }
+                        if scheduled.admit(phase, env.from, env.to) == Fate::Omit {
+                            metrics.record_omitted(phase, 1);
+                            continue;
+                        }
+                        frames.push(env);
+                    }
+                }
+            }
+
+            // The unreliable wire.
+            let report = wire::deliver(phase, frames, &chaos, &mut rng, policy, &mut stats);
+            if report.pending > 0 {
+                finish_registry(&registry);
+                return Err(verdict(
+                    phase,
+                    DegradationReason::DeadlineBlown {
+                        pending_frames: report.pending,
+                        deadline_ticks: config.deadline_ticks,
+                    },
+                    &suspected,
+                    &stats,
+                    vec![],
+                ));
+            }
+            for link in &report.failed {
+                suspected.insert(link.from);
+                // A frame that never made it is suppressed traffic, same
+                // bucket as a scheduled drop: sent but never on the wire.
+                metrics.record_omitted(phase, 1);
+            }
+            stats.failed_links.extend(report.failed.iter().copied());
+
+            // Fault budget: scheduled faults plus suspected senders.
+            let observed = scheduled_faulty.union(&suspected).count();
+            if observed > config.fault_budget {
+                finish_registry(&registry);
+                return Err(verdict(
+                    phase,
+                    DegradationReason::FaultBudgetExceeded {
+                        observed,
+                        budget: config.fault_budget,
+                    },
+                    &suspected,
+                    &stats,
+                    vec![],
+                ));
+            }
+
+            // Deliveries, in arrival order.
+            for env in report.delivered {
+                metrics.record_send(
+                    phase,
+                    correct[env.from.index()],
+                    env.payload.signature_count(),
+                    env.payload.weight_bytes(),
+                    env.payload.kind(),
+                );
+                inboxes[env.to.index()].push(env);
+            }
+
+            metrics.record_phase_crypto(phase, phase_crypto);
+            if let Some(registry) = &registry {
+                registry.cache().flush_pending();
+            }
+        }
+
+        // Finalize on the workers; same watchdog.
+        for worker in &workers {
+            let slice: Vec<Vec<Envelope<P>>> = inboxes[worker.base..worker.base + worker.len]
+                .iter_mut()
+                .map(std::mem::take)
+                .collect();
+            let _ = worker.tx.send(ToWorker::Finalize { inboxes: slice });
+        }
+        let mut decisions: Vec<Option<Value>> = vec![None; n];
+        let mut finalize_crypto = CryptoStats::default();
+        let mut replied = 0usize;
+        let mut done: Vec<bool> = vec![false; workers.len()];
+        while replied < workers.len() {
+            match reply_rx.recv_timeout(config.phase_timeout) {
+                Ok(FromWorker::Finalized {
+                    worker,
+                    decisions: worker_decisions,
+                    crypto,
+                }) => {
+                    finalize_crypto = finalize_crypto.add(&crypto);
+                    let base = workers[worker].base;
+                    for (j, d) in worker_decisions.into_iter().enumerate() {
+                        decisions[base + j] = d;
+                    }
+                    done[worker] = true;
+                    replied += 1;
+                }
+                Ok(FromWorker::Stepped { .. }) => {}
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    let stalled: Vec<usize> = done
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| !**d)
+                        .map(|(w, _)| w)
+                        .collect();
+                    finish_registry(&registry);
+                    return Err(verdict(
+                        phases + 1,
+                        DegradationReason::WorkerStalled {
+                            waited_ms: config.phase_timeout.as_millis() as u64,
+                        },
+                        &suspected,
+                        &stats,
+                        stalled,
+                    ));
+                }
+            }
+        }
+        metrics.absorb_crypto(finalize_crypto);
+        finish_registry(&registry);
+        metrics.phases = phases;
+
+        let mut correct_out = correct;
+        for p in &suspected {
+            correct_out[p.index()] = false;
+        }
+        Ok(NetOutcome {
+            decisions,
+            correct: correct_out,
+            metrics,
+            stats,
+            suspected: suspected.into_iter().collect(),
+        })
+    }
+}

@@ -1,0 +1,214 @@
+//! Structured outcomes of a runtime run: wire statistics, and the
+//! graceful-degradation verdict emitted when the fault budget is exceeded.
+
+use ba_crypto::ProcessId;
+use core::fmt;
+
+/// One permanently failed link: the sender exhausted its retransmission
+/// budget without the frame ever reaching the receiver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FailedLink {
+    /// The phase whose frame was lost.
+    pub phase: usize,
+    /// The sending processor (the runtime attributes the fault here).
+    pub from: ProcessId,
+    /// The receiver that never got the frame.
+    pub to: ProcessId,
+    /// Transmission attempts made before giving up.
+    pub attempts: u32,
+}
+
+impl fmt::Display for FailedLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase {} {} -> {} ({} attempts)",
+            self.phase, self.from, self.to, self.attempts
+        )
+    }
+}
+
+/// Wire-level statistics for one run — the physical story underneath the
+/// logical [`Metrics`](ba_sim::Metrics). Logical counts (one per message,
+/// however many times it was retransmitted) live in `Metrics`; these
+/// counters expose what the unreliable wire actually cost.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetStats {
+    /// Logical frames delivered at least once.
+    pub frames_delivered: u64,
+    /// Logical frames never delivered (retries exhausted).
+    pub frames_failed: u64,
+    /// Physical transmission attempts (including retransmissions).
+    pub physical_transmissions: u64,
+    /// Retransmission attempts (physical minus first attempts).
+    pub retransmissions: u64,
+    /// Frame copies the receiver discarded as duplicates (wire duplication
+    /// or retransmission after a lost ack).
+    pub duplicates_suppressed: u64,
+    /// Acks lost on the return path.
+    pub acks_lost: u64,
+    /// The largest number of virtual ticks any phase needed to settle.
+    pub max_ticks_in_phase: u64,
+    /// Every permanently failed link, in detection order.
+    pub failed_links: Vec<FailedLink>,
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delivered={} failed={} physical={} retx={} dups={} acks_lost={} max_ticks={}",
+            self.frames_delivered,
+            self.frames_failed,
+            self.physical_transmissions,
+            self.retransmissions,
+            self.duplicates_suppressed,
+            self.acks_lost,
+            self.max_ticks_in_phase
+        )
+    }
+}
+
+/// Why the runtime gave up on the run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum DegradationReason {
+    /// More processors are observably faulty (scheduled plus suspected via
+    /// failed links) than the budget `t` tolerates; continuing could let a
+    /// correct-looking run decide wrongly, so the runtime refuses.
+    FaultBudgetExceeded {
+        /// Size of the union of scheduled-faulty and suspected processors.
+        observed: usize,
+        /// The budget `t` the run was configured with.
+        budget: usize,
+    },
+    /// Frames were still undelivered when the phase's virtual-tick deadline
+    /// expired — the synchrony assumption broke outright.
+    DeadlineBlown {
+        /// Frames that never settled.
+        pending_frames: usize,
+        /// The deadline that expired.
+        deadline_ticks: u64,
+    },
+    /// A worker thread failed to answer the phase barrier within the
+    /// wall-clock watchdog (stalled, dead, or its actor panicked).
+    WorkerStalled {
+        /// The watchdog timeout that expired, in milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationReason::FaultBudgetExceeded { observed, budget } => {
+                write!(f, "fault budget exceeded: {observed} observed faults > t = {budget}")
+            }
+            DegradationReason::DeadlineBlown {
+                pending_frames,
+                deadline_ticks,
+            } => write!(
+                f,
+                "phase deadline blown: {pending_frames} frames unsettled after {deadline_ticks} ticks"
+            ),
+            DegradationReason::WorkerStalled { waited_ms } => {
+                write!(f, "worker stalled: no reply within {waited_ms} ms")
+            }
+        }
+    }
+}
+
+/// The structured report the runtime emits instead of a result when it
+/// aborts: which phase broke, why, which links failed, who is suspected,
+/// and which workers (if any) stalled. The runtime's contract is that it
+/// *never* panics and *never* returns decisions it cannot stand behind —
+/// when the observable fault set outgrows the budget, this verdict is the
+/// entire output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DegradationVerdict {
+    /// The phase during which the run was abandoned (1-based).
+    pub phase: usize,
+    /// What specifically broke.
+    pub reason: DegradationReason,
+    /// Processors suspected faulty from failed links (senders).
+    pub suspected: Vec<ProcessId>,
+    /// Every permanently failed link observed up to the abort.
+    pub failed_links: Vec<FailedLink>,
+    /// Indices of worker threads that missed the phase barrier.
+    pub stalled_workers: Vec<usize>,
+    /// Wire statistics accumulated up to the abort.
+    pub stats: NetStats,
+}
+
+impl fmt::Display for DegradationVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "degraded at phase {}: {}", self.phase, self.reason)?;
+        if !self.suspected.is_empty() {
+            write!(f, "; suspected ")?;
+            for (i, p) in self.suspected.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.failed_links.is_empty() {
+            write!(f, "; failed links ")?;
+            for (i, link) in self.failed_links.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "[{link}]")?;
+            }
+        }
+        if !self.stalled_workers.is_empty() {
+            write!(f, "; stalled workers {:?}", self.stalled_workers)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DegradationVerdict {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display_names_phase_links_and_suspects() {
+        let verdict = DegradationVerdict {
+            phase: 3,
+            reason: DegradationReason::FaultBudgetExceeded {
+                observed: 2,
+                budget: 1,
+            },
+            suspected: vec![ProcessId(1), ProcessId(2)],
+            failed_links: vec![FailedLink {
+                phase: 3,
+                from: ProcessId(1),
+                to: ProcessId(0),
+                attempts: 5,
+            }],
+            stalled_workers: vec![],
+            stats: NetStats::default(),
+        };
+        let text = verdict.to_string();
+        assert!(text.contains("phase 3"), "{text}");
+        assert!(text.contains("fault budget exceeded"), "{text}");
+        assert!(text.contains("p1"), "{text}");
+        assert!(text.contains("5 attempts"), "{text}");
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<DegradationVerdict>();
+    }
+
+    #[test]
+    fn reason_displays_are_specific() {
+        let deadline = DegradationReason::DeadlineBlown {
+            pending_frames: 4,
+            deadline_ticks: 128,
+        };
+        assert!(deadline.to_string().contains("4 frames"));
+        let stalled = DegradationReason::WorkerStalled { waited_ms: 250 };
+        assert!(stalled.to_string().contains("250 ms"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The virtual-tick wire: deterministic unreliable delivery with
+//! retransmission, exponential backoff, acks and receiver-side dedup.
+//!
+//! Within one phase the coordinator hands the wire every staged frame (in
+//! sender-id order) and the wire plays out delivery over *virtual ticks*:
+//!
+//! * tick `k`: every frame whose retransmission timer expires is put on the
+//!   wire; the chaos profile rolls loss, delay and duplication per attempt;
+//! * tick `k + 1 + delay`: surviving copies arrive; the receiver dedups by
+//!   frame id, delivers the first copy, and acks every copy (the ack
+//!   itself may be lost);
+//! * a sender stops retransmitting when the ack arrives or when its retry
+//!   budget (`1 + max_retries` transmissions, backoff 3, 6, 12, … ticks)
+//!   is exhausted — an undelivered frame at that point is a permanently
+//!   **failed link**;
+//! * if frames are still unsettled when `deadline_ticks` expires, the
+//!   phase's synchrony assumption is broken and the caller turns the
+//!   pending count into a [`DeadlineBlown`] verdict.
+//!
+//! The wire runs entirely on the coordinator thread with one seeded
+//! [`SimRng`], so a chaos campaign is bit-reproducible from the seed — at
+//! any worker-thread count. Under a reliable profile no RNG draw is ever
+//! consumed and delivery order equals staging order, which is what makes
+//! the runtime byte-identical to the lock-step engine.
+//!
+//! [`DeadlineBlown`]: crate::verdict::DegradationReason::DeadlineBlown
+
+use crate::chaos::ChaosProfile;
+use crate::verdict::{FailedLink, NetStats};
+use ba_crypto::rng::SimRng;
+use ba_sim::{Envelope, Payload};
+use std::collections::BTreeMap;
+
+/// Retry policy for one phase of wire delivery.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WirePolicy {
+    /// Retransmissions allowed after the first attempt.
+    pub max_retries: u32,
+    /// Virtual ticks a phase may use before it is declared blown.
+    pub deadline_ticks: u64,
+}
+
+/// First retransmission timeout in ticks: one tick to arrive, one for the
+/// ack, one of slack. Doubles per retry, capped at [`BACKOFF_CAP`].
+const INITIAL_BACKOFF: u64 = 3;
+const BACKOFF_CAP: u64 = 64;
+
+/// What one phase of wire delivery produced.
+pub(crate) struct WireReport<P> {
+    /// Frames that reached their receiver, in arrival order.
+    pub delivered: Vec<Envelope<P>>,
+    /// Links that permanently failed (frame never delivered).
+    pub failed: Vec<FailedLink>,
+    /// Frames neither delivered nor given up on when the deadline expired;
+    /// non-zero means the phase is blown. (Ticks consumed are folded into
+    /// [`NetStats::max_ticks_in_phase`].)
+    pub pending: usize,
+}
+
+struct Slot {
+    attempts: u32,
+    backoff: u64,
+    next_send: u64,
+    delivered: bool,
+    done: bool,
+}
+
+fn roll(rng: &mut SimRng, per_mille: u16) -> bool {
+    per_mille > 0 && rng.range_u64(0, 1000) < u64::from(per_mille)
+}
+
+/// Deterministic Fisher–Yates shuffle for same-tick arrival reordering.
+fn shuffle(items: &mut [usize], rng: &mut SimRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.range_usize(0, i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Plays out one phase's frames over the unreliable wire.
+pub(crate) fn deliver<P: Payload>(
+    phase: usize,
+    frames: Vec<Envelope<P>>,
+    profile: &ChaosProfile,
+    rng: &mut SimRng,
+    policy: WirePolicy,
+    stats: &mut NetStats,
+) -> WireReport<P> {
+    let mut frames: Vec<Option<Envelope<P>>> = frames.into_iter().map(Some).collect();
+    let mut slots: Vec<Slot> = frames
+        .iter()
+        .map(|_| Slot {
+            attempts: 0,
+            backoff: INITIAL_BACKOFF,
+            next_send: 0,
+            delivered: false,
+            done: false,
+        })
+        .collect();
+
+    // Event queues keyed by arrival tick; BTreeMap iteration order plus
+    // in-tick push order keeps everything deterministic.
+    let mut arrivals: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut acks: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut delivery_order: Vec<usize> = Vec::new();
+    let mut failed: Vec<FailedLink> = Vec::new();
+    let mut unresolved = slots.len();
+    let mut tick = 0u64;
+
+    while unresolved > 0 && tick <= policy.deadline_ticks {
+        // Acks first: an ack arriving this tick cancels a retransmission
+        // timer that would fire this same tick.
+        if let Some(list) = acks.remove(&tick) {
+            for idx in list {
+                if !slots[idx].done {
+                    slots[idx].done = true;
+                    unresolved -= 1;
+                }
+            }
+        }
+
+        // Frame copies arriving this tick.
+        if let Some(mut list) = arrivals.remove(&tick) {
+            if profile.reorder && list.len() > 1 {
+                shuffle(&mut list, rng);
+            }
+            for idx in list {
+                let env = frames[idx].as_ref().expect("frame taken before settle");
+                let link = profile.link(env.from, env.to);
+                if slots[idx].delivered {
+                    stats.duplicates_suppressed += 1;
+                } else {
+                    slots[idx].delivered = true;
+                    stats.frames_delivered += 1;
+                    delivery_order.push(idx);
+                }
+                // The receiver acks every copy it sees; a lost ack keeps
+                // the sender's retransmission timer armed.
+                if roll(rng, link.ack_drop_per_mille) {
+                    stats.acks_lost += 1;
+                } else {
+                    acks.entry(tick + 1).or_default().push(idx);
+                }
+            }
+        }
+
+        // Transmissions whose timer expires this tick, in frame order.
+        for idx in 0..slots.len() {
+            let slot = &mut slots[idx];
+            if slot.done || slot.next_send != tick {
+                continue;
+            }
+            if slot.attempts > policy.max_retries {
+                // Retry budget exhausted. A frame that did arrive (ack
+                // losses only) is settled; one that never arrived is a
+                // permanently failed link.
+                slot.done = true;
+                unresolved -= 1;
+                if !slot.delivered {
+                    let env = frames[idx].as_ref().expect("frame taken before settle");
+                    stats.frames_failed += 1;
+                    failed.push(FailedLink {
+                        phase,
+                        from: env.from,
+                        to: env.to,
+                        attempts: slot.attempts,
+                    });
+                }
+                continue;
+            }
+            slot.attempts += 1;
+            stats.physical_transmissions += 1;
+            if slot.attempts > 1 {
+                stats.retransmissions += 1;
+            }
+            let env = frames[idx].as_ref().expect("frame taken before settle");
+            let link = profile.link(env.from, env.to);
+            if !roll(rng, link.drop_per_mille) {
+                let delay = if link.max_delay_ticks > 0 {
+                    rng.range_u64(0, u64::from(link.max_delay_ticks) + 1)
+                } else {
+                    0
+                };
+                arrivals.entry(tick + 1 + delay).or_default().push(idx);
+                if roll(rng, link.dup_per_mille) {
+                    arrivals.entry(tick + 2 + delay).or_default().push(idx);
+                }
+            }
+            let slot = &mut slots[idx];
+            slot.next_send = tick + slot.backoff;
+            slot.backoff = (slot.backoff * 2).min(BACKOFF_CAP);
+        }
+
+        tick += 1;
+    }
+
+    stats.max_ticks_in_phase = stats.max_ticks_in_phase.max(tick);
+    // Anything unsettled and undelivered at the deadline blew the phase;
+    // unsettled-but-delivered frames were only waiting for an ack.
+    let pending = slots.iter().filter(|s| !s.done && !s.delivered).count();
+    let delivered = delivery_order
+        .into_iter()
+        .map(|idx| frames[idx].take().expect("each frame delivered once"))
+        .collect();
+    WireReport {
+        delivered,
+        failed,
+        pending,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::LinkChaos;
+    use ba_crypto::{ProcessId, Value};
+
+    const POLICY: WirePolicy = WirePolicy {
+        max_retries: 4,
+        deadline_ticks: 128,
+    };
+
+    fn frames(n: u32) -> Vec<Envelope<Value>> {
+        (0..n)
+            .map(|i| Envelope {
+                from: ProcessId(i),
+                to: ProcessId((i + 1) % n),
+                payload: Value(i as u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reliable_wire_delivers_in_staging_order_without_retransmission() {
+        let profile = ChaosProfile::reliable();
+        let mut rng = SimRng::new(1);
+        let mut stats = NetStats::default();
+        let report = deliver(1, frames(5), &profile, &mut rng, POLICY, &mut stats);
+        assert_eq!(report.delivered.len(), 5);
+        assert_eq!(report.failed.len(), 0);
+        assert_eq!(report.pending, 0);
+        let order: Vec<u64> = report.delivered.iter().map(|e| e.payload.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4], "delivery order = staging order");
+        assert_eq!(stats.physical_transmissions, 5);
+        assert_eq!(stats.retransmissions, 0);
+        assert_eq!(stats.duplicates_suppressed, 0);
+        // Send at tick 0, arrive at 1, ack at 2 -> 3 ticks.
+        assert_eq!(stats.max_ticks_in_phase, 3);
+        // A reliable wire consumes no randomness at all.
+        assert_eq!(rng.next_u64(), SimRng::new(1).next_u64());
+    }
+
+    #[test]
+    fn dead_link_fails_after_retry_budget() {
+        let profile =
+            ChaosProfile::reliable().with_link(ProcessId(0), ProcessId(1), LinkChaos::dead());
+        let mut rng = SimRng::new(2);
+        let mut stats = NetStats::default();
+        let report = deliver(4, frames(3), &profile, &mut rng, POLICY, &mut stats);
+        assert_eq!(report.delivered.len(), 2, "other links deliver");
+        assert_eq!(report.failed.len(), 1);
+        let link = report.failed[0];
+        assert_eq!(
+            (link.phase, link.from, link.to),
+            (4, ProcessId(0), ProcessId(1))
+        );
+        assert_eq!(
+            link.attempts,
+            POLICY.max_retries + 1,
+            "1 original + retries"
+        );
+        assert_eq!(stats.frames_failed, 1);
+        assert_eq!(report.pending, 0, "a failed link is settled, not pending");
+        assert!(stats.max_ticks_in_phase <= POLICY.deadline_ticks);
+    }
+
+    #[test]
+    fn lost_acks_cause_retransmission_and_dedup_but_single_delivery() {
+        // Frames always arrive, acks never do: every retry is spurious and
+        // every extra copy must be suppressed by the receiver.
+        let mut profile = ChaosProfile::reliable();
+        profile.base = LinkChaos {
+            ack_drop_per_mille: 1000,
+            ..LinkChaos::RELIABLE
+        };
+        let mut rng = SimRng::new(3);
+        let mut stats = NetStats::default();
+        let report = deliver(1, frames(2), &profile, &mut rng, POLICY, &mut stats);
+        assert_eq!(report.delivered.len(), 2, "delivered exactly once each");
+        assert_eq!(report.failed.len(), 0, "delivered frames never fail");
+        assert_eq!(report.pending, 0);
+        assert_eq!(stats.retransmissions, 2 * u64::from(POLICY.max_retries));
+        assert_eq!(stats.duplicates_suppressed, stats.retransmissions);
+        assert_eq!(stats.acks_lost, stats.physical_transmissions);
+    }
+
+    #[test]
+    fn chaos_is_seed_deterministic() {
+        let profile = ChaosProfile::stress(9);
+        let run = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let mut stats = NetStats::default();
+            let report = deliver(2, frames(8), &profile, &mut rng, POLICY, &mut stats);
+            let order: Vec<u64> = report.delivered.iter().map(|e| e.payload.0).collect();
+            (order, report.failed, stats)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds behave differently");
+    }
+
+    #[test]
+    fn blown_deadline_reports_pending_frames() {
+        let profile =
+            ChaosProfile::reliable().with_link(ProcessId(0), ProcessId(1), LinkChaos::dead());
+        // A deadline too short for the backoff schedule to exhaust retries:
+        // the dead link's frame is still unsettled when time runs out.
+        let policy = WirePolicy {
+            max_retries: 10,
+            deadline_ticks: 8,
+        };
+        let mut rng = SimRng::new(4);
+        let mut stats = NetStats::default();
+        let report = deliver(1, frames(2), &profile, &mut rng, policy, &mut stats);
+        assert_eq!(report.pending, 1);
+        assert_eq!(report.delivered.len(), 1);
+        assert!(report.failed.is_empty(), "pending, not yet failed");
+    }
+
+    #[test]
+    fn jitter_reorders_but_loses_nothing() {
+        let profile = ChaosProfile::jitter(11);
+        let mut rng = SimRng::new(profile.seed);
+        let mut stats = NetStats::default();
+        let report = deliver(1, frames(16), &profile, &mut rng, POLICY, &mut stats);
+        assert_eq!(report.delivered.len(), 16);
+        assert_eq!(report.failed.len(), 0);
+        assert_eq!(report.pending, 0);
+        let order: Vec<u64> = report.delivered.iter().map(|e| e.payload.0).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "every frame arrives");
+        assert_ne!(order, sorted, "but not in staging order");
+    }
+}

@@ -30,6 +30,7 @@ use crate::actor::{Actor, Envelope, Outbox, Payload};
 use crate::metrics::Metrics;
 use crate::schedule::LinkDrop;
 use crate::trace::{PhaseTrace, Trace};
+use crate::transport::{Fate, ScheduledDrops, Transport};
 use ba_crypto::keys::KeyRegistry;
 use ba_crypto::stats::CryptoStats;
 use ba_crypto::{ProcessId, Value};
@@ -79,6 +80,7 @@ pub struct Simulation<P: Payload> {
     pooling: bool,
     registry: Option<KeyRegistry>,
     link_drops: BTreeSet<LinkDrop>,
+    transport: Option<Box<dyn Transport>>,
 }
 
 impl<P: Payload> std::fmt::Debug for Simulation<P> {
@@ -103,6 +105,7 @@ impl<P: Payload> Simulation<P> {
             pooling: true,
             registry: None,
             link_drops: BTreeSet::new(),
+            transport: None,
         }
     }
 
@@ -144,6 +147,24 @@ impl<P: Payload> Simulation<P> {
     /// [`Metrics::omitted_messages`]: crate::metrics::Metrics::omitted_messages
     pub fn with_link_drops(mut self, drops: impl IntoIterator<Item = LinkDrop>) -> Self {
         self.link_drops.extend(drops);
+        self
+    }
+
+    /// Injects a [`Transport`] consulted for every staged envelope that
+    /// survives the scheduled link drops. An [`Fate::Omit`] verdict is
+    /// accounted exactly like a scheduled drop: the send happened (the
+    /// system is not quiescent) but nothing is delivered, traced or
+    /// counted as sent — only [`Metrics::omitted_messages`] grows.
+    ///
+    /// The transport runs on the calling thread in actor-id order (see the
+    /// [`transport`](crate::transport) module docs), so stateful policies
+    /// such as [`Flaky`](crate::transport::Flaky) stay byte-identical for
+    /// any worker-thread count. Defaults to
+    /// [`Reliable`](crate::transport::Reliable).
+    ///
+    /// [`Metrics::omitted_messages`]: crate::metrics::Metrics::omitted_messages
+    pub fn with_transport(mut self, transport: impl Transport + 'static) -> Self {
+        self.transport = Some(Box::new(transport));
         self
     }
 
@@ -204,6 +225,12 @@ impl<P: Payload> Simulation<P> {
             registry.cache().set_deferred(true);
         }
 
+        // The routing policy: scheduled link drops are checked first, then
+        // the injected transport (default: deliver everything). Both run
+        // on this thread in actor-id order, keeping results byte-identical
+        // for any worker-thread count.
+        let mut scheduled = ScheduledDrops::new(self.link_drops.iter().copied());
+
         let keep_phase_log = self.record_trace || self.observer.is_some();
         for phase in 1..=phases {
             executed = phase;
@@ -232,16 +259,17 @@ impl<P: Payload> Simulation<P> {
                         // correct protocol never does this, an adversary may.
                         continue;
                     }
-                    if !self.link_drops.is_empty()
-                        && self.link_drops.contains(&LinkDrop {
-                            phase,
-                            from: env.from,
-                            to: env.to,
-                        })
-                    {
-                        // The schedule suppresses this link this phase: the
-                        // processor still "sent" (the system is not quiet),
-                        // but nothing reaches the wire.
+                    let fate = if scheduled.admit(phase, env.from, env.to) == Fate::Omit {
+                        Fate::Omit
+                    } else if let Some(transport) = self.transport.as_mut() {
+                        transport.admit(phase, env.from, env.to)
+                    } else {
+                        Fate::Deliver
+                    };
+                    if fate == Fate::Omit {
+                        // The transport suppresses this link this phase:
+                        // the processor still "sent" (the system is not
+                        // quiet), but nothing reaches the wire.
                         any_sent = true;
                         metrics.record_omitted(phase, 1);
                         continue;
@@ -810,6 +838,141 @@ mod tests {
         assert_eq!(par.decisions, seq.decisions);
         for (a, b) in par.trace.phases.iter().zip(seq.trace.phases.iter()) {
             assert_eq!(a.envelopes, b.envelopes);
+        }
+    }
+
+    #[test]
+    fn injected_transport_composes_with_link_drops() {
+        use crate::transport::{Fate, Transport};
+        // A transport that censors everything addressed to p2.
+        #[derive(Debug)]
+        struct CensorP2;
+        impl Transport for CensorP2 {
+            fn admit(&mut self, _phase: usize, _from: ProcessId, to: ProcessId) -> Fate {
+                if to == ProcessId(2) {
+                    Fate::Omit
+                } else {
+                    Fate::Deliver
+                }
+            }
+        }
+        let mut sim = Simulation::new(vec![
+            Box::new(Flooder {
+                n: 3,
+                value: Value(5),
+                stop_after: 2,
+            }) as Box<dyn Actor<Value>>,
+            Box::new(Listener::default()),
+            Box::new(Listener::default()),
+        ])
+        .with_trace()
+        .with_transport(CensorP2)
+        .with_link_drops([LinkDrop {
+            phase: 1,
+            from: ProcessId(0),
+            to: ProcessId(1),
+        }]);
+        let outcome = sim.run(2);
+        // Phase 1: sends to p1 (scheduled drop) and p2 (transport omit);
+        // phase 2: p1 delivered, p2 omitted again — 3 omissions, 1 send.
+        assert_eq!(outcome.metrics.omitted_messages, 3);
+        assert_eq!(outcome.metrics.messages_by_correct, 1);
+        assert_eq!(outcome.decisions[1], Some(Value(5)));
+        assert_eq!(outcome.decisions[2], None, "p2 never hears anything");
+        assert_eq!(outcome.trace.message_count(), 1);
+    }
+
+    #[test]
+    fn flaky_transport_is_seed_deterministic_across_thread_counts() {
+        use crate::transport::Flaky;
+        let run = |threads: usize, seed: u64| {
+            let mut sim = Simulation::new(vec![
+                Box::new(Flooder {
+                    n: 4,
+                    value: Value(9),
+                    stop_after: 3,
+                }) as Box<dyn Actor<Value>>,
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+            ])
+            .with_threads(threads)
+            .with_transport(Flaky::new(seed, 400));
+            sim.run(3)
+        };
+        let seq = run(1, 7);
+        let par = run(4, 7);
+        assert_eq!(seq.metrics, par.metrics);
+        assert_eq!(seq.decisions, par.decisions);
+        assert!(seq.metrics.omitted_messages > 0, "40% loss drops something");
+        assert!(
+            seq.metrics.messages_by_correct > 0,
+            "and delivers something"
+        );
+        assert_eq!(
+            seq.metrics.messages_by_correct + seq.metrics.omitted_messages,
+            9,
+            "every staged envelope is either sent or omitted"
+        );
+    }
+
+    /// Satellite: `run_until_quiescent` under scheduled link drops — the
+    /// run still quiesces (drops must not make the engine think traffic is
+    /// pending), and the `sent + omitted` totals are identical for any
+    /// worker-thread count.
+    #[test]
+    fn quiescence_under_link_drops_is_reached_and_thread_independent() {
+        let run = |threads: usize| {
+            let mut sim = Simulation::new(vec![
+                Box::new(Flooder {
+                    n: 4,
+                    value: Value(2),
+                    stop_after: 3,
+                }) as Box<dyn Actor<Value>>,
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+                Box::new(Listener::default()),
+            ])
+            .with_threads(threads)
+            .with_link_drops([
+                LinkDrop {
+                    phase: 1,
+                    from: ProcessId(0),
+                    to: ProcessId(1),
+                },
+                LinkDrop {
+                    phase: 2,
+                    from: ProcessId(0),
+                    to: ProcessId(3),
+                },
+                LinkDrop {
+                    phase: 3,
+                    from: ProcessId(0),
+                    to: ProcessId(2),
+                },
+            ]);
+            sim.run_until_quiescent(100)
+        };
+        let baseline = run(1);
+        // The flooder stops after phase 3; phase 4 is quiet and ends the
+        // run well before the 100-phase cap.
+        assert_eq!(baseline.metrics.phases, 4);
+        assert_eq!(baseline.metrics.omitted_messages, 3);
+        assert_eq!(
+            baseline.metrics.messages_by_correct + baseline.metrics.omitted_messages,
+            9,
+            "3 phases × 3 peers, split between delivered and dropped"
+        );
+        for threads in [2, 4, 8] {
+            let run = run(threads);
+            assert_eq!(run.metrics.phases, baseline.metrics.phases, "{threads}");
+            assert_eq!(
+                run.metrics.messages_by_correct + run.metrics.omitted_messages,
+                baseline.metrics.messages_by_correct + baseline.metrics.omitted_messages,
+                "sent + omitted at threads={threads}"
+            );
+            assert_eq!(run.metrics, baseline.metrics, "threads={threads}");
+            assert_eq!(run.decisions, baseline.decisions, "threads={threads}");
         }
     }
 

@@ -22,6 +22,10 @@
 //!   ([`FaultBehavior`], [`LinkDrop`], [`ScheduleSpec`]) that the
 //!   `ba-check` model checker compiles onto the adversary wrappers and the
 //!   engine's link-drop hook;
+//! * [`transport`] — the injectable per-envelope delivery policy the
+//!   routing barrier consults ([`Reliable`], [`ScheduledDrops`], seeded
+//!   [`Flaky`] loss); the `ba-net` crate builds its real message-passing
+//!   runtime on the same actor contract with a richer chaos model;
 //! * [`trace`] — optional full message trace for debugging and for the
 //!   formal-model experiments;
 //! * [`sweep`] — deterministic fan-out of independent experiment cells
@@ -79,9 +83,11 @@ pub mod random;
 pub mod schedule;
 pub mod sweep;
 pub mod trace;
+pub mod transport;
 
 pub use actor::{Actor, Envelope, Outbox, Payload};
 pub use checker::{check_byzantine_agreement, AgreementViolation, RunVerdict};
 pub use engine::{RunOutcome, Simulation};
 pub use metrics::Metrics;
-pub use schedule::{FaultBehavior, LinkDrop, ScheduleSpec};
+pub use schedule::{FaultBehavior, LinkDrop, ScheduleError, ScheduleSpec};
+pub use transport::{Fate, Flaky, Reliable, ScheduledDrops, Transport};

@@ -82,7 +82,13 @@ impl Metrics {
     }
 
     /// Records one sent message.
-    pub(crate) fn record_send(
+    ///
+    /// Public (not `pub(crate)`) because the `ba-net` runtime drives the
+    /// same accounting from outside this crate: byte-identical `Metrics`
+    /// between the lock-step engine and the message-passing runtime is the
+    /// equivalence harness's contract, so both must share the recording
+    /// primitives rather than reimplement them.
+    pub fn record_send(
         &mut self,
         phase: usize,
         correct_sender: bool,
@@ -110,7 +116,7 @@ impl Metrics {
 
     /// Records `count` suppressed messages during `phase` (1-based) — see
     /// [`omitted_messages`](Metrics::omitted_messages).
-    pub(crate) fn record_omitted(&mut self, phase: usize, count: u64) {
+    pub fn record_omitted(&mut self, phase: usize, count: u64) {
         if count == 0 {
             return;
         }
@@ -123,7 +129,7 @@ impl Metrics {
 
     /// Attributes a phase's cryptographic work delta to `phase` (1-based)
     /// and to the run totals.
-    pub(crate) fn record_phase_crypto(&mut self, phase: usize, delta: CryptoStats) {
+    pub fn record_phase_crypto(&mut self, phase: usize, delta: CryptoStats) {
         if self.per_phase.len() < phase {
             self.per_phase.resize(phase, PhaseMetrics::default());
         }
@@ -135,7 +141,7 @@ impl Metrics {
 
     /// Adds cryptographic work to the run totals without a phase
     /// attribution (used for finalize-time delivery).
-    pub(crate) fn absorb_crypto(&mut self, delta: CryptoStats) {
+    pub fn absorb_crypto(&mut self, delta: CryptoStats) {
         self.crypto = self.crypto.add(&delta);
     }
 

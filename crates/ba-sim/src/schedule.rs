@@ -20,6 +20,36 @@
 use crate::actor::{Actor, Payload};
 use crate::adversary::{Crash, OmitTo, Silent};
 use ba_crypto::ProcessId;
+use core::fmt;
+
+/// Why a [`FaultBehavior`] could not be compiled onto an honest actor.
+///
+/// Returned (not panicked) so callers that drive many schedules — the
+/// `ba-check` explorer, the `ba-net` soak harness — can surface the
+/// problem as a per-schedule report instead of aborting the whole
+/// exploration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// [`FaultBehavior::Equivocate`] reached the generic adapter: the
+    /// check target must map equivocation to its own signed-message
+    /// adversary before falling through to [`FaultBehavior::apply`].
+    UnmappedEquivocation,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::UnmappedEquivocation => write!(
+                f,
+                "equivocation is protocol-specific: the check target must map it \
+                 to its own adversary before applying the generic adapter"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// How one faulty processor deviates from its correctness rule.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -54,23 +84,25 @@ pub enum FaultBehavior {
 impl FaultBehavior {
     /// Compiles this behaviour into an actor by wrapping `honest`.
     ///
-    /// # Panics
-    /// Panics on [`FaultBehavior::Equivocate`]: equivocation needs the
-    /// target algorithm's own signed-message adversary; callers must
-    /// intercept it before falling through to this adapter.
-    pub fn apply<P: Payload + 'static>(&self, honest: Box<dyn Actor<P>>) -> Box<dyn Actor<P>> {
+    /// # Errors
+    /// [`ScheduleError::UnmappedEquivocation`] on
+    /// [`FaultBehavior::Equivocate`]: equivocation needs the target
+    /// algorithm's own signed-message adversary; callers must intercept it
+    /// before falling through to this adapter.
+    pub fn apply<P: Payload + 'static>(
+        &self,
+        honest: Box<dyn Actor<P>>,
+    ) -> Result<Box<dyn Actor<P>>, ScheduleError> {
         match self {
-            FaultBehavior::Silent => Box::new(Silent),
-            FaultBehavior::CrashAt { phase } => Box::new(Crash::new(honest, *phase)),
+            FaultBehavior::Silent => Ok(Box::new(Silent)),
+            FaultBehavior::CrashAt { phase } => Ok(Box::new(Crash::new(honest, *phase))),
             FaultBehavior::OmitTo { targets } => {
-                Box::new(OmitTo::new(honest, targets.iter().copied()))
+                Ok(Box::new(OmitTo::new(honest, targets.iter().copied())))
             }
             // An `OmitTo` with no targets forwards everything unchanged
             // while reporting `is_correct() == false`.
-            FaultBehavior::Passive => Box::new(OmitTo::new(honest, [])),
-            FaultBehavior::Equivocate { .. } => {
-                panic!("equivocation is protocol-specific: the check target must map it")
-            }
+            FaultBehavior::Passive => Ok(Box::new(OmitTo::new(honest, []))),
+            FaultBehavior::Equivocate { .. } => Err(ScheduleError::UnmappedEquivocation),
         }
     }
 
@@ -224,7 +256,7 @@ mod tests {
             FaultBehavior::Passive,
         ];
         for b in &behaviors {
-            let mut actor = b.apply(Box::new(Echo) as Box<dyn Actor<Value>>);
+            let mut actor = b.apply(Box::new(Echo) as Box<dyn Actor<Value>>).unwrap();
             assert!(!actor.is_correct(), "{}", b.tag());
             let mut out = Outbox::new(ProcessId(1));
             actor.step(2, &[env(0), env(2)], &mut out);
@@ -239,9 +271,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "protocol-specific")]
-    fn apply_rejects_equivocation() {
-        FaultBehavior::Equivocate { ones: vec![] }.apply(Box::new(Echo) as Box<dyn Actor<Value>>);
+    fn apply_rejects_equivocation_with_typed_error() {
+        let err = FaultBehavior::Equivocate { ones: vec![] }
+            .apply(Box::new(Echo) as Box<dyn Actor<Value>>)
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::UnmappedEquivocation);
+        assert!(err.to_string().contains("protocol-specific"), "{err}");
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ScheduleError>();
     }
 
     #[test]

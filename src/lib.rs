@@ -11,7 +11,11 @@
 //!   Dolev–Strong and `OM(t)` baselines, closed-form bounds, the `agree`
 //!   facade, multi-valued agreement and interactive consistency;
 //! * [`model`] ([`ba_model`]) — the Section-2 formal model and the
-//!   Theorem 1/2 lower-bound attacks, runnable.
+//!   Theorem 1/2 lower-bound attacks, runnable;
+//! * [`net`] ([`ba_net`]) — the multi-threaded message-passing runtime
+//!   over an unreliable wire: retransmission with backoff, phase
+//!   watchdogs, and graceful-degradation verdicts, equivalence-checked
+//!   against the lock-step engine.
 //!
 //! # Example
 //!
@@ -27,4 +31,5 @@
 pub use ba_algos as algos;
 pub use ba_crypto as crypto;
 pub use ba_model as model;
+pub use ba_net as net;
 pub use ba_sim as sim;
