@@ -535,6 +535,11 @@ pub struct Alg3Options {
     /// Results are byte-identical for any value — see
     /// [`Simulation::with_threads`].
     pub threads: usize,
+    /// Verify each unique signature chain once at the phase barrier
+    /// instead of per delivery — see
+    /// [`Simulation::with_batched_verification`]. Decisions and message
+    /// counts are unchanged; the crypto work counters honestly shrink.
+    pub batch_verify: bool,
 }
 
 /// Builds and runs an Algorithm 3 scenario.
@@ -643,7 +648,8 @@ pub fn run(
 
     let mut sim = Simulation::new(actors)
         .with_threads(options.threads)
-        .with_registry(&registry);
+        .with_registry(&registry)
+        .with_batched_verification(options.batch_verify);
     let outcome = sim.run(params.phases());
     into_report(outcome, ProcessId(0), value)
 }

@@ -1,6 +1,6 @@
 //! Benchmark for the simulation engine's data plane.
 //!
-//! Three questions, one section each:
+//! Sections (select with `--section`, default all):
 //!
 //! * `chain_fanout` — is `Chain::clone` O(1)? Broadcasting a length-L
 //!   chain to 63 peers must cost the same for L = 8, 32 and 128 now that
@@ -9,20 +9,44 @@
 //!   buy on a broadcast-heavy chain-relay workload (every actor endorses
 //!   once and rebroadcasts every phase, n² messages per phase)? Strategies:
 //!   sequential without pooling (the seed engine), sequential pooled, and
-//!   pooled with 4 worker threads;
+//!   pooled with 4 worker threads. The seed data plane showed a 2–3 %
+//!   *regression* for `seq-pooled` over `seq-unpooled`: the old pooled path
+//!   retained per-actor `Vec` mailboxes and paid clear/refill bookkeeping
+//!   without saving allocations that mattered. The flat
+//!   [`Inboxes`](ba_sim::arena) arena removes that bookkeeping — pooling
+//!   now reuses two contiguous buffers and one offset table, so
+//!   `seq-pooled` is expected at parity or better; the check below
+//!   (`flood_pooling_not_regressed`) records whether it held on this host;
 //! * `dolev_strong` / `algorithm3` — the same comparison on the two real
-//!   protocol workloads the experiments scale up.
+//!   protocol workloads the experiments scale up;
+//! * `pool_scaling` — the persistent-pool grid: Dolev–Strong and
+//!   Algorithm 3 at n ∈ {1024, 10240, 51200} × threads ∈ {1, 2, 4, 8}
+//!   with batched phase-barrier verification on. Dolev–Strong uses the
+//!   relay variant (O(nt) traffic) at every n and additionally the
+//!   broadcast variant at n = 1024 only — O(n²) traffic per phase is
+//!   ~6 GB/phase at n ≥ 10k and is deliberately omitted. Algorithm 3 runs
+//!   with fixed s = 32 so the phase count (t + 2s + 3) stays constant
+//!   across n and the rows measure data-plane scaling, not phase-count
+//!   growth. Override the grid with `--n 1024,4096` / `--threads 1,4`.
 //!
 //! Every strategy of every workload must produce identical `Metrics` — the
 //! run aborts otherwise. Emits a JSON report to the path given as the first
-//! argument (default `BENCH_engine.json`) including the host's
-//! `available_parallelism`, so a single-core container's numbers are
-//! interpretable: there, parallel stepping can only show its (small)
-//! coordination overhead, never a speedup.
+//! positional argument (default `BENCH_engine.json`). Each row is tagged
+//! with the host's `available_parallelism`: on a single-core container the
+//! parallel rows can only show the pool's (small) coordination overhead,
+//! never a speedup, and the binary says so on stderr.
 //!
 //! ```text
 //! cargo run -p ba-bench --release --bin bench_engine
+//! cargo run -p ba-bench --release --bin bench_engine -- \
+//!     --section pool_scaling --n 1024 --threads 1,4 --assert-scaling 1.25
 //! ```
+//!
+//! `--assert-scaling <ratio>` makes the binary exit non-zero if, on a
+//! multi-core host, the widest thread count's median exceeds `ratio` × the
+//! single-thread median for any `pool_scaling` cell (on a single-core host
+//! the gate is skipped — there is nothing to win). CI uses this as the
+//! `pool-scaling-smoke` job.
 //!
 //! `--dump-trace <threads>` instead prints a traced deterministic run
 //! (decisions, metrics, every envelope) to stdout; CI compares the output
@@ -39,6 +63,14 @@ const FANOUT_PEERS: usize = 64;
 const FANOUT_LENGTHS: [usize; 3] = [8, 32, 128];
 const FLOOD_SIZES: [usize; 2] = [16, 64];
 const FLOOD_PHASES: usize = 4;
+
+/// Default `pool_scaling` grid. Dolev–Strong broadcast only runs at n up
+/// to [`BROADCAST_MAX_N`].
+const POOL_NS: [usize; 3] = [1024, 10_240, 51_200];
+const POOL_THREADS: [usize; 4] = [1, 2, 4, 8];
+const POOL_T: usize = 4;
+const POOL_S: usize = 32;
+const BROADCAST_MAX_N: usize = 2048;
 
 /// Broadcast-heavy chain relay: actor 0 starts a signed chain; every actor
 /// verifies what it hears, endorses the longest chain once, and
@@ -127,26 +159,92 @@ fn dump_trace(threads: usize) {
     }
 }
 
+/// One `pool_scaling` workload cell (everything but the thread count).
+#[derive(Clone, Copy)]
+enum PoolWorkload {
+    DsRelay { n: usize, t: usize },
+    DsBroadcast { n: usize, t: usize },
+    Alg3 { n: usize, t: usize, s: usize },
+}
+
+impl PoolWorkload {
+    fn label(&self) -> String {
+        match *self {
+            PoolWorkload::DsRelay { t, .. } => format!("ds-relay t={t}"),
+            PoolWorkload::DsBroadcast { t, .. } => format!("ds-broadcast t={t}"),
+            PoolWorkload::Alg3 { t, s, .. } => format!("alg3 t={t} s={s}"),
+        }
+    }
+
+    /// Runs the workload once with batched phase-barrier verification on.
+    fn run(&self, threads: usize) -> Metrics {
+        match *self {
+            PoolWorkload::DsRelay { n, t } | PoolWorkload::DsBroadcast { n, t } => {
+                let variant = if matches!(self, PoolWorkload::DsRelay { .. }) {
+                    dolev_strong::Variant::Relay
+                } else {
+                    dolev_strong::Variant::Broadcast
+                };
+                dolev_strong::run(
+                    n,
+                    t,
+                    Value::ONE,
+                    dolev_strong::DsOptions {
+                        variant,
+                        scheme: SchemeKind::Fast,
+                        threads,
+                        batch_verify: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .outcome
+                .metrics
+            }
+            PoolWorkload::Alg3 { n, t, s } => {
+                algorithm3::run(
+                    n,
+                    t,
+                    s,
+                    Value::ONE,
+                    algorithm3::Alg3Options {
+                        scheme: SchemeKind::Fast,
+                        threads,
+                        batch_verify: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .outcome
+                .metrics
+            }
+        }
+    }
+}
+
 struct Row {
     section: &'static str,
     label: String,
     n: usize,
     threads: usize,
     pooled: bool,
+    batched: bool,
     sample: Sample,
 }
 
-fn json_rows(rows: &[Row]) -> String {
+fn json_rows(rows: &[Row], parallelism: usize) -> String {
     let mut out = String::new();
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pooled\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
+            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pooled\": {}, \"batched\": {}, \"parallelism\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
             r.section,
             r.label,
             r.n,
             r.threads,
             r.pooled,
+            r.batched,
+            parallelism,
             r.sample.median_ns,
             r.sample.mean_ns,
             r.sample.min_ns,
@@ -156,55 +254,143 @@ fn json_rows(rows: &[Row]) -> String {
     out
 }
 
+struct Config {
+    out_path: String,
+    /// Sections to run; empty = all.
+    sections: Vec<String>,
+    pool_ns: Vec<usize>,
+    pool_threads: Vec<usize>,
+    assert_scaling: Option<f64>,
+}
+
+impl Config {
+    fn section(&self, name: &str) -> bool {
+        self.sections.is_empty() || self.sections.iter().any(|s| s == name)
+    }
+}
+
+fn parse_list(flag: &str, value: &str) -> Vec<usize> {
+    let list: Vec<usize> = value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| die(&format!("{flag}: bad entry {v:?} in {value:?}")))
+        })
+        .collect();
+    if list.is_empty() {
+        die(&format!("{flag} needs a non-empty comma-separated list"));
+    }
+    list
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_engine: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Config {
+    let mut cfg = Config {
+        out_path: "BENCH_engine.json".to_string(),
+        sections: Vec::new(),
+        pool_ns: POOL_NS.to_vec(),
+        pool_threads: POOL_THREADS.to_vec(),
+        assert_scaling: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--section" => cfg.sections.push(value("--section")),
+            "--n" => cfg.pool_ns = parse_list("--n", &value("--n")),
+            "--threads" => cfg.pool_threads = parse_list("--threads", &value("--threads")),
+            "--assert-scaling" => {
+                let v = value("--assert-scaling");
+                cfg.assert_scaling = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| die(&format!("--assert-scaling: bad ratio {v:?}"))),
+                );
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            path => cfg.out_path = path.to_string(),
+        }
+    }
+    let known = [
+        "chain_fanout",
+        "flood",
+        "dolev_strong",
+        "algorithm3",
+        "pool_scaling",
+    ];
+    for s in &cfg.sections {
+        if !known.contains(&s.as_str()) {
+            die(&format!(
+                "unknown section {s:?} (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    cfg
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("--dump-trace") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--dump-trace") {
         let threads: usize = args
-            .get(2)
+            .get(1)
             .and_then(|v| v.parse().ok())
             .expect("--dump-trace needs a thread count");
         dump_trace(threads);
         return;
     }
-    let out_path = args
-        .get(1)
-        .cloned()
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let cfg = parse_args(&args);
 
     let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    if parallelism == 1 {
+        eprintln!(
+            "bench_engine: warning: single-core host (available_parallelism = 1); \
+             parallel rows measure pool coordination overhead only, never speedup"
+        );
+    }
     let mut rows: Vec<Row> = Vec::new();
 
     // -- chain_fanout: broadcast cost must be flat in chain length --------
-    for len in FANOUT_LENGTHS {
-        let registry = KeyRegistry::new(len.max(FANOUT_PEERS), 42, SchemeKind::Fast);
-        let mut chain = Chain::new(3, Value::ONE);
-        for i in 0..len {
-            chain.sign_and_append(&registry.signer(ProcessId(i as u32)));
+    let mut fanout_flat = true;
+    if cfg.section("chain_fanout") {
+        for len in FANOUT_LENGTHS {
+            let registry = KeyRegistry::new(len.max(FANOUT_PEERS), 42, SchemeKind::Fast);
+            let mut chain = Chain::new(3, Value::ONE);
+            for i in 0..len {
+                chain.sign_and_append(&registry.signer(ProcessId(i as u32)));
+            }
+            let from = ProcessId(FANOUT_PEERS as u32 - 1);
+            rows.push(Row {
+                section: "chain_fanout",
+                label: format!("L={len}"),
+                n: FANOUT_PEERS,
+                threads: 1,
+                pooled: false,
+                batched: false,
+                sample: bench(
+                    format!("fanout L={len:>3} to {} peers", FANOUT_PEERS - 1),
+                    || {
+                        let mut out: Outbox<Chain> = Outbox::new(from);
+                        out.broadcast((0..FANOUT_PEERS as u32).map(ProcessId), chain.clone());
+                        out.staged_len()
+                    },
+                ),
+            });
         }
-        let from = ProcessId(FANOUT_PEERS as u32 - 1);
-        rows.push(Row {
-            section: "chain_fanout",
-            label: format!("L={len}"),
-            n: FANOUT_PEERS,
-            threads: 1,
-            pooled: false,
-            sample: bench(
-                format!("fanout L={len:>3} to {} peers", FANOUT_PEERS - 1),
-                || {
-                    let mut out: Outbox<Chain> = Outbox::new(from);
-                    out.broadcast((0..FANOUT_PEERS as u32).map(ProcessId), chain.clone());
-                    out.staged_len()
-                },
-            ),
-        });
-    }
-    let fanout_flat = {
         let shortest = rows[0].sample.median_ns;
         let longest = rows[FANOUT_LENGTHS.len() - 1].sample.median_ns;
         // O(L) copying would scale ~16× from L=8 to L=128; shared storage
         // should keep the ratio near 1. Allow generous noise.
-        longest < shortest * 4.0
-    };
+        fanout_flat = longest < shortest * 4.0;
+    }
 
     // -- flood: engine strategies on the synthetic broadcast workload -----
     let strategies: [(&str, usize, bool); 3] = [
@@ -213,62 +399,75 @@ fn main() {
         ("par4-pooled", 4, true),
     ];
     let mut flood_identical = true;
-    for n in FLOOD_SIZES {
-        let baseline: Metrics = run_flood(n, 1, false, false).metrics;
-        for (label, threads, pooled) in strategies {
-            let outcome = run_flood(n, threads, pooled, false);
-            flood_identical &= outcome.metrics == baseline;
-            rows.push(Row {
-                section: "flood",
-                label: label.to_string(),
-                n,
-                threads,
-                pooled,
-                sample: bench(format!("flood n={n:>3} {label}"), || {
+    let mut flood_pooling_ok = true;
+    if cfg.section("flood") {
+        for n in FLOOD_SIZES {
+            let baseline: Metrics = run_flood(n, 1, false, false).metrics;
+            let mut medians = [0.0f64; 3];
+            for (si, (label, threads, pooled)) in strategies.into_iter().enumerate() {
+                let outcome = run_flood(n, threads, pooled, false);
+                flood_identical &= outcome.metrics == baseline;
+                let sample = bench(format!("flood n={n:>3} {label}"), || {
                     run_flood(n, threads, pooled, false)
                         .metrics
                         .messages_total()
-                }),
-            });
+                });
+                medians[si] = sample.median_ns;
+                rows.push(Row {
+                    section: "flood",
+                    label: label.to_string(),
+                    n,
+                    threads,
+                    pooled,
+                    batched: false,
+                    sample,
+                });
+            }
+            // seq-pooled regressed vs seq-unpooled on the seed engine; the
+            // flat arena is expected to hold parity (10 % noise allowance).
+            flood_pooling_ok &= medians[1] <= medians[0] * 1.10;
         }
     }
 
     // -- real protocol workloads ------------------------------------------
     let mut ds_identical = true;
-    for n in [32usize, 64] {
-        let t = 4;
-        let run_ds = |threads: usize| {
-            dolev_strong::run(
-                n,
-                t,
-                Value::ONE,
-                dolev_strong::DsOptions {
-                    variant: dolev_strong::Variant::Broadcast,
-                    scheme: SchemeKind::Fast,
+    if cfg.section("dolev_strong") {
+        for n in [32usize, 64] {
+            let t = 4;
+            let run_ds = |threads: usize| {
+                dolev_strong::run(
+                    n,
+                    t,
+                    Value::ONE,
+                    dolev_strong::DsOptions {
+                        variant: dolev_strong::Variant::Broadcast,
+                        scheme: SchemeKind::Fast,
+                        threads,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            let baseline = run_ds(1).outcome.metrics;
+            for threads in [1usize, 4] {
+                ds_identical &= run_ds(threads).outcome.metrics == baseline;
+                rows.push(Row {
+                    section: "dolev_strong",
+                    label: format!("t={t} threads={threads}"),
+                    n,
                     threads,
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        };
-        let baseline = run_ds(1).outcome.metrics;
-        for threads in [1usize, 4] {
-            ds_identical &= run_ds(threads).outcome.metrics == baseline;
-            rows.push(Row {
-                section: "dolev_strong",
-                label: format!("t={t} threads={threads}"),
-                n,
-                threads,
-                pooled: true,
-                sample: bench(format!("dolev-strong n={n:>3} threads={threads}"), || {
-                    run_ds(threads).outcome.metrics.messages_by_correct
-                }),
-            });
+                    pooled: true,
+                    batched: false,
+                    sample: bench(format!("dolev-strong n={n:>3} threads={threads}"), || {
+                        run_ds(threads).outcome.metrics.messages_by_correct
+                    }),
+                });
+            }
         }
     }
 
     let mut alg3_identical = true;
-    {
+    if cfg.section("algorithm3") {
         let (n, t, s) = (64usize, 3usize, 12usize);
         let run_a3 = |threads: usize| {
             algorithm3::run(
@@ -293,6 +492,7 @@ fn main() {
                 n,
                 threads,
                 pooled: true,
+                batched: false,
                 sample: bench(format!("algorithm3 n={n:>3} threads={threads}"), || {
                     run_a3(threads).outcome.metrics.messages_by_correct
                 }),
@@ -300,8 +500,57 @@ fn main() {
         }
     }
 
+    // -- pool_scaling: the persistent-pool grid ---------------------------
+    let mut pool_identical = true;
+    // (label, n, threads, median_ns) for the --assert-scaling gate.
+    let mut pool_cells: Vec<(String, usize, usize, f64)> = Vec::new();
+    if cfg.section("pool_scaling") {
+        for &n in &cfg.pool_ns {
+            let mut workloads = vec![PoolWorkload::DsRelay { n, t: POOL_T }];
+            if n <= BROADCAST_MAX_N {
+                workloads.push(PoolWorkload::DsBroadcast { n, t: POOL_T });
+            } else {
+                eprintln!(
+                    "bench_engine: skipping ds-broadcast at n={n} \
+                     (O(n^2) traffic per phase; relay covers large n)"
+                );
+            }
+            workloads.push(PoolWorkload::Alg3 {
+                n,
+                t: POOL_T,
+                s: POOL_S,
+            });
+            for w in workloads {
+                let label = w.label();
+                // The determinism check rides on the measured runs: every
+                // bench iteration compares its metrics to the first run's.
+                let mut baseline: Option<Metrics> = None;
+                for &threads in &cfg.pool_threads {
+                    let sample = bench(format!("pool {label} n={n} threads={threads}"), || {
+                        let m = w.run(threads);
+                        match &baseline {
+                            Some(b) => pool_identical &= m == *b,
+                            None => baseline = Some(m.clone()),
+                        }
+                        m.messages_by_correct
+                    });
+                    pool_cells.push((label.clone(), n, threads, sample.median_ns));
+                    rows.push(Row {
+                        section: "pool_scaling",
+                        label: format!("{label} threads={threads}"),
+                        n,
+                        threads,
+                        pooled: true,
+                        batched: true,
+                        sample,
+                    });
+                }
+            }
+        }
+    }
+
     assert!(
-        flood_identical && ds_identical && alg3_identical,
+        flood_identical && ds_identical && alg3_identical && pool_identical,
         "metrics diverged across engine strategies — determinism contract broken"
     );
 
@@ -312,14 +561,48 @@ fn main() {
     let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
     let _ = writeln!(
         json,
-        "  \"checks\": {{\"chain_fanout_flat\": {fanout_flat}, \"flood_metrics_identical\": {flood_identical}, \"dolev_strong_metrics_identical\": {ds_identical}, \"algorithm3_metrics_identical\": {alg3_identical}}},"
+        "  \"checks\": {{\"chain_fanout_flat\": {fanout_flat}, \"flood_metrics_identical\": {flood_identical}, \"flood_pooling_not_regressed\": {flood_pooling_ok}, \"dolev_strong_metrics_identical\": {ds_identical}, \"algorithm3_metrics_identical\": {alg3_identical}, \"pool_scaling_metrics_identical\": {pool_identical}}},"
     );
     json.push_str("  \"rows\": [\n");
-    json.push_str(&json_rows(&rows));
+    json.push_str(&json_rows(&rows, parallelism));
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
-        eprintln!("cannot write {out_path}: {e}");
+    std::fs::write(&cfg.out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", cfg.out_path);
         std::process::exit(1);
     });
-    eprintln!("wrote {out_path}");
+    eprintln!("wrote {}", cfg.out_path);
+
+    // -- scaling gate (after the JSON, so failures still leave a report) --
+    if let Some(ratio) = cfg.assert_scaling {
+        if parallelism == 1 {
+            eprintln!("bench_engine: --assert-scaling skipped: single-core host");
+            return;
+        }
+        let lo = *cfg.pool_threads.iter().min().expect("non-empty");
+        let hi = *cfg.pool_threads.iter().max().expect("non-empty");
+        let mut failed = false;
+        for (label, n, threads, med) in &pool_cells {
+            if *threads != hi {
+                continue;
+            }
+            let base = pool_cells
+                .iter()
+                .find(|(l, bn, bt, _)| l == label && bn == n && *bt == lo)
+                .map(|(_, _, _, m)| *m)
+                .expect("lo-thread cell exists for every workload");
+            if *med > base * ratio {
+                eprintln!(
+                    "bench_engine: scaling gate FAILED: {label} n={n}: \
+                     threads={hi} median {med:.0} ns > {ratio} x threads={lo} median {base:.0} ns"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_engine: scaling gate passed (threads={hi} <= {ratio} x threads={lo} everywhere)"
+        );
+    }
 }

@@ -1,0 +1,177 @@
+//! Regression net for the persistent worker pool's determinism contract.
+//!
+//! Two guarantees the data-plane rebuild must never lose:
+//!
+//! * every checkable target produces byte-identical outcomes (verdict,
+//!   message counts, crypto counters) at any intra-phase thread count,
+//!   including under fault schedules with silent / crashing / omitting
+//!   processors and link drops;
+//! * batched phase-barrier verification is an *accounting* optimisation:
+//!   decisions, message counts and phase counts are unchanged, signature
+//!   verifications can only shrink, and both modes stay thread-count
+//!   invariant on their own.
+
+use ba_algos::checkable::{targets, CheckConfig, CheckOutcome};
+use ba_algos::dolev_strong;
+use ba_crypto::{ProcessId, SchemeKind, Value};
+use ba_sim::schedule::{FaultBehavior, LinkDrop, ScheduleSpec};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// A deterministic fingerprint of everything a checked run reports. The
+/// `Debug` rendering covers the verdict (including violation details) and
+/// the full metrics are summarised by the count fields the bound
+/// predicates consume.
+fn fingerprint(outcome: &CheckOutcome) -> String {
+    format!(
+        "verdict={:?} msgs={} bound={} omitted={} phases={} err={:?}",
+        outcome.verdict,
+        outcome.messages_by_correct,
+        outcome.message_bound,
+        outcome.omitted_messages,
+        outcome.phases,
+        outcome.schedule_error,
+    )
+}
+
+/// A non-trivial schedule for an `(n, t)` target: one silent relay, one
+/// that crashes mid-run, and a link drop from the silent one (link drops
+/// must name a faulty sender). Processor 0 stays honest so the ds targets
+/// keep their transmitter.
+fn schedule_for(n: usize, t: usize) -> ScheduleSpec {
+    let mut faults = vec![(ProcessId(1), FaultBehavior::Silent)];
+    if t >= 2 && n >= 4 {
+        faults.push((ProcessId(2), FaultBehavior::CrashAt { phase: 2 }));
+    }
+    ScheduleSpec {
+        faults,
+        link_drops: vec![LinkDrop {
+            phase: 1,
+            from: ProcessId(1),
+            to: ProcessId(0),
+        }],
+    }
+}
+
+#[test]
+fn every_checkable_target_is_thread_count_invariant() {
+    for target in targets() {
+        // alg1 requires n == 2t + 1; the ds family takes anything with
+        // n >= t + 2. Both accept (7, 3).
+        let (n, t) = (7usize, 3usize);
+        assert!(
+            target.supports(n, t),
+            "{}: grid point (7, 3) unexpectedly unsupported",
+            target.name
+        );
+        let spec = schedule_for(n, t);
+        spec.validate(n, t).expect("schedule is well-formed");
+        let run = |threads: usize| {
+            target.run(&CheckConfig {
+                n,
+                t,
+                value: Value::ONE,
+                seed: 11,
+                threads,
+                spec: spec.clone(),
+            })
+        };
+        let baseline = fingerprint(&run(1));
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                fingerprint(&run(threads)),
+                baseline,
+                "{}: outcome diverged at threads={threads}",
+                target.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_free_targets_are_thread_count_invariant() {
+    for target in targets() {
+        let (n, t) = (9usize, 4usize);
+        assert!(target.supports(n, t), "{}", target.name);
+        let run = |threads: usize| {
+            target.run(&CheckConfig {
+                n,
+                t,
+                value: Value::ZERO,
+                seed: 3,
+                threads,
+                spec: ScheduleSpec::default(),
+            })
+        };
+        let baseline = fingerprint(&run(1));
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                fingerprint(&run(threads)),
+                baseline,
+                "{}: fault-free outcome diverged at threads={threads}",
+                target.name
+            );
+        }
+    }
+}
+
+/// Batched phase-barrier verification versus per-delivery verification,
+/// both swept across thread counts: the protocol-visible outcome is a
+/// property of neither knob, and batching can only reduce signature
+/// verifications.
+#[test]
+fn batched_verification_is_pure_accounting() {
+    let (n, t) = (16usize, 4usize);
+    let run = |threads: usize, batch_verify: bool| {
+        dolev_strong::run(
+            n,
+            t,
+            Value::ONE,
+            dolev_strong::DsOptions {
+                variant: dolev_strong::Variant::Broadcast,
+                scheme: SchemeKind::Fast,
+                threads,
+                batch_verify,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+
+    let per_delivery = run(1, false);
+    let batched = run(1, true);
+
+    // Protocol-visible outcome identical.
+    assert_eq!(batched.verdict.agreed, per_delivery.verdict.agreed);
+    assert_eq!(
+        batched.verdict.correct_count,
+        per_delivery.verdict.correct_count
+    );
+    let (bm, pm) = (&batched.outcome.metrics, &per_delivery.outcome.metrics);
+    assert_eq!(bm.messages_by_correct, pm.messages_by_correct);
+    assert_eq!(bm.signatures_by_correct, pm.signatures_by_correct);
+    assert_eq!(bm.omitted_messages, pm.omitted_messages);
+    assert_eq!(bm.phases, pm.phases);
+    assert_eq!(bm.per_phase.len(), pm.per_phase.len());
+
+    // Batching verifies each unique chain once instead of per delivery.
+    assert!(
+        bm.crypto.sig_verifications < pm.crypto.sig_verifications,
+        "batched {} >= per-delivery {}",
+        bm.crypto.sig_verifications,
+        pm.crypto.sig_verifications
+    );
+
+    // Each mode is thread-count invariant on its own, crypto counters
+    // included.
+    for batch_verify in [false, true] {
+        let baseline = run(1, batch_verify).outcome.metrics;
+        for threads in THREAD_COUNTS {
+            assert_eq!(
+                run(threads, batch_verify).outcome.metrics,
+                baseline,
+                "batch_verify={batch_verify} diverged at threads={threads}"
+            );
+        }
+    }
+}

@@ -56,11 +56,59 @@
 
 use crate::error::CryptoError;
 use crate::keys::{Signature, Signer, Verifier};
+use crate::rng::splitmix64;
 use crate::sha256::{Sha256, DIGEST_LEN};
 use crate::wire::{Decoder, Encoder};
 use crate::{ProcessId, Value};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The shared signature buffer plus its batched-verification stamp.
+///
+/// The stamp implements the engine's *batched phase-barrier verification*:
+/// after [`Chain::verify`] succeeds at a phase barrier, the engine calls
+/// [`Chain::mark_verified`], which writes a token derived from the
+/// verifying registry, the chain's domain and its value into the buffer.
+/// Every clone sharing the buffer (a broadcast fan-out) then short-circuits
+/// [`Chain::verify`] to an O(1) stamp comparison. The stamp can never
+/// validate the wrong content: it is compared against a value recomputed
+/// from the *asking* chain's domain/value and the *asking* verifier's
+/// registry token, and any mutation of the buffer (append, copy-on-write,
+/// test surgery) resets it to the never-valid `0`.
+#[derive(Debug)]
+struct SigBuf {
+    sigs: Vec<Signature>,
+    /// `0` = unstamped; otherwise [`expected_stamp`] of the registry that
+    /// verified this exact buffer under the owning chain's domain/value.
+    stamp: AtomicU64,
+}
+
+impl SigBuf {
+    fn new(sigs: Vec<Signature>) -> Self {
+        SigBuf {
+            sigs,
+            stamp: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Cloning the buffer (the copy-on-write path, *not* `Chain::clone`, which
+/// only bumps the [`Arc`]) starts unstamped: the clone exists to be
+/// mutated.
+impl Clone for SigBuf {
+    fn clone(&self) -> Self {
+        SigBuf::new(self.sigs.clone())
+    }
+}
+
+/// The stamp a verifier over `token`'s registry writes for a verified
+/// buffer carried under (`domain`, `value`). Always odd, hence never the
+/// unstamped `0`.
+fn expected_stamp(token: u64, domain: u32, value: Value) -> u64 {
+    let mut s = token ^ ((domain as u64) << 32) ^ value.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s) | 1
+}
 
 /// A signed chain: `domain`-tagged value plus ordered signatures.
 ///
@@ -92,8 +140,9 @@ pub struct Chain {
     /// is copy-on-write: it copies the buffer only when another chain still
     /// shares it (the relay pattern — receive, clone, extend — pays exactly
     /// one copy at the extension point, where the seed engine paid one copy
-    /// per recipient at the broadcast point).
-    sigs: Arc<Vec<Signature>>,
+    /// per recipient at the broadcast point). The buffer also carries the
+    /// batched-verification stamp (see [`SigBuf`]).
+    sigs: Arc<SigBuf>,
     /// Rolling digest over everything above (`d_L`); makes
     /// [`sign_and_append`](Self::sign_and_append) O(1). Never trusted by
     /// verification, which recomputes digests from the other fields.
@@ -108,7 +157,7 @@ impl PartialEq for Chain {
             && self.value == other.value
             // Chains cloned from one another share the buffer; compare the
             // pointer first so the common broadcast case is O(1).
-            && (Arc::ptr_eq(&self.sigs, &other.sigs) || self.sigs == other.sigs)
+            && (Arc::ptr_eq(&self.sigs, &other.sigs) || self.sigs.sigs == other.sigs.sigs)
     }
 }
 
@@ -135,7 +184,7 @@ impl Chain {
         Chain {
             domain,
             value,
-            sigs: Arc::new(Vec::new()),
+            sigs: Arc::new(SigBuf::new(Vec::new())),
             tip: seed_digest(domain, value),
         }
     }
@@ -152,32 +201,41 @@ impl Chain {
 
     /// Number of signatures on the chain.
     pub fn len(&self) -> usize {
-        self.sigs.len()
+        self.sigs.sigs.len()
     }
 
     /// Whether the chain carries no signatures yet.
     pub fn is_empty(&self) -> bool {
-        self.sigs.is_empty()
+        self.sigs.sigs.is_empty()
     }
 
     /// The signatures, oldest first.
     pub fn signatures(&self) -> &[Signature] {
-        &self.sigs
+        &self.sigs.sigs
     }
 
     /// Iterator over signer identities, oldest first.
     pub fn signers(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.sigs.iter().map(|s| s.signer())
+        self.sigs.sigs.iter().map(|s| s.signer())
     }
 
     /// The most recent signer, if any.
     pub fn last_signer(&self) -> Option<ProcessId> {
-        self.sigs.last().map(|s| s.signer())
+        self.sigs.sigs.last().map(|s| s.signer())
     }
 
     /// The first signer (the chain's originator), if any.
     pub fn first_signer(&self) -> Option<ProcessId> {
-        self.sigs.first().map(|s| s.signer())
+        self.sigs.sigs.first().map(|s| s.signer())
+    }
+
+    /// An address identifying this chain's shared signature buffer —
+    /// chains cloned from one another (a broadcast fan-out) report the
+    /// same id. The engine's batched-verification barrier uses it to
+    /// verify each unique buffer once per phase. Only meaningful while
+    /// the chains are alive (it is the buffer's heap address).
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.sigs) as usize
     }
 
     /// Whether `id` has signed this chain.
@@ -188,10 +246,10 @@ impl Chain {
     /// Recomputes the `L + 1` prefix digests `d_0 ..= d_L` from the chain's
     /// fields — exactly `L + 1` hash invocations.
     fn prefix_digests(&self) -> Vec<[u8; DIGEST_LEN]> {
-        let mut digests = Vec::with_capacity(self.sigs.len() + 1);
+        let mut digests = Vec::with_capacity(self.sigs.sigs.len() + 1);
         let mut d = seed_digest(self.domain, self.value);
         digests.push(d);
-        for sig in self.sigs.iter() {
+        for sig in self.sigs.sigs.iter() {
             d = extend_digest(&d, sig);
             digests.push(d);
         }
@@ -206,7 +264,12 @@ impl Chain {
     pub fn sign_and_append(&mut self, signer: &Signer) -> &mut Self {
         let sig = signer.sign(&self.tip);
         self.tip = extend_digest(&self.tip, &sig);
-        Arc::make_mut(&mut self.sigs).push(sig);
+        let buf = Arc::make_mut(&mut self.sigs);
+        // The buffer's content changes: any batched-verification stamp no
+        // longer describes it. (The copy-on-write clone already starts
+        // unstamped; this covers the sole-owner fast path.)
+        *buf.stamp.get_mut() = 0;
+        buf.sigs.push(sig);
         self
     }
 
@@ -245,8 +308,19 @@ impl Chain {
     }
 
     fn verify_inner(&self, verifier: &Verifier, use_cache: bool) -> Result<(), CryptoError> {
-        if self.sigs.is_empty() {
+        if self.sigs.sigs.is_empty() {
             return Err(CryptoError::EmptyChain);
+        }
+        // Batched-verification fast path: the engine's phase barrier
+        // already verified this exact buffer under this registry for this
+        // (domain, value) and stamped it (see [`mark_verified`]
+        // (Self::mark_verified)). O(1): no digests are recomputed.
+        if use_cache
+            && self.sigs.stamp.load(Ordering::Acquire)
+                == expected_stamp(verifier.batch_token(), self.domain, self.value)
+        {
+            verifier.cache().note_stamp_hit();
+            return Ok(());
         }
         let digests = self.prefix_digests();
         // digests[1..][j] is d_{j+1}, the digest binding the first j+1
@@ -260,13 +334,28 @@ impl Chain {
         } else {
             0
         };
-        for (sig, digest) in self.sigs.iter().zip(&digests).skip(start) {
+        for (sig, digest) in self.sigs.sigs.iter().zip(&digests).skip(start) {
             verifier.check(sig, digest)?;
         }
         if use_cache {
             verifier.cache().insert_verified(&digests[1..]);
         }
         Ok(())
+    }
+
+    /// Stamps this chain's shared signature buffer as verified by
+    /// `verifier`'s registry, making [`verify`](Self::verify) on *any*
+    /// chain sharing the buffer (and carrying the same domain and value)
+    /// an O(1) stamp comparison. Called by the simulation engine's batched
+    /// phase-barrier pass after a successful [`verify`](Self::verify);
+    /// callers must not stamp unverified chains. Sound against misuse of
+    /// shared buffers: the stamp binds the registry, domain and value, and
+    /// any buffer mutation resets it.
+    pub fn mark_verified(&self, verifier: &Verifier) {
+        self.sigs.stamp.store(
+            expected_stamp(verifier.batch_token(), self.domain, self.value),
+            Ordering::Release,
+        );
     }
 
     /// A deliberately naive O(L²) verification retained as the oracle for
@@ -277,15 +366,15 @@ impl Chain {
     /// # Errors
     /// As [`verify`](Self::verify).
     pub fn verify_reference(&self, verifier: &Verifier) -> Result<(), CryptoError> {
-        if self.sigs.is_empty() {
+        if self.sigs.sigs.is_empty() {
             return Err(CryptoError::EmptyChain);
         }
-        for i in 0..self.sigs.len() {
+        for i in 0..self.sigs.sigs.len() {
             let mut d = seed_digest(self.domain, self.value);
-            for sig in &self.sigs[..i] {
+            for sig in &self.sigs.sigs[..i] {
                 d = extend_digest(&d, sig);
             }
-            verifier.check(&self.sigs[i], &d)?;
+            verifier.check(&self.sigs.sigs[i], &d)?;
         }
         Ok(())
     }
@@ -297,8 +386,8 @@ impl Chain {
     /// As [`verify`](Self::verify), plus [`CryptoError::DuplicateSigner`].
     pub fn verify_simple_path(&self, verifier: &Verifier) -> Result<(), CryptoError> {
         self.verify(verifier)?;
-        for (i, a) in self.sigs.iter().enumerate() {
-            for b in &self.sigs[..i] {
+        for (i, a) in self.sigs.sigs.iter().enumerate() {
+            for b in &self.sigs.sigs[..i] {
                 if a.signer() == b.signer() {
                     return Err(CryptoError::DuplicateSigner { signer: a.signer() });
                 }
@@ -311,10 +400,10 @@ impl Chain {
     /// chain mutation (besides extension) available to an adversary.
     /// A no-op truncation (`len >= self.len()`) shares storage with `self`.
     pub fn truncated(&self, len: usize) -> Chain {
-        if len >= self.sigs.len() {
+        if len >= self.sigs.sigs.len() {
             return self.clone();
         }
-        let sigs = self.sigs[..len].to_vec();
+        let sigs = self.sigs.sigs[..len].to_vec();
         let mut tip = seed_digest(self.domain, self.value);
         for sig in &sigs {
             tip = extend_digest(&tip, sig);
@@ -322,7 +411,7 @@ impl Chain {
         Chain {
             domain: self.domain,
             value: self.value,
-            sigs: Arc::new(sigs),
+            sigs: Arc::new(SigBuf::new(sigs)),
             tip,
         }
     }
@@ -331,8 +420,8 @@ impl Chain {
     pub fn encode(&self, enc: &mut Encoder) {
         enc.u32(self.domain)
             .value(self.value)
-            .u32(self.sigs.len() as u32);
-        for sig in self.sigs.iter() {
+            .u32(self.sigs.sigs.len() as u32);
+        for sig in self.sigs.sigs.iter() {
             sig.encode(enc);
         }
     }
@@ -357,7 +446,7 @@ impl Chain {
         Ok(Chain {
             domain,
             value,
-            sigs: Arc::new(sigs),
+            sigs: Arc::new(SigBuf::new(sigs)),
             tip,
         })
     }
@@ -387,7 +476,11 @@ mod tests {
     /// (an adversary re-assembling observed signatures; real code only ever
     /// goes through [`Chain::sign_and_append`] / [`Chain::truncated`]).
     fn sigs_mut(c: &mut Chain) -> &mut Vec<Signature> {
-        Arc::make_mut(&mut c.sigs)
+        let buf = Arc::make_mut(&mut c.sigs);
+        // Buffer surgery invalidates any batched-verification stamp, just
+        // as sign_and_append does.
+        *buf.stamp.get_mut() = 0;
+        &mut buf.sigs
     }
 
     fn signed_chain(reg: &KeyRegistry, ids: &[u32]) -> Chain {
@@ -456,7 +549,7 @@ mod tests {
         let good = signed_chain(&reg, &[0, 1]);
         let mut fake = Chain::new(1, Value::ZERO);
         fake.sign_and_append(&reg.signer(ProcessId(0)));
-        let spliced = good.sigs[1].clone();
+        let spliced = good.sigs.sigs[1].clone();
         sigs_mut(&mut fake).push(spliced);
         assert!(fake.verify(&reg.verifier()).is_err());
     }
@@ -675,6 +768,89 @@ mod tests {
         c.verify(&v).unwrap();
     }
 
+    #[test]
+    fn stamp_short_circuits_shared_clones() {
+        let reg = KeyRegistry::new(6, 3, SchemeKind::Fast);
+        let v = reg.verifier();
+        let c = signed_chain(&reg, &[0, 1, 2]);
+        c.verify(&v).unwrap();
+        c.mark_verified(&v);
+        // Every clone shares the stamped buffer: verify is pure stamp
+        // comparison — zero hashes, zero signature checks.
+        let clone = c.clone();
+        assert_eq!(clone.storage_id(), c.storage_id());
+        let before = CryptoStats::snapshot();
+        clone.verify(&v).unwrap();
+        let delta = CryptoStats::snapshot().since(&before);
+        assert_eq!(delta.hash_invocations, 0);
+        assert_eq!(delta.sig_verifications, 0);
+        assert_eq!(delta.cache_hits, 1, "the stamp hit is accounted");
+    }
+
+    #[test]
+    fn stamp_is_reset_by_any_buffer_mutation() {
+        let reg = KeyRegistry::new(6, 4, SchemeKind::Fast);
+        let v = reg.verifier();
+        let mut c = signed_chain(&reg, &[0, 1]);
+        c.verify(&v).unwrap();
+        c.mark_verified(&v);
+
+        // Relay extension (copy-on-write): the extended chain's new
+        // signature is actually checked, not waved through.
+        let mut relayed = c.clone();
+        relayed.sign_and_append(&reg.signer(ProcessId(2)));
+        let before = CryptoStats::snapshot();
+        relayed.verify(&v).unwrap();
+        let delta = CryptoStats::snapshot().since(&before);
+        assert!(delta.sig_verifications >= 1, "stamp did not survive COW");
+
+        // Sole-owner extension resets too.
+        c.sign_and_append(&reg.signer(ProcessId(3)));
+        let before = CryptoStats::snapshot();
+        c.verify(&v).unwrap();
+        let delta = CryptoStats::snapshot().since(&before);
+        assert!(
+            delta.sig_verifications >= 1,
+            "stamp did not survive in-place append"
+        );
+    }
+
+    #[test]
+    fn stamp_binds_registry_domain_and_value() {
+        let reg = KeyRegistry::new(6, 5, SchemeKind::Fast);
+        let other = KeyRegistry::new(6, 5, SchemeKind::Fast);
+        let c = signed_chain(&reg, &[0, 1]);
+        c.verify(&reg.verifier()).unwrap();
+        c.mark_verified(&reg.verifier());
+
+        // A different registry's verifier must not honor the stamp (it
+        // never verified anything) — and signature checks really run.
+        let before = CryptoStats::snapshot();
+        let _ = c.verify(&other.verifier());
+        let delta = CryptoStats::snapshot().since(&before);
+        assert!(delta.sig_verifications >= 1);
+
+        // A clone whose value was tampered shares the stamped buffer but
+        // must still be rejected: the stamp binds the value.
+        let mut tampered = c.clone();
+        tampered.value = Value(77);
+        assert!(tampered.verify(&reg.verifier()).is_err());
+        let mut wrong_domain = c.clone();
+        wrong_domain.domain ^= 1;
+        assert!(wrong_domain.verify(&reg.verifier()).is_err());
+    }
+
+    #[test]
+    fn storage_id_tracks_sharing() {
+        let reg = reg();
+        let c = signed_chain(&reg, &[0, 1]);
+        let shared = c.clone();
+        assert_eq!(shared.storage_id(), c.storage_id());
+        let mut extended = c.clone();
+        extended.sign_and_append(&reg.signer(ProcessId(2)));
+        assert_ne!(extended.storage_id(), c.storage_id());
+    }
+
     mod props {
         use super::*;
         use crate::testkit::{run_cases, Gen};
@@ -775,7 +951,7 @@ mod tests {
                         // registry (wrong keys) onto this chain
                         let mut o = Chain::new(domain, value);
                         o.sign_and_append(&foreign.signer(ProcessId(gen.u32_in(0, 8))));
-                        let spliced = o.sigs[0].clone();
+                        let spliced = o.sigs.sigs[0].clone();
                         sigs_mut(&mut c).push(spliced);
                     }
                     _ => {

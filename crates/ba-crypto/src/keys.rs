@@ -156,28 +156,66 @@ impl fmt::Display for Signature {
 /// scheduled, making hit/miss/verification counts byte-identical for any
 /// thread count. Deferred mode never changes accept/reject outcomes —
 /// only which verifications are skipped as redundant.
-#[derive(Debug, Default)]
+///
+/// # Sharding
+///
+/// The digest set is split across [`CACHE_SHARDS`] independently locked
+/// shards so that worker threads verifying different chains in the same
+/// phase do not serialize on one mutex. A digest's shard is a pure
+/// function of its bytes (an XOR fold), so which shard holds which digest
+/// — and therefore every hit/miss decision and every per-shard cap-clear
+/// decision — is schedule-independent: sharding changes contention, never
+/// counters.
+#[derive(Debug)]
 pub struct VerifierCache {
-    verified: Mutex<HashSet<[u8; DIGEST_LEN]>>,
-    /// Inserts buffered while in deferred mode, applied at the next flush.
-    /// Duplicates are fine (the target is a set); only the *multiset* of
-    /// buffered digests must be schedule-independent, which it is because
-    /// each actor's verifications are deterministic.
-    pending: Mutex<Vec<[u8; DIGEST_LEN]>>,
+    shards: Vec<CacheShard>,
     /// Whether inserts are currently buffered instead of applied.
     deferred: AtomicBool,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-/// Bound on cached digests; the set is cleared when full so a long sweep
-/// cannot grow memory without bound (32 B/entry → ≤ 2 MiB).
+#[derive(Debug, Default)]
+struct CacheShard {
+    verified: Mutex<HashSet<[u8; DIGEST_LEN]>>,
+    /// Inserts buffered while in deferred mode, applied at the next flush.
+    /// Duplicates are fine (the target is a set); only the *multiset* of
+    /// buffered digests must be schedule-independent, which it is because
+    /// each actor's verifications are deterministic.
+    pending: Mutex<Vec<[u8; DIGEST_LEN]>>,
+}
+
+/// Number of independently locked cache shards.
+pub const CACHE_SHARDS: usize = 16;
+
+/// Bound on cached digests; a shard is cleared when full so a long sweep
+/// cannot grow memory without bound (32 B/entry → ≤ 2 MiB total).
 const CACHE_CAP: usize = 1 << 16;
+
+/// Per-shard digest bound.
+const SHARD_CAP: usize = CACHE_CAP / CACHE_SHARDS;
+
+/// A digest's home shard: XOR fold of all bytes. Content-determined, so
+/// shard placement is identical for any scheduling of the inserts.
+fn shard_of(digest: &[u8; DIGEST_LEN]) -> usize {
+    digest.iter().fold(0u8, |acc, b| acc ^ b) as usize % CACHE_SHARDS
+}
+
+impl Default for VerifierCache {
+    fn default() -> Self {
+        VerifierCache::new()
+    }
+}
 
 impl VerifierCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        VerifierCache::default()
+        VerifierCache {
+            shards: (0..CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
+            deferred: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Returns the largest index `i` such that `digests[i]` is a known
@@ -185,10 +223,13 @@ impl VerifierCache {
     /// was reusable) or a miss on this cache *and* on the thread-local
     /// [`CryptoStats`](crate::stats::CryptoStats) counters.
     pub fn longest_verified_prefix(&self, digests: &[[u8; DIGEST_LEN]]) -> Option<usize> {
-        let found = {
-            let verified = self.verified.lock().expect("verifier cache poisoned");
-            digests.iter().rposition(|d| verified.contains(d))
-        };
+        let found = digests.iter().rposition(|d| {
+            self.shards[shard_of(d)]
+                .verified
+                .lock()
+                .expect("verifier cache poisoned")
+                .contains(d)
+        });
         match found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -206,18 +247,33 @@ impl VerifierCache {
     /// mode the digests only become visible to lookups at the next
     /// [`flush_pending`](Self::flush_pending).
     pub fn insert_verified(&self, digests: &[[u8; DIGEST_LEN]]) {
-        if self.deferred.load(Ordering::Acquire) {
-            self.pending
-                .lock()
-                .expect("verifier cache poisoned")
-                .extend_from_slice(digests);
-            return;
+        let deferred = self.deferred.load(Ordering::Acquire);
+        for d in digests {
+            let shard = &self.shards[shard_of(d)];
+            if deferred {
+                shard
+                    .pending
+                    .lock()
+                    .expect("verifier cache poisoned")
+                    .push(*d);
+                continue;
+            }
+            let mut verified = shard.verified.lock().expect("verifier cache poisoned");
+            if verified.len() >= SHARD_CAP {
+                verified.clear();
+            }
+            verified.insert(*d);
         }
-        let mut verified = self.verified.lock().expect("verifier cache poisoned");
-        if verified.len() + digests.len() > CACHE_CAP {
-            verified.clear();
-        }
-        verified.extend(digests.iter().copied());
+    }
+
+    /// Records a batched-verification stamp hit (see
+    /// [`Chain::mark_verified`](crate::Chain::mark_verified)) on this
+    /// cache's hit counter and the thread-local
+    /// [`CryptoStats`](crate::stats::CryptoStats) counters: the stamp is
+    /// this cache's O(1) front end, so its reuse counts as cache reuse.
+    pub(crate) fn note_stamp_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        crate::stats::record_cache_hit();
     }
 
     /// Switches between immediate writes (the default) and deferred
@@ -236,22 +292,25 @@ impl VerifierCache {
     }
 
     /// Publishes all buffered inserts to lookups — the simulation engine's
-    /// phase barrier. The buffer is applied as one batch so the cap-clear
-    /// decision depends only on the (schedule-independent) number of
-    /// buffered digests, never on intra-phase ordering.
+    /// phase barrier. Each shard's buffer is applied as one batch so the
+    /// cap-clear decision depends only on the (schedule-independent)
+    /// per-shard buffered digests, never on intra-phase ordering.
     pub fn flush_pending(&self) {
-        let mut pending = self.pending.lock().expect("verifier cache poisoned");
-        if pending.is_empty() {
-            return;
+        for shard in &self.shards {
+            let mut pending = shard.pending.lock().expect("verifier cache poisoned");
+            if pending.is_empty() {
+                continue;
+            }
+            let mut verified = shard.verified.lock().expect("verifier cache poisoned");
+            if verified.len() + pending.len() > SHARD_CAP {
+                verified.clear();
+            }
+            verified.extend(pending.drain(..));
         }
-        let mut verified = self.verified.lock().expect("verifier cache poisoned");
-        if verified.len() + pending.len() > CACHE_CAP {
-            verified.clear();
-        }
-        verified.extend(pending.drain(..));
     }
 
-    /// Number of lookups that found a reusable verified prefix.
+    /// Number of lookups that found a reusable verified prefix (including
+    /// O(1) stamp hits).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -271,9 +330,12 @@ impl VerifierCache {
         }
     }
 
-    /// Number of digests currently cached.
+    /// Number of digests currently cached, across all shards.
     pub fn len(&self) -> usize {
-        self.verified.lock().expect("verifier cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.verified.lock().expect("verifier cache poisoned").len())
+            .sum()
     }
 
     /// Whether the cache holds no digests.
@@ -288,7 +350,17 @@ struct RegistryInner {
     fast_keys: Vec<u64>,
     kind: SchemeKind,
     cache: VerifierCache,
+    /// Process-unique instance token; the batched-verification stamp on a
+    /// signature-chain buffer (see
+    /// [`Chain::mark_verified`](crate::Chain::mark_verified)) mixes it in
+    /// so a stamp written under one registry can never satisfy a verifier
+    /// over another — even one built from the same seed.
+    token: u64,
 }
+
+/// Source of registry instance tokens. Starts at 1 so a token of 0 never
+/// exists (chain stamps use 0 as "unstamped").
+static NEXT_REGISTRY_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// The trusted key registry: one secret per processor, derived from a seed.
 ///
@@ -327,6 +399,7 @@ impl KeyRegistry {
                 fast_keys,
                 kind,
                 cache: VerifierCache::new(),
+                token: NEXT_REGISTRY_TOKEN.fetch_add(1, Ordering::Relaxed),
             }),
         }
     }
@@ -374,6 +447,12 @@ impl KeyRegistry {
     /// registry.
     pub fn cache(&self) -> &VerifierCache {
         &self.inner.cache
+    }
+
+    /// This registry instance's unique batched-verification token (see
+    /// [`RegistryInner::token`]).
+    pub(crate) fn batch_token(&self) -> u64 {
+        self.inner.token
     }
 
     fn tag_for(&self, id: ProcessId, content: &[u8]) -> Tag {
@@ -479,6 +558,11 @@ impl Verifier {
     /// same registry.
     pub fn cache(&self) -> &VerifierCache {
         self.registry.cache()
+    }
+
+    /// The underlying registry's batched-verification token.
+    pub(crate) fn batch_token(&self) -> u64 {
+        self.registry.batch_token()
     }
 }
 
@@ -628,14 +712,34 @@ mod tests {
 
     #[test]
     fn cache_clears_when_full_instead_of_growing() {
+        // The bounded-memory invariant, now per shard: no matter how many
+        // distinct digests are inserted, no shard exceeds its cap (so the
+        // whole cache never exceeds CACHE_CAP entries).
         let cache = VerifierCache::new();
         let mut digest = [0u8; 32];
-        for i in 0..(CACHE_CAP as u64) {
+        for i in 0..(2 * CACHE_CAP as u64) {
             digest[..8].copy_from_slice(&i.to_be_bytes());
             cache.insert_verified(&[digest]);
+            if i % 4096 == 0 {
+                assert!(cache.len() <= CACHE_CAP, "after {} inserts", i + 1);
+            }
         }
-        assert_eq!(cache.len(), CACHE_CAP);
-        digest[..8].copy_from_slice(&(CACHE_CAP as u64).to_be_bytes());
+        assert!(cache.len() <= CACHE_CAP);
+        assert!(!cache.is_empty());
+
+        // A shard at its cap clears and keeps only the overflowing digest:
+        // hammer one shard (constant XOR fold) past SHARD_CAP.
+        let cache = VerifierCache::new();
+        let mut digest = [0u8; 32];
+        for i in 0..(SHARD_CAP as u16) {
+            digest[..2].copy_from_slice(&i.to_be_bytes());
+            digest[2] = (i & 0xFF) as u8 ^ (i >> 8) as u8; // keep fold 0
+            cache.insert_verified(&[digest]);
+        }
+        assert_eq!(cache.len(), SHARD_CAP);
+        let i = SHARD_CAP as u16;
+        digest[..2].copy_from_slice(&i.to_be_bytes());
+        digest[2] = (i & 0xFF) as u8 ^ (i >> 8) as u8;
         cache.insert_verified(&[digest]);
         assert_eq!(cache.len(), 1);
     }
@@ -668,22 +772,50 @@ mod tests {
 
     #[test]
     fn deferred_flush_applies_cap_as_one_batch() {
+        // Fill one shard (constant XOR fold of 0) to its cap…
+        let fold0 = |i: u16| {
+            let mut d = [0u8; 32];
+            d[..2].copy_from_slice(&i.to_be_bytes());
+            d[2] = (i & 0xFF) as u8 ^ (i >> 8) as u8;
+            d
+        };
         let cache = VerifierCache::new();
-        let mut digest = [0u8; 32];
-        for i in 0..(CACHE_CAP as u64) {
-            digest[..8].copy_from_slice(&i.to_be_bytes());
-            cache.insert_verified(&[digest]);
+        for i in 0..(SHARD_CAP as u16) {
+            cache.insert_verified(&[fold0(i)]);
         }
-        assert_eq!(cache.len(), CACHE_CAP);
+        assert_eq!(cache.len(), SHARD_CAP);
         cache.set_deferred(true);
-        // Two buffered inserts; combined they overflow the cap, so the
-        // flush clears once and then applies the whole batch.
-        digest[..8].copy_from_slice(&(CACHE_CAP as u64).to_be_bytes());
-        cache.insert_verified(&[digest]);
-        digest[..8].copy_from_slice(&(CACHE_CAP as u64 + 1).to_be_bytes());
-        cache.insert_verified(&[digest]);
+        // …then buffer two more for the same shard; combined they overflow
+        // its cap, so the flush clears the shard once and then applies the
+        // whole batch.
+        cache.insert_verified(&[fold0(SHARD_CAP as u16)]);
+        cache.insert_verified(&[fold0(SHARD_CAP as u16 + 1)]);
         cache.flush_pending();
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sharding_never_changes_lookup_outcomes() {
+        // Digests land in content-determined shards; lookups agree with a
+        // reference (unsharded) set over many mixed inserts.
+        let cache = VerifierCache::new();
+        let mut reference = HashSet::new();
+        let digest = |i: u64| {
+            let mut d = [0u8; 32];
+            d[..8].copy_from_slice(&i.to_be_bytes());
+            d[8..16].copy_from_slice(&i.wrapping_mul(0x9E37_79B9).to_be_bytes());
+            d
+        };
+        for i in 0..512u64 {
+            if i % 3 != 0 {
+                cache.insert_verified(&[digest(i)]);
+                reference.insert(digest(i));
+            }
+        }
+        for i in 0..512u64 {
+            let found = cache.longest_verified_prefix(&[digest(i)]).is_some();
+            assert_eq!(found, reference.contains(&digest(i)), "digest {i}");
+        }
     }
 
     #[test]

@@ -136,9 +136,10 @@ struct Worker<P> {
     tx: Sender<ToWorker<P>>,
     base: usize,
     len: usize,
-    // Dropped (detached), never joined: a stalled worker must not be able
-    // to hang the coordinator's abort path.
-    _handle: std::thread::JoinHandle<()>,
+    // The message pump runs detached on the shared WorkerPool (leased via
+    // spawn_detached), never joined: a stalled worker must not be able to
+    // hang the coordinator's abort path. It exits — releasing its pool
+    // thread — when `tx` is dropped and its channel closes.
 }
 
 fn worker_loop<P: Payload + 'static>(
@@ -300,12 +301,12 @@ impl<P: Payload + 'static> NetRuntime<P> {
             let (tx, rx) = channel::<ToWorker<P>>();
             let reply = reply_tx.clone();
             let (w, b) = (widx, base);
-            let handle = std::thread::spawn(move || worker_loop(w, b, owned, rx, reply));
+            ba_sim::WorkerPool::shared()
+                .spawn_detached(move || worker_loop(w, b, owned, rx, reply));
             workers.push(Worker {
                 tx,
                 base,
                 len: take,
-                _handle: handle,
             });
             base += take;
             widx += 1;

@@ -35,6 +35,18 @@ pub trait Payload: Clone + fmt::Debug + Send + Sync {
     fn kind(&self) -> &'static str {
         "message"
     }
+
+    /// The signature chain this payload carries, if any — the hook behind
+    /// the engine's batched phase-barrier verification
+    /// ([`Simulation::with_batched_verification`]): payloads that return
+    /// `Some` are verified once per unique chain at the barrier instead of
+    /// once per recipient. Defaults to `None` (no batching possible).
+    ///
+    /// [`Simulation::with_batched_verification`]:
+    ///     crate::engine::Simulation::with_batched_verification
+    fn batch_chain(&self) -> Option<&ba_crypto::Chain> {
+        None
+    }
 }
 
 impl Payload for Value {}
@@ -54,6 +66,9 @@ impl Payload for ba_crypto::Chain {
     }
     fn kind(&self) -> &'static str {
         "chain"
+    }
+    fn batch_chain(&self) -> Option<&ba_crypto::Chain> {
+        Some(self)
     }
 }
 
@@ -101,8 +116,22 @@ impl<P: Payload> Outbox<P> {
     /// storage. The buffer is cleared but its capacity is kept — the
     /// engine's mailbox pool uses this so steady-state phases allocate
     /// nothing.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn with_buffer(from: ProcessId, mut buf: Vec<Envelope<P>>) -> Self {
         buf.clear();
+        Outbox {
+            from,
+            staged: buf,
+            omitted: 0,
+        }
+    }
+
+    /// Creates an outbox sending as `from` that appends to `buf` *without*
+    /// clearing it. The engine's segment arena stages every actor in a
+    /// worker's range into one shared buffer; the caller records the
+    /// buffer length before and after each actor's step to recover the
+    /// per-actor runs.
+    pub(crate) fn resume(from: ProcessId, buf: Vec<Envelope<P>>) -> Self {
         Outbox {
             from,
             staged: buf,

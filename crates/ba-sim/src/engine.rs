@@ -2,39 +2,64 @@
 //!
 //! # Data plane
 //!
-//! The engine owns a double-buffered mailbox pool: one `Vec<Envelope>` per
-//! actor for the current phase's deliveries, one collecting the next
-//! phase's, swapped at the phase barrier. With pooling enabled (the
-//! default) the buffers retain their capacity across phases, so a
-//! steady-state phase allocates nothing; per-actor outbox staging buffers
-//! are recycled the same way through [`Outbox::with_buffer`].
+//! Mailboxes live in flat struct-of-arrays arenas (see [`crate::arena`]):
+//! each phase's deliveries occupy one contiguous [`Inboxes`] buffer
+//! partitioned by an offsets table, double-buffered and swapped at the
+//! phase barrier; each worker stages its actors' sends into one
+//! [`Segment`] buffer in (actor, send-seq) order. With pooling enabled
+//! (the default) every arena retains its capacity across phases, so a
+//! steady-state phase allocates nothing.
 //!
 //! # Intra-phase parallelism
 //!
 //! In the lock-step model actors are independent *within* a phase — every
 //! actor only reads its own inbox (frozen at the barrier) and writes its
 //! own outbox. [`Simulation::with_threads`] exploits this by stepping
-//! contiguous actor chunks on scoped worker threads. Everything
-//! order-sensitive stays on the calling thread: staged envelopes are routed
-//! (and metrics/trace recorded) strictly in actor-id order after all
-//! workers join, so `Metrics`, the trace and every decision are
-//! byte-identical for any thread count. Per-phase crypto counters stay
-//! identical too: each worker returns its thread-local [`CryptoStats`]
-//! delta (the sum over workers is schedule-independent), and a run wired to
-//! a [`KeyRegistry`] via [`Simulation::with_registry`] puts the shared
-//! verifier cache into deferred phase-snapshot mode, so intra-phase cache
-//! lookups see only the state frozen at the previous barrier regardless of
-//! scheduling.
+//! contiguous actor chunks on the persistent [`WorkerPool`] — long-lived
+//! threads parked between phases, replacing the seed engine's
+//! spawn-per-phase `std::thread::scope` (whose thread churn made parallel
+//! stepping *lose* to sequential). Everything order-sensitive stays on the
+//! calling thread: staged envelopes are routed (and metrics/trace
+//! recorded) strictly in actor-id order after the barrier — worker
+//! segments cover ascending actor ranges, so walking segments in order
+//! reproduces the sequential send order exactly — making `Metrics`, the
+//! trace and every decision byte-identical for any thread count. Per-phase
+//! crypto counters stay identical too: each chunk measures its own
+//! thread-local [`CryptoStats`] delta (the sum over chunks is
+//! schedule-independent), and a run wired to a [`KeyRegistry`] via
+//! [`Simulation::with_registry`] puts the shared verifier cache into
+//! deferred phase-snapshot mode, so intra-phase cache lookups see only the
+//! state frozen at the previous barrier regardless of scheduling.
+//!
+//! # Batched phase-barrier verification
+//!
+//! [`Simulation::with_batched_verification`] moves signature-chain
+//! verification from the receivers to the barrier: after routing, the
+//! engine walks the next phase's inbox arena, verifies each *unique* chain
+//! once (deduplicated by shared signature storage — a broadcast fan-out is
+//! one entry), and stamps the chain's buffer as verified under this run's
+//! registry. When recipients call [`Chain::verify`](ba_crypto::Chain)
+//! during the next phase, the stamp short-circuits to a cache hit — so a
+//! Dolev–Strong phase delivering O(n²) envelopes pays crypto for O(unique
+//! chains) instead of O(n²) full verifications. Accept/reject outcomes,
+//! decisions, message counts and traces are untouched; only the `crypto`
+//! work counters shrink (the barrier's work is attributed to the phase in
+//! which the messages are delivered, where per-delivery verification would
+//! have paid it). Counters remain byte-identical across thread counts —
+//! the barrier pass runs on the calling thread in delivery order.
 
 use crate::actor::{Actor, Envelope, Outbox, Payload};
+use crate::arena::{Inboxes, Segment};
 use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
 use crate::schedule::LinkDrop;
 use crate::trace::{PhaseTrace, Trace};
 use crate::transport::{Fate, ScheduledDrops, Transport};
 use ba_crypto::keys::KeyRegistry;
 use ba_crypto::stats::CryptoStats;
 use ba_crypto::{ProcessId, Value};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Mutex;
 
 /// Result of driving a [`Simulation`] to completion.
 #[derive(Debug)]
@@ -81,6 +106,8 @@ pub struct Simulation<P: Payload> {
     registry: Option<KeyRegistry>,
     link_drops: BTreeSet<LinkDrop>,
     transport: Option<Box<dyn Transport>>,
+    pool: Option<WorkerPool>,
+    batch_verify: bool,
 }
 
 impl<P: Payload> std::fmt::Debug for Simulation<P> {
@@ -90,6 +117,7 @@ impl<P: Payload> std::fmt::Debug for Simulation<P> {
             .field("record_trace", &self.record_trace)
             .field("threads", &self.threads)
             .field("pooling", &self.pooling)
+            .field("batch_verify", &self.batch_verify)
             .finish()
     }
 }
@@ -106,6 +134,8 @@ impl<P: Payload> Simulation<P> {
             registry: None,
             link_drops: BTreeSet::new(),
             transport: None,
+            pool: None,
+            batch_verify: false,
         }
     }
 
@@ -115,11 +145,21 @@ impl<P: Payload> Simulation<P> {
         self
     }
 
-    /// Steps actors across `threads` scoped worker threads within each
-    /// phase (see the [module docs](self) for the determinism contract).
-    /// `0` and `1` both mean sequential, the default.
+    /// Steps actors across `threads` worker chunks within each phase (see
+    /// the [module docs](self) for the determinism contract). `0` and `1`
+    /// both mean sequential, the default. Chunks run on the persistent
+    /// [`WorkerPool`] — the process-shared pool unless
+    /// [`with_pool`](Self::with_pool) injected one.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Uses `pool` for intra-phase stepping instead of the process-shared
+    /// [`WorkerPool::shared`]. The pool only decides where chunks run;
+    /// results are byte-identical for any pool.
+    pub fn with_pool(mut self, pool: &WorkerPool) -> Self {
+        self.pool = Some(pool.clone());
         self
     }
 
@@ -168,12 +208,26 @@ impl<P: Payload> Simulation<P> {
         self
     }
 
-    /// Enables or disables the mailbox pool (default: enabled). With
-    /// pooling off the engine allocates fresh inbox and outbox buffers
-    /// every phase — the seed behaviour, kept reachable so the engine
-    /// benchmark can measure what pooling buys.
+    /// Enables or disables the mailbox arenas' capacity retention
+    /// (default: enabled). With pooling off the engine allocates fresh
+    /// arena buffers every phase — the seed behaviour, kept reachable so
+    /// the engine benchmark can measure what pooling buys.
     pub fn with_mailbox_pooling(mut self, pooling: bool) -> Self {
         self.pooling = pooling;
+        self
+    }
+
+    /// Enables batched phase-barrier verification (see the [module
+    /// docs](self)): each unique signature chain delivered in a phase is
+    /// verified once at the barrier and its shared buffer stamped, so
+    /// recipients' `verify` calls short-circuit. Requires
+    /// [`with_registry`](Self::with_registry) (the barrier needs a
+    /// verifier); without a registry this is a no-op. Off by default:
+    /// batching honestly *reduces* the `crypto` work counters, so runs
+    /// being compared against per-delivery baselines must opt in on both
+    /// sides.
+    pub fn with_batched_verification(mut self, batch: bool) -> Self {
+        self.batch_verify = batch;
         self
     }
 
@@ -208,17 +262,38 @@ impl<P: Payload> Simulation<P> {
         let mut metrics = Metrics::default();
         let mut trace = Trace::default();
 
-        // Double-buffered mailbox pool: `inboxes[i]` holds messages
-        // delivered to actor i this phase, `next_inboxes[i]` collects its
-        // deliveries for phase k + 1; the pair swaps at the barrier.
-        // `outboxes[i]` is actor i's recycled staging buffer.
-        let mut inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
-        let mut next_inboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
-        let mut outboxes: Vec<Vec<Envelope<P>>> = vec![Vec::new(); n];
-        // Per-actor suppressed-send counts reported by adversary wrappers
-        // through `Outbox::note_omitted`, folded into the metrics in
-        // actor-id order after every phase.
-        let mut omitted: Vec<u64> = vec![0; n];
+        // Worker geometry: contiguous ascending actor chunks, one segment
+        // per chunk. `chunks` can be smaller than the requested thread
+        // count when n is small (matching `slice::chunks_mut`).
+        let workers = self.threads.min(n.max(1)).max(1);
+        let chunk_size = n.div_ceil(workers).max(1);
+        let chunks = n.div_ceil(chunk_size).max(1);
+        // The persistent pool: acquired once per run, its threads parked
+        // between phases. Sequential runs never touch it.
+        let pool = if chunks > 1 {
+            Some(self.pool.clone().unwrap_or_else(WorkerPool::shared))
+        } else {
+            None
+        };
+
+        // Double-buffered inbox arenas: `cur` holds messages delivered to
+        // actors this phase, `nxt` collects deliveries for phase k + 1;
+        // the pair swaps at the barrier. One staging segment per worker
+        // chunk.
+        let mut cur: Inboxes<P> = Inboxes::new(n);
+        let mut nxt: Inboxes<P> = Inboxes::new(n);
+        let mut segments: Vec<Segment<P>> = (0..chunks).map(|_| Segment::new()).collect();
+        // Routing scratch, recycled across phases: per-envelope delivery
+        // fates (in deterministic merge order), per-recipient delivery
+        // counts, and the scatter cursors.
+        let mut fates: Vec<bool> = Vec::new();
+        let mut counts: Vec<usize> = vec![0; n];
+        let mut cursors: Vec<usize> = Vec::new();
+        // Batched-verification scratch: unique chains seen this barrier.
+        let mut seen_chains: HashSet<(usize, u32, u64)> = HashSet::new();
+        // Barrier crypto work carried into the phase where the verified
+        // messages are delivered (where per-delivery mode would pay it).
+        let mut carry_crypto = CryptoStats::default();
         let mut executed = 0usize;
 
         if let Some(registry) = &self.registry {
@@ -237,57 +312,66 @@ impl<P: Payload> Simulation<P> {
             let mut phase_trace = PhaseTrace::default();
             let mut any_sent = false;
 
-            // The calling thread's counter delta covers sequential stepping
-            // (and is ~zero under parallel stepping, where each worker
-            // reports its own thread-local delta instead).
-            let crypto_before = CryptoStats::snapshot();
-            let worker_deltas = self.step_phase(phase, &inboxes, &mut outboxes, &mut omitted);
-            let mut phase_crypto = CryptoStats::snapshot().since(&crypto_before);
-            for delta in &worker_deltas {
-                phase_crypto = phase_crypto.add(delta);
-            }
+            let mut phase_crypto =
+                self.step_phase(phase, chunk_size, &cur, &mut segments, pool.as_ref());
+            phase_crypto = phase_crypto.add(&std::mem::take(&mut carry_crypto));
 
             // Route strictly in actor-id order on this thread — the single
             // point where ordering matters, so metrics, trace and delivery
             // order are independent of how the stepping was scheduled.
-            for (i, staged) in outboxes.iter_mut().enumerate() {
-                metrics.record_omitted(phase, omitted[i]);
-                for env in staged.drain(..) {
-                    let to = env.to.index();
-                    if to >= n {
-                        // Sends to nonexistent processors are dropped; a
-                        // correct protocol never does this, an adversary may.
-                        continue;
-                    }
-                    let fate = if scheduled.admit(phase, env.from, env.to) == Fate::Omit {
-                        Fate::Omit
-                    } else if let Some(transport) = self.transport.as_mut() {
-                        transport.admit(phase, env.from, env.to)
-                    } else {
-                        Fate::Deliver
-                    };
-                    if fate == Fate::Omit {
-                        // The transport suppresses this link this phase:
-                        // the processor still "sent" (the system is not
-                        // quiet), but nothing reaches the wire.
+            // Pass A: decide fates, account, count per recipient.
+            fates.clear();
+            counts.fill(0);
+            for (w, seg) in segments.iter().enumerate() {
+                let base = w * chunk_size;
+                for (j, staged_run, omitted) in seg.per_actor_runs() {
+                    let i = base + j;
+                    metrics.record_omitted(phase, omitted);
+                    for env in staged_run {
+                        let to = env.to.index();
+                        if to >= n {
+                            // Sends to nonexistent processors are dropped;
+                            // a correct protocol never does this, an
+                            // adversary may.
+                            fates.push(false);
+                            continue;
+                        }
+                        let fate = if scheduled.admit(phase, env.from, env.to) == Fate::Omit {
+                            Fate::Omit
+                        } else if let Some(transport) = self.transport.as_mut() {
+                            transport.admit(phase, env.from, env.to)
+                        } else {
+                            Fate::Deliver
+                        };
+                        if fate == Fate::Omit {
+                            // The transport suppresses this link this
+                            // phase: the processor still "sent" (the
+                            // system is not quiet), but nothing reaches
+                            // the wire.
+                            any_sent = true;
+                            metrics.record_omitted(phase, 1);
+                            fates.push(false);
+                            continue;
+                        }
                         any_sent = true;
-                        metrics.record_omitted(phase, 1);
-                        continue;
+                        metrics.record_send(
+                            phase,
+                            correct[i],
+                            env.payload.signature_count(),
+                            env.payload.weight_bytes(),
+                            env.payload.kind(),
+                        );
+                        if keep_phase_log {
+                            phase_trace.envelopes.push(env.clone());
+                        }
+                        counts[to] += 1;
+                        fates.push(true);
                     }
-                    any_sent = true;
-                    metrics.record_send(
-                        phase,
-                        correct[i],
-                        env.payload.signature_count(),
-                        env.payload.weight_bytes(),
-                        env.payload.kind(),
-                    );
-                    if keep_phase_log {
-                        phase_trace.envelopes.push(env.clone());
-                    }
-                    next_inboxes[to].push(env);
                 }
             }
+            // Passes B + C: prefix-sum the offsets and scatter every
+            // delivered envelope into the next phase's contiguous arena.
+            nxt.fill_from(&mut segments, &fates, &counts, &mut cursors);
 
             metrics.record_phase_crypto(phase, phase_crypto);
             if let Some(observer) = &mut self.observer {
@@ -300,17 +384,43 @@ impl<P: Payload> Simulation<P> {
                 registry.cache().flush_pending();
             }
 
-            // Phase barrier: consumed inboxes become next phase's
-            // collection buffers. Pooling keeps their capacity; without it
-            // they are reallocated from scratch (seed behaviour).
-            std::mem::swap(&mut inboxes, &mut next_inboxes);
-            if self.pooling {
-                for buf in &mut next_inboxes {
-                    buf.clear();
+            // Batched verification: verify each unique chain delivered
+            // this barrier once, stamp its shared buffer, and publish the
+            // digests so next phase's lookups (for anything unstamped)
+            // still benefit. Runs on this thread in delivery order —
+            // deterministic at any thread count.
+            if self.batch_verify {
+                if let Some(registry) = &self.registry {
+                    let before = CryptoStats::snapshot();
+                    let verifier = registry.verifier();
+                    seen_chains.clear();
+                    for env in nxt.iter() {
+                        let Some(chain) = env.payload.batch_chain() else {
+                            continue;
+                        };
+                        if chain.is_empty() {
+                            continue;
+                        }
+                        let key = (chain.storage_id(), chain.domain(), chain.value().0);
+                        if seen_chains.insert(key) && chain.verify(&verifier).is_ok() {
+                            chain.mark_verified(&verifier);
+                        }
+                    }
+                    registry.cache().flush_pending();
+                    carry_crypto = CryptoStats::snapshot().since(&before);
                 }
+            }
+
+            // Phase barrier: consumed inboxes become next phase's
+            // collection arena. Pooling keeps every buffer's capacity;
+            // without it the arenas are reallocated from scratch (seed
+            // behaviour).
+            std::mem::swap(&mut cur, &mut nxt);
+            if self.pooling {
+                nxt.clear();
             } else {
-                next_inboxes = vec![Vec::new(); n];
-                outboxes = vec![Vec::new(); n];
+                nxt = Inboxes::new(n);
+                segments = (0..chunks).map(|_| Segment::new()).collect();
             }
 
             if stop_when_quiet && !any_sent {
@@ -320,11 +430,14 @@ impl<P: Payload> Simulation<P> {
 
         // Deliver the last phase's messages (sequentially: finalize is
         // cheap and order-stable accounting matters more than speed here).
+        // Barrier work for these deliveries (if batching) is absorbed the
+        // same way per-delivery finalize verification would be.
         let crypto_before = CryptoStats::snapshot();
         for (i, actor) in self.actors.iter_mut().enumerate() {
-            actor.finalize(&inboxes[i]);
+            actor.finalize(cur.of(i));
         }
-        metrics.absorb_crypto(CryptoStats::snapshot().since(&crypto_before));
+        let finalize_crypto = CryptoStats::snapshot().since(&crypto_before);
+        metrics.absorb_crypto(finalize_crypto.add(&carry_crypto));
 
         if let Some(registry) = &self.registry {
             registry.cache().set_deferred(false);
@@ -339,72 +452,85 @@ impl<P: Payload> Simulation<P> {
         }
     }
 
-    /// Steps every actor once for `phase`, staging each actor's sends into
-    /// `outboxes[i]`. Sequential when one worker suffices; otherwise actors
-    /// are split into contiguous chunks stepped on scoped threads, and each
-    /// worker's thread-local [`CryptoStats`] delta is returned for the
-    /// caller to fold into the per-phase metrics.
+    /// Steps every actor once for `phase`, staging each worker chunk's
+    /// sends into its segment. Sequential (one segment) runs inline;
+    /// otherwise chunks are dispatched onto the persistent pool, each
+    /// chunk measuring its own thread-local [`CryptoStats`] delta. Returns
+    /// the phase's total stepping crypto delta (schedule-independent: the
+    /// per-chunk work is deterministic and the sum is order-free).
     fn step_phase(
         &mut self,
         phase: usize,
-        inboxes: &[Vec<Envelope<P>>],
-        outboxes: &mut [Vec<Envelope<P>>],
-        omitted: &mut [u64],
-    ) -> Vec<CryptoStats> {
-        let n = self.actors.len();
-        let pooling = self.pooling;
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            for (i, actor) in self.actors.iter_mut().enumerate() {
-                let id = ProcessId(i as u32);
-                let mut out = if pooling {
-                    Outbox::with_buffer(id, std::mem::take(&mut outboxes[i]))
-                } else {
-                    Outbox::new(id)
-                };
-                actor.step(phase, &inboxes[i], &mut out);
-                omitted[i] = out.omitted_count();
-                outboxes[i] = out.into_staged();
+        chunk_size: usize,
+        cur: &Inboxes<P>,
+        segments: &mut [Segment<P>],
+        pool: Option<&WorkerPool>,
+    ) -> CryptoStats {
+        if segments.len() <= 1 {
+            let before = CryptoStats::snapshot();
+            if let Some(segment) = segments.first_mut() {
+                step_chunk(&mut self.actors, 0, phase, cur, segment);
             }
-            return Vec::new();
+            return CryptoStats::snapshot().since(&before);
         }
 
-        let chunk = n.div_ceil(workers);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for (w, ((actor_chunk, omitted_chunk), (inbox_chunk, outbox_chunk))) in self
-                .actors
-                .chunks_mut(chunk)
-                .zip(omitted.chunks_mut(chunk))
-                .zip(inboxes.chunks(chunk).zip(outboxes.chunks_mut(chunk)))
-                .enumerate()
-            {
-                let base = w * chunk;
-                handles.push(scope.spawn(move || {
-                    let before = CryptoStats::snapshot();
-                    for (j, actor) in actor_chunk.iter_mut().enumerate() {
-                        let id = ProcessId((base + j) as u32);
-                        let mut out = if pooling {
-                            Outbox::with_buffer(id, std::mem::take(&mut outbox_chunk[j]))
-                        } else {
-                            Outbox::new(id)
-                        };
-                        actor.step(phase, &inbox_chunk[j], &mut out);
-                        omitted_chunk[j] = out.omitted_count();
-                        outbox_chunk[j] = out.into_staged();
-                    }
-                    CryptoStats::snapshot().since(&before)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(delta) => delta,
-                    Err(panic) => std::panic::resume_unwind(panic),
+        struct ChunkJob<'a, P: Payload> {
+            base: usize,
+            actors: &'a mut [Box<dyn Actor<P>>],
+            segment: &'a mut Segment<P>,
+            delta: CryptoStats,
+        }
+
+        let jobs: Vec<Mutex<ChunkJob<'_, P>>> = self
+            .actors
+            .chunks_mut(chunk_size)
+            .zip(segments.iter_mut())
+            .enumerate()
+            .map(|(w, (actors, segment))| {
+                Mutex::new(ChunkJob {
+                    base: w * chunk_size,
+                    actors,
+                    segment,
+                    delta: CryptoStats::default(),
                 })
-                .collect()
-        })
+            })
+            .collect();
+
+        let pool = pool.expect("parallel stepping requires a pool");
+        pool.run_chunks(jobs.len(), |w| {
+            let mut guard = jobs[w].lock().expect("chunk job poisoned");
+            let job = &mut *guard;
+            let before = CryptoStats::snapshot();
+            step_chunk(job.actors, job.base, phase, cur, job.segment);
+            job.delta = CryptoStats::snapshot().since(&before);
+        });
+
+        jobs.into_iter()
+            .map(|job| job.into_inner().expect("chunk job poisoned").delta)
+            .fold(CryptoStats::default(), |acc, d| acc.add(&d))
     }
+}
+
+/// Steps one contiguous actor chunk (ids `base..base + actors.len()`),
+/// staging every actor's sends into `segment` in (actor, send-seq) order.
+fn step_chunk<P: Payload>(
+    actors: &mut [Box<dyn Actor<P>>],
+    base: usize,
+    phase: usize,
+    cur: &Inboxes<P>,
+    segment: &mut Segment<P>,
+) {
+    segment.begin_phase();
+    let mut buf = std::mem::take(&mut segment.staged);
+    for (j, actor) in actors.iter_mut().enumerate() {
+        let i = base + j;
+        let mut out = Outbox::resume(ProcessId(i as u32), buf);
+        actor.step(phase, cur.of(i), &mut out);
+        let omitted = out.omitted_count();
+        buf = out.into_staged();
+        segment.per_actor.push((buf.len(), omitted));
+    }
+    segment.staged = buf;
 }
 
 #[cfg(test)]
@@ -613,7 +739,11 @@ mod tests {
         }
     }
 
-    fn chain_relay_run(n: usize, threads: usize, pooling: bool) -> RunOutcome<ba_crypto::Chain> {
+    fn chain_relay_sim(
+        n: usize,
+        threads: usize,
+        pooling: bool,
+    ) -> (Simulation<ba_crypto::Chain>, ba_crypto::keys::KeyRegistry) {
         use ba_crypto::keys::{KeyRegistry, SchemeKind};
         // Fresh registry per run: the shared verifier cache starts cold, so
         // cache counters are comparable across runs.
@@ -629,12 +759,16 @@ mod tests {
                 }) as Box<dyn Actor<ba_crypto::Chain>>
             })
             .collect();
-        let mut sim = Simulation::new(actors)
+        let sim = Simulation::new(actors)
             .with_trace()
             .with_threads(threads)
             .with_registry(&registry)
             .with_mailbox_pooling(pooling);
-        sim.run(3)
+        (sim, registry)
+    }
+
+    fn chain_relay_run(n: usize, threads: usize, pooling: bool) -> RunOutcome<ba_crypto::Chain> {
+        chain_relay_sim(n, threads, pooling).0.run(3)
     }
 
     #[test]
@@ -708,6 +842,55 @@ mod tests {
     }
 
     #[test]
+    fn batched_verification_preserves_outcomes_and_cuts_sig_checks() {
+        // Same workload, per-delivery vs batched: decisions, message
+        // counts and traces are byte-identical; signature-check work
+        // drops (each unique chain verified once per barrier instead of
+        // once per recipient — deferred-mode recipients can't see each
+        // other's intra-phase verifications, so per-delivery pays per
+        // recipient).
+        let per_delivery = chain_relay_run(8, 1, true);
+        let run_batched = |threads: usize| {
+            let (sim, _reg) = chain_relay_sim(8, threads, true);
+            let mut sim = sim.with_batched_verification(true);
+            sim.run(3)
+        };
+        let batched = run_batched(1);
+        assert_eq!(batched.decisions, per_delivery.decisions);
+        assert_eq!(batched.correct, per_delivery.correct);
+        assert_eq!(
+            batched.metrics.messages_by_correct,
+            per_delivery.metrics.messages_by_correct
+        );
+        assert_eq!(
+            batched.metrics.signatures_by_correct,
+            per_delivery.metrics.signatures_by_correct
+        );
+        for (a, b) in batched
+            .trace
+            .phases
+            .iter()
+            .zip(per_delivery.trace.phases.iter())
+        {
+            assert_eq!(a.envelopes, b.envelopes);
+        }
+        assert!(
+            batched.metrics.crypto.sig_verifications
+                < per_delivery.metrics.crypto.sig_verifications,
+            "batched {} < per-delivery {}",
+            batched.metrics.crypto.sig_verifications,
+            per_delivery.metrics.crypto.sig_verifications
+        );
+        // And the batched counters are themselves thread-count
+        // independent.
+        for threads in [2, 4, 8] {
+            let par = run_batched(threads);
+            assert_eq!(par.metrics, batched.metrics, "threads={threads}");
+            assert_eq!(par.decisions, batched.decisions, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn zero_threads_is_treated_as_sequential() {
         let mut sim = Simulation::new(vec![
             Box::new(Flooder {
@@ -720,6 +903,14 @@ mod tests {
         .with_threads(0);
         let outcome = sim.run(2);
         assert_eq!(outcome.decisions[1], Some(Value(5)));
+    }
+
+    #[test]
+    fn empty_simulation_runs() {
+        let mut sim: Simulation<Value> = Simulation::new(Vec::new()).with_threads(4);
+        let outcome = sim.run(3);
+        assert!(outcome.decisions.is_empty());
+        assert_eq!(outcome.metrics.phases, 3);
     }
 
     #[test]
@@ -742,6 +933,17 @@ mod tests {
         assert_eq!(par.metrics.phases, 3);
         assert_eq!(par.metrics, seq.metrics);
         assert_eq!(par.decisions, seq.decisions);
+    }
+
+    #[test]
+    fn injected_pool_is_used_and_results_identical() {
+        let pool = WorkerPool::new(2);
+        let (sim, _reg) = chain_relay_sim(8, 4, true);
+        let outcome = sim.with_pool(&pool).run(3);
+        let baseline = chain_relay_run(8, 1, true);
+        assert_eq!(outcome.decisions, baseline.decisions);
+        assert_eq!(outcome.metrics, baseline.metrics);
+        assert!(pool.live_workers() <= 2);
     }
 
     #[test]

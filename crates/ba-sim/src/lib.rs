@@ -28,8 +28,15 @@
 //!   runtime on the same actor contract with a richer chaos model;
 //! * [`trace`] — optional full message trace for debugging and for the
 //!   formal-model experiments;
+//! * [`pool`] — the persistent [`WorkerPool`] shared by the engine's
+//!   intra-phase stepping, the sweep fan-out and the `ba-net` runtime:
+//!   long-lived threads parked between dispatches instead of
+//!   spawn-per-phase;
+//! * [`arena`] — flat struct-of-arrays mailbox storage: one contiguous
+//!   inbox arena per phase plus per-worker outbox segments, merged in
+//!   deterministic `(sender, seq)` order at the barrier;
 //! * [`sweep`] — deterministic fan-out of independent experiment cells
-//!   across scoped worker threads, with per-cell seed derivation and
+//!   across the shared worker pool, with per-cell seed derivation and
 //!   metrics merging.
 //!
 //! # Example
@@ -76,9 +83,11 @@
 
 pub mod actor;
 pub mod adversary;
+pub mod arena;
 pub mod checker;
 pub mod engine;
 pub mod metrics;
+pub mod pool;
 pub mod random;
 pub mod schedule;
 pub mod sweep;
@@ -89,5 +98,6 @@ pub use actor::{Actor, Envelope, Outbox, Payload};
 pub use checker::{check_byzantine_agreement, AgreementViolation, RunVerdict};
 pub use engine::{RunOutcome, Simulation};
 pub use metrics::Metrics;
+pub use pool::WorkerPool;
 pub use schedule::{FaultBehavior, LinkDrop, ScheduleError, ScheduleSpec};
 pub use transport::{Fate, Flaky, Reliable, ScheduledDrops, Transport};

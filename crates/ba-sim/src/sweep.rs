@@ -4,21 +4,28 @@
 //! simulation — is self-contained: it builds its own [`KeyRegistry`]
 //! (ba_crypto::KeyRegistry), actors and engine, and shares no mutable
 //! state with other cells. That makes a sweep embarrassingly parallel, and
-//! `std::thread::scope` lets us exploit it with no external dependency
-//! (the crates-io registry is unreachable in this environment, so a
-//! rayon-style crate is not an option).
+//! the persistent [`WorkerPool`] lets us exploit it with no external
+//! dependency (the crates-io registry is unreachable in this environment,
+//! so a rayon-style crate is not an option) and without spawning fresh
+//! threads per sweep: cells fan out over the same parked workers the
+//! engine's intra-phase stepping uses.
 //!
 //! Determinism is preserved by construction:
 //!
 //! * each cell's seed is derived from the sweep base seed and the cell
 //!   *index* ([`derive_seed`]), never from scheduling order;
-//! * workers pull cell indices from an atomic counter but tag every result
-//!   with its index; results are re-sorted before returning, so the output
-//!   `Vec` is identical for any thread count — including `threads == 1`,
-//!   which runs inline with no threads at all;
+//! * workers pull cell indices from the pool's dispenser but every result
+//!   is written into the slot for its index, so the output `Vec` is
+//!   identical for any thread count — including `threads == 1`, which runs
+//!   inline with no threads at all;
 //! * the crypto work counters ([`ba_crypto::stats`]) are thread-local and
 //!   each cell runs wholly on one worker thread, so per-cell
 //!   [`Metrics`](crate::metrics::Metrics) deltas are exact.
+//!
+//! Cells are free to use intra-phase parallelism themselves (nested
+//! [`WorkerPool::run_chunks`] cannot deadlock — see the
+//! [`pool`](crate::pool) docs), though sweeps usually saturate the machine
+//! with cell-level parallelism alone.
 //!
 //! ```
 //! use ba_sim::sweep::{run_sweep, derive_seed};
@@ -29,11 +36,13 @@
 //! assert_eq!(seq, par);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::Mutex;
 
 pub use ba_crypto::rng::derive_seed;
 
 use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
 
 /// Number of worker threads a sweep should use by default: the
 /// `BA_SWEEP_THREADS` environment variable when set, otherwise the
@@ -49,8 +58,9 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs `run_cell` over every cell, fanning across up to `threads` scoped
-/// worker threads, and returns the results in cell order.
+/// Runs `run_cell` over every cell, fanning across the shared
+/// [`WorkerPool`] with at most `threads` concurrent executors (the caller
+/// participates), and returns the results in cell order.
 ///
 /// `run_cell` receives the cell's index (use it with [`derive_seed`] for a
 /// schedule-independent per-cell seed) and a reference to the cell. With
@@ -73,31 +83,26 @@ where
             .collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(cells.len());
-    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(cells.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cells.len() {
-                            break;
-                        }
-                        local.push((i, run_cell(i, &cells[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            indexed.extend(handle.join().expect("sweep worker panicked"));
-        }
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    let slots: Vec<Mutex<Option<R>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        WorkerPool::shared().run_chunks_capped(cells.len(), threads, |i| {
+            let r = run_cell(i, &cells[i]);
+            *slots[i].lock().expect("sweep slot poisoned") = Some(r);
+        });
+    }));
+    if result.is_err() {
+        // Keep the historical panic contract (scoped-thread join wording)
+        // that callers and tests match on.
+        panic!("sweep worker panicked");
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every cell index was dispensed exactly once")
+        })
+        .collect()
 }
 
 /// Folds per-cell metrics into one sweep-level summary (see
