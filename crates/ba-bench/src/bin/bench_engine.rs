@@ -233,11 +233,12 @@ struct Row {
 }
 
 fn json_rows(rows: &[Row], parallelism: usize) -> String {
+    let single_core = parallelism == 1;
     let mut out = String::new();
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pooled\": {}, \"batched\": {}, \"parallelism\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
+            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pooled\": {}, \"batched\": {}, \"parallelism\": {}, \"single_core\": {single_core}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
             r.section,
             r.label,
             r.n,

@@ -1,0 +1,566 @@
+//! Benchmark for the `ba-svc` multi-instance multiplexer: sustained
+//! agreements/sec, decision latency, and graceful degradation under loss.
+//!
+//! Sections (select with `--section`, default all):
+//!
+//! * `throughput` — K instances of `ds-broadcast` (n = 16, t = 1) on a
+//!   reliable wire, three execution strategies:
+//!   - `serial-runtime`: K back-to-back [`NetRuntime`] runs — the
+//!     pre-service baseline, each run paying its own worker lease, channel
+//!     setup and cold verifier cache;
+//!   - `svc-serial`: the multiplexer with `max_inflight = 1` — same
+//!     admission order, one instance at a time (isolates the service's
+//!     fixed overhead from its wins);
+//!   - `svc-pipelined`: staggered admission (`admit_per_tick = 1`) with a
+//!     deep in-flight window — phases overlap across instances, per-link
+//!     flushes coalesce frames from every in-flight instance, and the
+//!     fleet-shared verifier cache converts repeated chain prefixes into
+//!     hits.
+//!
+//!   Each row reports agreements/sec (`k × 10⁹ / median_ns`). The headline
+//!   ratio — pipelined vs serial-runtime at the widest thread count — is
+//!   recorded in the JSON `checks` object and gated by `--assert-speedup`.
+//! * `latency` — p50/p99 admission-to-decision latency of the pipelined
+//!   fleet, pooled over several runs;
+//! * `degradation` — agreements/sec and decided/degraded split for the
+//!   pipelined fleet as per-link loss sweeps 0 → 350 ‰: the curve must
+//!   degrade gracefully (fewer decisions, never an agreement violation).
+//!
+//! The determinism check always runs first and the binary exits non-zero
+//! if it fails: the pipelined fleet must be byte-identical across worker
+//! counts, and every multiplexed instance must match its standalone
+//! [`NetRuntime`] run under `chaos.reseeded(instance_seed(seed, i))` —
+//! with and without chaos.
+//!
+//! Emits a JSON report (default `BENCH_service.json`) in the same row
+//! format as `bench_engine`, each row tagged with the host's
+//! `available_parallelism` and a `single_core` flag. On a single-core host
+//! one consolidated warning is printed and thread-scaling rows measure
+//! coordination overhead only.
+//!
+//! ```text
+//! cargo run -p ba-bench --release --bin bench_service
+//! cargo run -p ba-bench --release --bin bench_service -- \
+//!     --k 8 --threads 1,4 --assert-speedup 2.0
+//! ```
+//!
+//! `--assert-speedup <ratio>` exits non-zero unless pipelined
+//! agreements/sec ≥ ratio × serial-runtime agreements/sec at the widest
+//! thread count. This gate does **not** skip on single-core hosts: the
+//! speedup comes from eliminating per-run setup and sharing verification
+//! work, not from parallelism. `--assert-scaling <ratio>` exits non-zero
+//! if the widest thread count's pipelined median exceeds ratio × the
+//! narrowest's — that gate *is* skipped on single-core hosts, where extra
+//! workers can only add coordination overhead. CI uses both as the
+//! `service-smoke` job.
+//!
+//! [`NetRuntime`]: ba_net::NetRuntime
+
+use ba_algos::checkable::{find_target, CheckConfig, CheckTarget};
+use ba_bench::microbench::{bench, print_samples, Sample};
+use ba_crypto::Value;
+use ba_net::{
+    instance_seed, run_target, run_target_multiplexed, ChaosProfile, MultiplexRun, NetConfig,
+    NetRunError, SvcConfig,
+};
+use ba_sim::schedule::ScheduleSpec;
+use std::fmt::Write as _;
+
+const TARGET: &str = "ds-broadcast";
+const N: usize = 16;
+const T: usize = 1;
+const CHAOS_SEED: u64 = 77;
+/// Per-link loss sweep for the degradation curve, in 1/1000.
+const LOSS_SWEEP: [u16; 5] = [0, 75, 150, 250, 350];
+/// Runs pooled for the latency percentiles.
+const LATENCY_RUNS: usize = 5;
+
+struct Config {
+    out_path: String,
+    /// Sections to run; empty = all.
+    sections: Vec<String>,
+    k: usize,
+    threads: Vec<usize>,
+    assert_speedup: Option<f64>,
+    assert_scaling: Option<f64>,
+}
+
+impl Config {
+    fn section(&self, name: &str) -> bool {
+        self.sections.is_empty() || self.sections.iter().any(|s| s == name)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_service: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Config {
+    let mut cfg = Config {
+        out_path: "BENCH_service.json".to_string(),
+        sections: Vec::new(),
+        k: 8,
+        threads: vec![1, 4],
+        assert_speedup: None,
+        assert_scaling: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        let parse_ratio = |flag: &str, v: &str| -> f64 {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("{flag}: bad ratio {v:?}")))
+        };
+        match arg.as_str() {
+            "--section" => cfg.sections.push(value("--section")),
+            "--k" => {
+                let v = value("--k");
+                cfg.k = v.parse().ok().filter(|k| *k >= 2).unwrap_or_else(|| {
+                    die(&format!("--k: need an instance count >= 2, got {v:?}"))
+                });
+            }
+            "--threads" => {
+                let v = value("--threads");
+                cfg.threads = v
+                    .split(',')
+                    .map(|e| {
+                        e.trim().parse().unwrap_or_else(|_| {
+                            die(&format!("--threads: bad entry {e:?} in {v:?}"))
+                        })
+                    })
+                    .collect();
+                if cfg.threads.is_empty() {
+                    die("--threads needs a non-empty comma-separated list");
+                }
+            }
+            "--assert-speedup" => {
+                let v = value("--assert-speedup");
+                cfg.assert_speedup = Some(parse_ratio("--assert-speedup", &v));
+            }
+            "--assert-scaling" => {
+                let v = value("--assert-scaling");
+                cfg.assert_scaling = Some(parse_ratio("--assert-scaling", &v));
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            path => cfg.out_path = path.to_string(),
+        }
+    }
+    let known = ["throughput", "latency", "degradation"];
+    for s in &cfg.sections {
+        if !known.contains(&s.as_str()) {
+            die(&format!(
+                "unknown section {s:?} (known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    cfg
+}
+
+/// The fleet under test: K `ds-broadcast` instances sharing one cluster
+/// identity (n, seed), transmitter values alternating so neighbouring
+/// instances are not trivially identical.
+fn fleet_cfgs(k: usize) -> Vec<CheckConfig> {
+    (0..k)
+        .map(|i| CheckConfig {
+            n: N,
+            t: T,
+            value: if i % 2 == 0 { Value::ONE } else { Value::ZERO },
+            seed: 11,
+            threads: 1,
+            spec: ScheduleSpec::default(),
+        })
+        .collect()
+}
+
+/// K back-to-back standalone runtime runs — the pre-service baseline.
+/// Instance `i` uses the same derived chaos seed as the multiplexer would,
+/// so both strategies do identical protocol work. Returns the number of
+/// instances whose correct processors reached agreement.
+fn run_serial(
+    target: &CheckTarget,
+    cfgs: &[CheckConfig],
+    chaos: &ChaosProfile,
+    threads: usize,
+) -> usize {
+    let net = NetConfig {
+        threads,
+        ..NetConfig::default()
+    };
+    cfgs.iter()
+        .enumerate()
+        .filter(|(i, cfg)| {
+            let solo = chaos.clone().reseeded(instance_seed(chaos.seed, *i as u64));
+            match run_target(target, cfg, &net, &solo) {
+                Ok(run) => !run.violated(),
+                Err(NetRunError::Degraded(_)) => false,
+                Err(e) => die(&format!("serial baseline: {e}")),
+            }
+        })
+        .count()
+}
+
+fn run_svc(
+    target: &CheckTarget,
+    cfgs: &[CheckConfig],
+    chaos: &ChaosProfile,
+    threads: usize,
+    pipelined: bool,
+) -> MultiplexRun {
+    let svc = if pipelined {
+        SvcConfig {
+            threads,
+            admit_per_tick: 1,
+            ..SvcConfig::default()
+        }
+    } else {
+        SvcConfig {
+            threads,
+            max_inflight: 1,
+            admit_per_tick: 1,
+            ..SvcConfig::default()
+        }
+    };
+    run_target_multiplexed(target, cfgs, &svc, chaos)
+        .unwrap_or_else(|e| die(&format!("multiplexed run: {e}")))
+}
+
+/// Instances whose correct processors reached agreement.
+fn agreements(mux: &MultiplexRun) -> usize {
+    mux.runs
+        .iter()
+        .filter(|r| matches!(r, Ok(run) if !run.violated()))
+        .count()
+}
+
+fn degraded(mux: &MultiplexRun) -> usize {
+    mux.runs.iter().filter(|r| r.is_err()).count()
+}
+
+/// Everything deterministic about a multiplexed run — per-instance
+/// decisions, metrics and verdicts, fleet wire stats, tick count and
+/// shared-cache counters. Wall-clock fields are excluded.
+fn fingerprint(mux: &MultiplexRun) -> String {
+    format!(
+        "{:?} | {:?} | ticks={} cache={:?}",
+        mux.runs, mux.stats, mux.ticks, mux.cache
+    )
+}
+
+/// The service determinism contract, gated before any timing runs:
+/// worker-count independence of the whole fleet, and per-instance
+/// byte-identity with the standalone runtime — with and without chaos.
+fn determinism_check(target: &CheckTarget, cfgs: &[CheckConfig], threads: &[usize]) -> bool {
+    let mut ok = true;
+    for chaos in [
+        ChaosProfile::reliable(),
+        ChaosProfile::lossy(CHAOS_SEED, 150),
+    ] {
+        let reference = run_svc(target, cfgs, &chaos, threads[0], true);
+        let want = fingerprint(&reference);
+        for &th in &threads[1..] {
+            let got = fingerprint(&run_svc(target, cfgs, &chaos, th, true));
+            if got != want {
+                eprintln!(
+                    "bench_service: DETERMINISM BROKEN: threads={th} diverges from threads={}",
+                    threads[0]
+                );
+                ok = false;
+            }
+        }
+        for (i, cfg) in cfgs.iter().enumerate() {
+            let solo_chaos = chaos.clone().reseeded(instance_seed(chaos.seed, i as u64));
+            let solo = run_target(target, cfg, &NetConfig::default(), &solo_chaos);
+            let matched = match (&reference.runs[i], &solo) {
+                (Ok(m), Ok(s)) => {
+                    m.decisions == s.decisions
+                        && m.correct == s.correct
+                        && m.suspected == s.suspected
+                }
+                (Err(m), Err(NetRunError::Degraded(s))) => {
+                    m.phase == s.phase && m.reason == s.reason && m.suspected == s.suspected
+                }
+                _ => false,
+            };
+            if !matched {
+                eprintln!(
+                    "bench_service: DETERMINISM BROKEN: instance {i} diverges from its \
+                     standalone run"
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+struct Row {
+    section: &'static str,
+    label: String,
+    threads: usize,
+    batched: bool,
+    sample: Sample,
+    /// Extra JSON key/value pairs, already rendered (`, "key": value`).
+    extra: String,
+}
+
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = parse_args(&args);
+    let th_lo = *cfg.threads.iter().min().expect("non-empty");
+    let th_hi = *cfg.threads.iter().max().expect("non-empty");
+
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let single_core = parallelism == 1;
+    if single_core {
+        eprintln!(
+            "bench_service: warning: single-core host (available_parallelism = 1); \
+             every row is tagged \"single_core\": true, thread-scaling rows measure \
+             coordination overhead only, and --assert-scaling is skipped. The \
+             pipelined-vs-serial speedup gate still applies: that win comes from \
+             shared setup and fleet-wide cache hits, not parallelism."
+        );
+    }
+
+    let target = find_target(TARGET).unwrap_or_else(|| die(&format!("no target {TARGET:?}")));
+    let cfgs = fleet_cfgs(cfg.k);
+    let k = cfg.k;
+
+    // -- determinism gate (always on; timings are meaningless without it) --
+    let deterministic = determinism_check(target, &cfgs, &cfg.threads);
+    if deterministic {
+        eprintln!(
+            "bench_service: determinism check passed ({k} instances, threads {:?}, \
+             reliable + lossy)",
+            cfg.threads
+        );
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let reliable = ChaosProfile::reliable();
+
+    // -- throughput: serial runtime vs the multiplexer ---------------------
+    // (label, serial-runtime median, pipelined median) per thread count.
+    let mut speedup_hi: Option<f64> = None;
+    let mut pipelined_medians: Vec<(usize, f64)> = Vec::new();
+    if cfg.section("throughput") {
+        for &threads in &cfg.threads {
+            let serial_decided = run_serial(target, &cfgs, &reliable, threads);
+            let pipe_decided = agreements(&run_svc(target, &cfgs, &reliable, threads, true));
+            assert_eq!(
+                serial_decided, k,
+                "reliable wire: every serial instance must decide"
+            );
+            assert_eq!(
+                pipe_decided, k,
+                "reliable wire: every pipelined instance must decide"
+            );
+
+            let strategies: [(&str, bool); 3] = [
+                ("serial-runtime", false),
+                ("svc-serial", true),
+                ("svc-pipelined", true),
+            ];
+            let mut medians = [0.0f64; 3];
+            for (si, (label, batched)) in strategies.into_iter().enumerate() {
+                let sample = bench(
+                    format!("{label} k={k} n={N} threads={threads}"),
+                    || match label {
+                        "serial-runtime" => run_serial(target, &cfgs, &reliable, threads),
+                        "svc-serial" => {
+                            agreements(&run_svc(target, &cfgs, &reliable, threads, false))
+                        }
+                        _ => agreements(&run_svc(target, &cfgs, &reliable, threads, true)),
+                    },
+                );
+                medians[si] = sample.median_ns;
+                let agreements_per_sec = k as f64 * 1e9 / sample.median_ns;
+                rows.push(Row {
+                    section: "throughput",
+                    label: format!("{label} k={k}"),
+                    threads,
+                    batched,
+                    sample,
+                    extra: format!(", \"agreements_per_sec\": {agreements_per_sec:.1}"),
+                });
+            }
+            let speedup = medians[0] / medians[2];
+            eprintln!(
+                "bench_service: threads={threads}: pipelined multiplexer is {speedup:.2}x \
+                 serial-runtime agreements/sec ({:.0} vs {:.0} agr/s)",
+                k as f64 * 1e9 / medians[2],
+                k as f64 * 1e9 / medians[0],
+            );
+            pipelined_medians.push((threads, medians[2]));
+            if threads == th_hi {
+                speedup_hi = Some(speedup);
+            }
+        }
+    }
+
+    // -- latency: p50/p99 admission-to-decision, pipelined fleet -----------
+    if cfg.section("latency") {
+        let mut pooled_ns: Vec<f64> = Vec::new();
+        for _ in 0..LATENCY_RUNS {
+            let mux = run_svc(target, &cfgs, &reliable, th_hi, true);
+            pooled_ns.extend(mux.latencies.iter().map(|d| d.as_nanos() as f64));
+        }
+        pooled_ns.sort_by(|a, b| a.total_cmp(b));
+        for (label, p) in [("p50", 0.50), ("p99", 0.99)] {
+            let ns = percentile(&pooled_ns, p);
+            rows.push(Row {
+                section: "latency",
+                label: format!("decision {label} k={k}"),
+                threads: th_hi,
+                batched: true,
+                sample: Sample {
+                    name: format!("decision latency {label} (pipelined, k={k})"),
+                    batch_iters: 1,
+                    batches: (pooled_ns.len()) as u32,
+                    median_ns: ns,
+                    mean_ns: pooled_ns.iter().sum::<f64>() / pooled_ns.len() as f64,
+                    min_ns: pooled_ns[0],
+                },
+                extra: String::new(),
+            });
+        }
+    }
+
+    // -- degradation: agreements/sec vs per-link loss ----------------------
+    let mut no_violations = true;
+    if cfg.section("degradation") {
+        for drop in LOSS_SWEEP {
+            let chaos = if drop == 0 {
+                ChaosProfile::reliable()
+            } else {
+                ChaosProfile::lossy(CHAOS_SEED, drop)
+            };
+            let probe = run_svc(target, &cfgs, &chaos, th_hi, true);
+            let decided = agreements(&probe);
+            let failed = degraded(&probe);
+            no_violations &= probe
+                .runs
+                .iter()
+                .all(|r| !matches!(r, Ok(run) if run.violated()));
+            let sample = bench(
+                format!("degradation d={drop:>3} k={k} threads={th_hi}"),
+                || agreements(&run_svc(target, &cfgs, &chaos, th_hi, true)),
+            );
+            let agreements_per_sec = decided as f64 * 1e9 / sample.median_ns;
+            rows.push(Row {
+                section: "degradation",
+                label: format!("lossy d={drop} k={k}"),
+                threads: th_hi,
+                batched: true,
+                sample,
+                extra: format!(
+                    ", \"drop_per_mille\": {drop}, \"decided\": {decided}, \
+                     \"degraded\": {failed}, \"agreements_per_sec\": {agreements_per_sec:.1}"
+                ),
+            });
+        }
+    }
+
+    let samples: Vec<Sample> = rows.iter().map(|r| r.sample.clone()).collect();
+    print_samples("ba-svc multiplexer", &samples);
+
+    // -- JSON report -------------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"service\",\n");
+    let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"single_core\": {single_core},");
+    let speedup_str = speedup_hi.map_or("null".to_string(), |s| format!("{s:.3}"));
+    let _ = writeln!(
+        json,
+        "  \"checks\": {{\"determinism\": {deterministic}, \"no_agreement_violations\": \
+         {no_violations}, \"pipelined_speedup_vs_serial\": {speedup_str}, \
+         \"pipelined_speedup_at_least_2x\": {}}},",
+        speedup_hi.is_some_and(|s| s >= 2.0)
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {N}, \"threads\": {}, \
+             \"pooled\": true, \"batched\": {}, \"parallelism\": {parallelism}, \
+             \"single_core\": {single_core}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}{}}}{}",
+            r.section,
+            r.label,
+            r.threads,
+            r.batched,
+            r.sample.median_ns,
+            r.sample.mean_ns,
+            r.sample.min_ns,
+            r.extra,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&cfg.out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", cfg.out_path);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", cfg.out_path);
+
+    // -- gates (after the JSON, so failures still leave a report) ----------
+    if !deterministic {
+        eprintln!("bench_service: FAILED: determinism check");
+        std::process::exit(1);
+    }
+    if !no_violations {
+        eprintln!("bench_service: FAILED: an instance violated Byzantine Agreement under loss");
+        std::process::exit(1);
+    }
+    if let Some(ratio) = cfg.assert_speedup {
+        match speedup_hi {
+            Some(s) if s >= ratio => eprintln!(
+                "bench_service: speedup gate passed ({s:.2}x >= {ratio}x at threads={th_hi})"
+            ),
+            Some(s) => {
+                eprintln!(
+                    "bench_service: speedup gate FAILED: pipelined is only {s:.2}x \
+                     serial-runtime at threads={th_hi} (need {ratio}x)"
+                );
+                std::process::exit(1);
+            }
+            None => die("--assert-speedup needs the throughput section"),
+        }
+    }
+    if let Some(ratio) = cfg.assert_scaling {
+        if single_core {
+            eprintln!("bench_service: --assert-scaling skipped: single-core host");
+            return;
+        }
+        let med = |th: usize| {
+            pipelined_medians
+                .iter()
+                .find(|(t, _)| *t == th)
+                .map(|(_, m)| *m)
+                .unwrap_or_else(|| die("--assert-scaling needs the throughput section"))
+        };
+        let (lo, hi) = (med(th_lo), med(th_hi));
+        if hi > lo * ratio {
+            eprintln!(
+                "bench_service: scaling gate FAILED: threads={th_hi} median {hi:.0} ns > \
+                 {ratio} x threads={th_lo} median {lo:.0} ns"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_service: scaling gate passed (threads={th_hi} <= {ratio} x threads={th_lo})"
+        );
+    }
+}

@@ -30,7 +30,7 @@ use crate::wire::{Decoder, Encoder};
 use crate::ProcessId;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which tag construction a [`KeyRegistry`] uses.
@@ -141,6 +141,16 @@ impl fmt::Display for Signature {
 /// on who is asking. It is a pure runtime optimization: accept/reject
 /// behavior is bit-identical with or without it.
 ///
+/// A cache may additionally be shared *across* registries via
+/// [`KeyRegistry::with_shared_cache`], but only when every participating
+/// registry is built from the same `(n, seed, kind)` — keys are derived
+/// purely from the seed, so such registries agree on which chains verify
+/// and a digest cached by one is a sound skip for all. The service layer
+/// uses this to verify repeated signer prefixes once fleet-wide across
+/// concurrent BA instances of one cluster identity. Sharing across
+/// *different* seeds would be unsound (a digest valid under one key set
+/// would skip verification under another) and must not be done.
+///
 /// # Deferred (phase-snapshot) mode
 ///
 /// With immediate writes, the cache's hit/miss pattern — and therefore the
@@ -171,8 +181,14 @@ pub struct VerifierCache {
     shards: Vec<CacheShard>,
     /// Whether inserts are currently buffered instead of applied.
     deferred: AtomicBool,
+    /// Per-shard entry bound; a shard at its cap is cleared before the next
+    /// insert (the cheap whole-shard eviction). Configurable so long
+    /// multi-instance runs can trade hit rate for memory.
+    shard_cap: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Total digests discarded by cap-clears since creation.
+    evictions: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -188,11 +204,12 @@ struct CacheShard {
 /// Number of independently locked cache shards.
 pub const CACHE_SHARDS: usize = 16;
 
-/// Bound on cached digests; a shard is cleared when full so a long sweep
-/// cannot grow memory without bound (32 B/entry → ≤ 2 MiB total).
+/// Default bound on cached digests; a shard is cleared when full so a long
+/// sweep cannot grow memory without bound (32 B/entry → ≤ 2 MiB total).
 const CACHE_CAP: usize = 1 << 16;
 
-/// Per-shard digest bound.
+/// Default per-shard digest bound (see
+/// [`VerifierCache::set_shard_cap`] for overriding it).
 const SHARD_CAP: usize = CACHE_CAP / CACHE_SHARDS;
 
 /// A digest's home shard: XOR fold of all bytes. Content-determined, so
@@ -208,14 +225,34 @@ impl Default for VerifierCache {
 }
 
 impl VerifierCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default per-shard cap.
     pub fn new() -> Self {
+        Self::with_shard_cap(SHARD_CAP)
+    }
+
+    /// Creates an empty cache whose shards each hold at most `cap` digests
+    /// (clamped to at least 1).
+    pub fn with_shard_cap(cap: usize) -> Self {
         VerifierCache {
             shards: (0..CACHE_SHARDS).map(|_| CacheShard::default()).collect(),
             deferred: AtomicBool::new(false),
+            shard_cap: AtomicUsize::new(cap.max(1)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Reconfigures the per-shard entry bound (clamped to at least 1).
+    /// Shards over the new cap are cleared lazily on their next insert, so
+    /// this is O(1) and safe to call mid-run.
+    pub fn set_shard_cap(&self, cap: usize) {
+        self.shard_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// The current per-shard entry bound.
+    pub fn shard_cap(&self) -> usize {
+        self.shard_cap.load(Ordering::Relaxed)
     }
 
     /// Returns the largest index `i` such that `digests[i]` is a known
@@ -259,7 +296,9 @@ impl VerifierCache {
                 continue;
             }
             let mut verified = shard.verified.lock().expect("verifier cache poisoned");
-            if verified.len() >= SHARD_CAP {
+            if verified.len() >= self.shard_cap() {
+                self.evictions
+                    .fetch_add(verified.len() as u64, Ordering::Relaxed);
                 verified.clear();
             }
             verified.insert(*d);
@@ -302,7 +341,9 @@ impl VerifierCache {
                 continue;
             }
             let mut verified = shard.verified.lock().expect("verifier cache poisoned");
-            if verified.len() + pending.len() > SHARD_CAP {
+            if verified.len() + pending.len() > self.shard_cap() {
+                self.evictions
+                    .fetch_add(verified.len() as u64, Ordering::Relaxed);
                 verified.clear();
             }
             verified.extend(pending.drain(..));
@@ -318,6 +359,13 @@ impl VerifierCache {
     /// Number of lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total digests discarded by per-shard cap-clears. A steadily climbing
+    /// value means the working set exceeds the configured bound and the
+    /// cap (see [`set_shard_cap`](Self::set_shard_cap)) is costing hits.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups that hit (`0.0` before any lookup).
@@ -349,7 +397,7 @@ struct RegistryInner {
     hmac_keys: Vec<[u8; 32]>,
     fast_keys: Vec<u64>,
     kind: SchemeKind,
-    cache: VerifierCache,
+    cache: Arc<VerifierCache>,
     /// Process-unique instance token; the batched-verification stamp on a
     /// signature-chain buffer (see
     /// [`Chain::mark_verified`](crate::Chain::mark_verified)) mixes it in
@@ -384,6 +432,23 @@ impl KeyRegistry {
     /// Creates a registry for `n` processors with secrets derived from
     /// `seed`.
     pub fn new(n: usize, seed: u64, kind: SchemeKind) -> Self {
+        Self::with_shared_cache(n, seed, kind, Arc::new(VerifierCache::new()))
+    }
+
+    /// Like [`new`](Self::new) but installing `cache` as the registry's
+    /// chain-verification cache instead of a fresh one.
+    ///
+    /// Sharing one cache across registries is sound **only** when every
+    /// registry handed the cache is built with the same `(n, seed, kind)`
+    /// (see the cross-registry paragraph in [`VerifierCache`]'s docs); the
+    /// caller owns that invariant. Batched-verification stamps never cross
+    /// registries regardless — each registry keeps its own token.
+    pub fn with_shared_cache(
+        n: usize,
+        seed: u64,
+        kind: SchemeKind,
+        cache: Arc<VerifierCache>,
+    ) -> Self {
         let mut hmac_keys = Vec::with_capacity(n);
         let mut fast_keys = Vec::with_capacity(n);
         let mut state = seed ^ 0xA076_1D64_78BD_642F;
@@ -398,7 +463,7 @@ impl KeyRegistry {
                 hmac_keys,
                 fast_keys,
                 kind,
-                cache: VerifierCache::new(),
+                cache,
                 token: NEXT_REGISTRY_TOKEN.fetch_add(1, Ordering::Relaxed),
             }),
         }
@@ -447,6 +512,12 @@ impl KeyRegistry {
     /// registry.
     pub fn cache(&self) -> &VerifierCache {
         &self.inner.cache
+    }
+
+    /// An owned handle to the same cache, for installing it into further
+    /// registries via [`with_shared_cache`](Self::with_shared_cache).
+    pub fn shared_cache(&self) -> Arc<VerifierCache> {
+        Arc::clone(&self.inner.cache)
     }
 
     /// This registry instance's unique batched-verification token (see
@@ -816,6 +887,62 @@ mod tests {
             let found = cache.longest_verified_prefix(&[digest(i)]).is_some();
             assert_eq!(found, reference.contains(&digest(i)), "digest {i}");
         }
+    }
+
+    #[test]
+    fn cap_clears_count_as_evictions() {
+        let cache = VerifierCache::with_shard_cap(4);
+        assert_eq!(cache.shard_cap(), 4);
+        // Hammer one shard (constant XOR fold of 0) well past its cap.
+        let fold0 = |i: u16| {
+            let mut d = [0u8; 32];
+            d[..2].copy_from_slice(&i.to_be_bytes());
+            d[2] = (i & 0xFF) as u8 ^ (i >> 8) as u8;
+            d
+        };
+        for i in 0..9 {
+            cache.insert_verified(&[fold0(i)]);
+        }
+        // Inserts 5 and 9 each found the shard full: two clears of 4.
+        assert_eq!(cache.evictions(), 8);
+        assert_eq!(cache.len(), 1);
+
+        // The deferred flush path counts its clear too.
+        cache.set_deferred(true);
+        for i in 9..13 {
+            cache.insert_verified(&[fold0(i)]);
+        }
+        cache.flush_pending();
+        assert_eq!(cache.evictions(), 9);
+    }
+
+    #[test]
+    fn shard_cap_reconfigurable_mid_run() {
+        let cache = VerifierCache::new();
+        assert_eq!(cache.shard_cap(), SHARD_CAP);
+        cache.set_shard_cap(0); // clamped
+        assert_eq!(cache.shard_cap(), 1);
+        let fold0 = |i: u16| {
+            let mut d = [0u8; 32];
+            d[..2].copy_from_slice(&i.to_be_bytes());
+            d[2] = (i & 0xFF) as u8 ^ (i >> 8) as u8;
+            d
+        };
+        cache.insert_verified(&[fold0(0)]);
+        cache.insert_verified(&[fold0(1)]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn shared_cache_spans_same_seed_registries() {
+        let a = KeyRegistry::new(3, 11, SchemeKind::Fast);
+        let b = KeyRegistry::with_shared_cache(3, 11, SchemeKind::Fast, a.shared_cache());
+        a.cache().insert_verified(&[[5u8; 32]]);
+        assert_eq!(b.cache().len(), 1);
+        // Distinct registries still get distinct batch tokens, so chain
+        // stamps cannot cross even with a shared cache.
+        assert_ne!(a.batch_token(), b.batch_token());
     }
 
     #[test]

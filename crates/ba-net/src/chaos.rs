@@ -142,6 +142,14 @@ impl ChaosProfile {
         }
     }
 
+    /// The same misbehaviour envelope under a different seed — how the
+    /// service layer derives each BA instance's private chaos stream from
+    /// one fleet profile (see [`svc::instance_seed`](crate::svc::instance_seed)).
+    pub fn reseeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Overrides the behaviour of the directed link `from → to`.
     pub fn with_link(mut self, from: ProcessId, to: ProcessId, chaos: LinkChaos) -> Self {
         self.overrides.insert((from, to), chaos);

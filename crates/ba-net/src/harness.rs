@@ -5,12 +5,15 @@
 
 use crate::chaos::ChaosProfile;
 use crate::runtime::{NetConfig, NetRuntime};
+use crate::svc::{BaService, InstanceSpec, SvcConfig};
 use crate::verdict::{DegradationVerdict, NetStats};
 use ba_algos::checkable::{CheckConfig, CheckTarget};
-use ba_crypto::{Chain, ProcessId, Value};
+use ba_crypto::{Chain, ProcessId, Value, VerifierCache};
 use ba_sim::schedule::ScheduleError;
 use ba_sim::trace::Trace;
 use ba_sim::{check_byzantine_agreement, AgreementViolation, Metrics, RunOutcome, RunVerdict};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Why a net-driven check run produced no decisions.
 #[derive(Clone, Debug)]
@@ -99,6 +102,109 @@ pub fn run_target(
         stats: outcome.stats,
         suspected: outcome.suspected,
         agreement,
+    })
+}
+
+/// One multiplexed service run over a fleet of checkable-target instances.
+#[derive(Debug)]
+pub struct MultiplexRun {
+    /// Per instance, in admission order: the completed run (with its own
+    /// agreement verdict) or that instance's degradation verdict.
+    pub runs: Vec<Result<NetRun, Box<DegradationVerdict>>>,
+    /// Per instance, in admission order: wall-clock admission-to-settle
+    /// latency.
+    pub latencies: Vec<Duration>,
+    /// Fleet-wide wire statistics, including the flush-coalescing
+    /// counters.
+    pub stats: NetStats,
+    /// Service ticks executed.
+    pub ticks: u64,
+    /// Wall-clock duration of the whole service run.
+    pub elapsed: Duration,
+    /// Verifier-cache counters of the fleet-shared cache after the run:
+    /// `(hits, misses, evictions)`.
+    pub cache: (u64, u64, u64),
+}
+
+/// Runs one instance of `target` per entry of `cfgs` through the
+/// multiplexing service ([`BaService`]): pipelined phases, shared-wire
+/// batched flushes, one fleet-shared verifier cache. Every config must
+/// share `n` and `seed` — the service's "one cluster identity" invariant
+/// that makes cache sharing sound; values and schedules may differ per
+/// instance.
+///
+/// Instance `i` draws chaos fates from
+/// [`instance_seed`](crate::svc::instance_seed)`(chaos.seed, i)`, so its
+/// outcome is byte-identical to [`run_target`] under
+/// `chaos.reseeded(instance_seed(chaos.seed, i))`.
+///
+/// # Panics
+/// When `cfgs` mix different `n` or `seed` values.
+///
+/// # Errors
+/// [`NetRunError::Schedule`] when any instance's schedule does not
+/// compile. Per-instance degradation is *not* an error: it lands in that
+/// instance's slot of [`MultiplexRun::runs`].
+pub fn run_target_multiplexed(
+    target: &CheckTarget,
+    cfgs: &[CheckConfig],
+    svc: &SvcConfig,
+    chaos: &ChaosProfile,
+) -> Result<MultiplexRun, NetRunError> {
+    if let Some(first) = cfgs.first() {
+        assert!(
+            cfgs.iter().all(|c| c.n == first.n && c.seed == first.seed),
+            "multiplexed instances must share one cluster identity (n, seed)"
+        );
+    }
+    let cache = Arc::new(VerifierCache::new());
+    let mut specs = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let setup = target
+            .build_shared(cfg, &cache)
+            .map_err(NetRunError::Schedule)?;
+        specs.push(InstanceSpec {
+            actors: setup.actors,
+            phases: setup.phases,
+            fault_budget: cfg.t,
+            link_drops: cfg.spec.link_drops.clone(),
+            registry: Some(setup.registry),
+        });
+    }
+    let service = BaService::new(svc.clone())
+        .with_chaos(chaos.clone())
+        .with_shared_cache(Arc::clone(&cache));
+    let report = service.run(specs);
+
+    let mut runs = Vec::with_capacity(report.outcomes.len());
+    let mut latencies = Vec::with_capacity(report.outcomes.len());
+    for (outcome, cfg) in report.outcomes.into_iter().zip(cfgs) {
+        latencies.push(outcome.latency);
+        runs.push(outcome.result.map(|run| {
+            let shim: RunOutcome<Chain> = RunOutcome {
+                decisions: run.decisions.clone(),
+                correct: run.correct.clone(),
+                metrics: Metrics::default(),
+                trace: Trace::default(),
+            };
+            let agreement = check_byzantine_agreement(&shim, ProcessId(0), cfg.value);
+            NetRun {
+                decisions: run.decisions,
+                correct: run.correct,
+                metrics: run.metrics,
+                stats: run.stats,
+                suspected: run.suspected,
+                agreement,
+            }
+        }));
+    }
+    Ok(MultiplexRun {
+        runs,
+        latencies,
+        stats: report.stats,
+        ticks: report.ticks,
+        elapsed: report.elapsed,
+        cache: (cache.hits(), cache.misses(), cache.evictions()),
     })
 }
 

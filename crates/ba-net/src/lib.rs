@@ -23,7 +23,11 @@
 //! * [`harness`] — drives any `ba-algos` checkable target through the
 //!   runtime and proves that, under a reliable wire, decisions and
 //!   [`Metrics`](ba_sim::Metrics) are byte-identical to
-//!   [`ba_sim::Simulation`] at any worker-thread count.
+//!   [`ba_sim::Simulation`] at any worker-thread count;
+//! * [`svc`] — the multi-instance multiplexer (`ba-svc`): many concurrent
+//!   BA instances with pipelined phases over one wire, per-link batched
+//!   flushes, a fleet-shared verifier cache, and per-instance degradation
+//!   verdicts.
 //!
 //! # Example
 //!
@@ -71,10 +75,17 @@
 pub mod chaos;
 pub mod harness;
 pub mod runtime;
+pub mod svc;
 pub mod verdict;
 mod wire;
 
 pub use chaos::{ChaosProfile, LinkChaos};
-pub use harness::{check_equivalence, run_target, NetRun, NetRunError};
+pub use harness::{
+    check_equivalence, run_target, run_target_multiplexed, MultiplexRun, NetRun, NetRunError,
+};
 pub use runtime::{NetConfig, NetOutcome, NetRuntime};
+pub use svc::{
+    instance_seed, BaService, InstanceOutcome, InstanceRun, InstanceSpec, SvcConfig, SvcReport,
+    TaggedFrame,
+};
 pub use verdict::{DegradationReason, DegradationVerdict, FailedLink, NetStats};

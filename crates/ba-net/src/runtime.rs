@@ -425,7 +425,9 @@ impl<P: Payload + 'static> NetRuntime<P> {
                 }
             }
 
-            // The unreliable wire.
+            // The unreliable wire. A standalone runtime flushes each frame
+            // as its own wire send; only the service layer coalesces.
+            stats.note_solo_flushes(frames.len() as u64);
             let report = wire::deliver(phase, frames, &chaos, &mut rng, policy, &mut stats);
             if report.pending > 0 {
                 finish_registry(&registry);

@@ -49,22 +49,92 @@ pub struct NetStats {
     pub acks_lost: u64,
     /// The largest number of virtual ticks any phase needed to settle.
     pub max_ticks_in_phase: u64,
+    /// Wire sends issued: one per flush of a directed link. The runtime
+    /// flushes every frame on its own (all solo); the service layer
+    /// coalesces every instance's frames for one link into one flush.
+    pub flushes: u64,
+    /// Flushes that carried exactly one frame.
+    pub solo_flushes: u64,
+    /// Flushes that carried two or more frames (the coalescing win).
+    pub batched_flushes: u64,
+    /// Total frames carried across all flushes.
+    pub coalesced_frames: u64,
+    /// The largest number of frames any single flush carried.
+    pub max_frames_per_flush: u64,
     /// Every permanently failed link, in detection order.
     pub failed_links: Vec<FailedLink>,
+}
+
+impl NetStats {
+    /// Records one flush of a directed link carrying `frames` frames.
+    pub fn note_flush(&mut self, frames: u64) {
+        self.flushes += 1;
+        self.coalesced_frames += frames;
+        if frames > 1 {
+            self.batched_flushes += 1;
+        } else {
+            self.solo_flushes += 1;
+        }
+        self.max_frames_per_flush = self.max_frames_per_flush.max(frames);
+    }
+
+    /// Records `count` flushes of one frame each — the runtime's
+    /// one-wire-send-per-frame behaviour.
+    pub fn note_solo_flushes(&mut self, count: u64) {
+        self.flushes += count;
+        self.solo_flushes += count;
+        self.coalesced_frames += count;
+        if count > 0 {
+            self.max_frames_per_flush = self.max_frames_per_flush.max(1);
+        }
+    }
+
+    /// Mean frames carried per flush (`0.0` before any flush).
+    pub fn frames_per_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.coalesced_frames as f64 / self.flushes as f64
+        }
+    }
+
+    /// Folds `other`'s counters into `self`: sums everything summable,
+    /// maxes the maxima, appends the failed links. The service layer uses
+    /// this to aggregate per-instance wire statistics into one fleet view.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.frames_delivered += other.frames_delivered;
+        self.frames_failed += other.frames_failed;
+        self.physical_transmissions += other.physical_transmissions;
+        self.retransmissions += other.retransmissions;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.acks_lost += other.acks_lost;
+        self.max_ticks_in_phase = self.max_ticks_in_phase.max(other.max_ticks_in_phase);
+        self.flushes += other.flushes;
+        self.solo_flushes += other.solo_flushes;
+        self.batched_flushes += other.batched_flushes;
+        self.coalesced_frames += other.coalesced_frames;
+        self.max_frames_per_flush = self.max_frames_per_flush.max(other.max_frames_per_flush);
+        self.failed_links.extend(other.failed_links.iter().copied());
+    }
 }
 
 impl fmt::Display for NetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "delivered={} failed={} physical={} retx={} dups={} acks_lost={} max_ticks={}",
+            "delivered={} failed={} physical={} retx={} dups={} acks_lost={} max_ticks={} \
+             flushes={} (solo={} batched={} frames/flush={:.2})",
             self.frames_delivered,
             self.frames_failed,
             self.physical_transmissions,
             self.retransmissions,
             self.duplicates_suppressed,
             self.acks_lost,
-            self.max_ticks_in_phase
+            self.max_ticks_in_phase,
+            self.flushes,
+            self.solo_flushes,
+            self.batched_flushes,
+            self.frames_per_flush()
         )
     }
 }
@@ -199,6 +269,52 @@ mod tests {
         assert!(text.contains("5 attempts"), "{text}");
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<DegradationVerdict>();
+    }
+
+    #[test]
+    fn flush_counters_distinguish_solo_from_batched() {
+        let mut stats = NetStats::default();
+        stats.note_flush(1);
+        stats.note_flush(3);
+        stats.note_solo_flushes(2);
+        assert_eq!(stats.flushes, 4);
+        assert_eq!(stats.solo_flushes, 3);
+        assert_eq!(stats.batched_flushes, 1);
+        assert_eq!(stats.coalesced_frames, 6);
+        assert_eq!(stats.max_frames_per_flush, 3);
+        assert_eq!(stats.frames_per_flush(), 1.5);
+        let text = stats.to_string();
+        assert!(text.contains("flushes=4"), "{text}");
+        assert!(text.contains("batched=1"), "{text}");
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_maxima() {
+        let mut a = NetStats {
+            frames_delivered: 2,
+            max_ticks_in_phase: 5,
+            ..NetStats::default()
+        };
+        a.note_flush(2);
+        let mut b = NetStats {
+            frames_delivered: 3,
+            max_ticks_in_phase: 9,
+            failed_links: vec![FailedLink {
+                phase: 1,
+                from: ProcessId(0),
+                to: ProcessId(1),
+                attempts: 5,
+            }],
+            ..NetStats::default()
+        };
+        b.note_flush(7);
+        a.absorb(&b);
+        assert_eq!(a.frames_delivered, 5);
+        assert_eq!(a.max_ticks_in_phase, 9);
+        assert_eq!(a.flushes, 2);
+        assert_eq!(a.coalesced_frames, 9);
+        assert_eq!(a.max_frames_per_flush, 7);
+        assert_eq!(a.failed_links.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Acceptance tests for the `ba-svc` multiplexer: K concurrent instances
+//! decide byte-identically to K standalone runs — at 1 and 4 workers, with
+//! and without chaos — degradation verdicts stay per-instance, flush
+//! coalescing is visible in the counters, and the fleet-shared verifier
+//! cache does strictly less crypto work than isolated runs.
+
+use ba_algos::checkable::{find_target, targets, CheckConfig};
+use ba_crypto::{ProcessId, Value};
+use ba_net::{
+    instance_seed, run_target, run_target_multiplexed, ChaosProfile, DegradationReason, FailedLink,
+    LinkChaos, MultiplexRun, NetConfig, NetRunError, NetStats, SvcConfig,
+};
+use ba_sim::schedule::{FaultBehavior, ScheduleSpec};
+
+fn cfg_for(target_name: &str, value: Value, spec: ScheduleSpec) -> CheckConfig {
+    let (n, t) = if target_name == "algorithm1" {
+        (5, 2)
+    } else {
+        (4, 1)
+    };
+    CheckConfig {
+        n,
+        t,
+        value,
+        seed: 11,
+        threads: 1,
+        spec,
+    }
+}
+
+fn splitting_spec() -> ScheduleSpec {
+    ScheduleSpec {
+        faults: vec![(
+            ProcessId(0),
+            FaultBehavior::OmitTo {
+                targets: vec![ProcessId(2)],
+            },
+        )],
+        link_drops: vec![],
+    }
+}
+
+/// The wire-level fields both execution paths populate identically. The
+/// flush counters are deliberately excluded: a standalone runtime records
+/// its own solo flushes while a multiplexed instance's flushes are
+/// accounted fleet-wide.
+fn wire_fields(stats: &NetStats) -> (u64, u64, u64, u64, u64, u64, u64, Vec<FailedLink>) {
+    (
+        stats.frames_delivered,
+        stats.frames_failed,
+        stats.physical_transmissions,
+        stats.retransmissions,
+        stats.duplicates_suppressed,
+        stats.acks_lost,
+        stats.max_ticks_in_phase,
+        stats.failed_links.clone(),
+    )
+}
+
+/// A fleet of 3 instances per target: mixed values, one instance carrying
+/// the splitting schedule so the faulty-sender path is exercised too.
+fn fleet_cfgs(target_name: &str) -> Vec<CheckConfig> {
+    vec![
+        cfg_for(target_name, Value::ONE, ScheduleSpec::default()),
+        cfg_for(target_name, Value::ZERO, ScheduleSpec::default()),
+        cfg_for(target_name, Value::ONE, splitting_spec()),
+    ]
+}
+
+#[test]
+fn multiplexed_instances_match_standalone_runs_for_every_target() {
+    for target in targets() {
+        let cfgs = fleet_cfgs(target.name);
+        for chaos in [ChaosProfile::reliable(), ChaosProfile::lossy(77, 150)] {
+            for threads in [1usize, 4] {
+                let svc = SvcConfig {
+                    threads,
+                    admit_per_tick: 1, // stagger admissions: phases pipeline
+                    ..SvcConfig::default()
+                };
+                let mux = run_target_multiplexed(target, &cfgs, &svc, &chaos)
+                    .unwrap_or_else(|e| panic!("{} threads={threads}: {e}", target.name));
+                assert_eq!(mux.runs.len(), cfgs.len());
+                for (i, (mux_run, cfg)) in mux.runs.iter().zip(&cfgs).enumerate() {
+                    let ctx = format!("{} instance={i} threads={threads}", target.name);
+                    let solo_chaos = chaos.clone().reseeded(instance_seed(chaos.seed, i as u64));
+                    let solo = run_target(target, cfg, &NetConfig::default(), &solo_chaos);
+                    match (mux_run, solo) {
+                        (Ok(m), Ok(s)) => {
+                            assert_eq!(m.decisions, s.decisions, "{ctx}");
+                            assert_eq!(m.correct, s.correct, "{ctx}");
+                            assert_eq!(m.suspected, s.suspected, "{ctx}");
+                            assert_eq!(m.agreement, s.agreement, "{ctx}");
+                            assert_eq!(
+                                m.metrics.messages_by_correct, s.metrics.messages_by_correct,
+                                "{ctx}"
+                            );
+                            assert_eq!(
+                                m.metrics.omitted_messages, s.metrics.omitted_messages,
+                                "{ctx}"
+                            );
+                            assert_eq!(wire_fields(&m.stats), wire_fields(&s.stats), "{ctx}");
+                        }
+                        (Err(m), Err(NetRunError::Degraded(s))) => {
+                            assert_eq!(m.phase, s.phase, "{ctx}");
+                            assert_eq!(m.reason, s.reason, "{ctx}");
+                            assert_eq!(m.suspected, s.suspected, "{ctx}");
+                            assert_eq!(m.failed_links, s.failed_links, "{ctx}");
+                        }
+                        (m, s) => panic!("{ctx}: multiplexed {m:?} but standalone {s:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multiplexed_runs_are_worker_count_independent() {
+    // Not just decisions: metrics (including deferred-mode crypto
+    // counters), wire stats, tick count and the fleet flush counters must
+    // be byte-identical at any worker count.
+    let summarize = |mux: &MultiplexRun| {
+        let per_instance: Vec<_> = mux
+            .runs
+            .iter()
+            .map(|r| match r {
+                Ok(run) => (
+                    Some((
+                        run.decisions.clone(),
+                        run.correct.clone(),
+                        run.metrics.clone(),
+                        run.stats.clone(),
+                    )),
+                    None,
+                ),
+                Err(v) => (None, Some((*v).clone())),
+            })
+            .collect();
+        (per_instance, mux.stats.clone(), mux.ticks, mux.cache)
+    };
+    for target in targets() {
+        let cfgs = fleet_cfgs(target.name);
+        for chaos in [ChaosProfile::reliable(), ChaosProfile::stress(91)] {
+            let run = |threads: usize| {
+                let svc = SvcConfig {
+                    threads,
+                    admit_per_tick: 2,
+                    ..SvcConfig::default()
+                };
+                run_target_multiplexed(target, &cfgs, &svc, &chaos)
+                    .unwrap_or_else(|e| panic!("{}: {e}", target.name))
+            };
+            let one = run(1);
+            let four = run(4);
+            assert_eq!(
+                summarize(&one),
+                summarize(&four),
+                "{} diverges across worker counts",
+                target.name
+            );
+        }
+    }
+}
+
+#[test]
+fn coalesced_flushes_are_batched_across_instances() {
+    let target = find_target("ds-broadcast").unwrap();
+    let cfg = cfg_for(target.name, Value::ONE, ScheduleSpec::default());
+    let cfgs = vec![cfg.clone(), cfg.clone(), cfg.clone(), cfg.clone()];
+
+    // All four instances admitted in one tick march phases in lockstep, so
+    // every directed link's flush carries four instances' frames.
+    let svc = SvcConfig {
+        admit_per_tick: 8,
+        ..SvcConfig::default()
+    };
+    let mux = run_target_multiplexed(target, &cfgs, &svc, &ChaosProfile::reliable()).unwrap();
+    assert!(
+        mux.stats.batched_flushes > 0,
+        "concurrent instances must share flushes: {}",
+        mux.stats
+    );
+    assert!(mux.stats.max_frames_per_flush >= 4, "{}", mux.stats);
+    // Under a reliable wire every coalesced frame is delivered exactly once.
+    assert_eq!(mux.stats.coalesced_frames, mux.stats.frames_delivered);
+    assert!(
+        mux.stats.flushes < mux.stats.coalesced_frames,
+        "fewer wire sends than frames is the whole point: {}",
+        mux.stats
+    );
+
+    // One instance at a time (no multiplexing) has nothing to coalesce:
+    // ds-broadcast stages at most one frame per link per phase.
+    let serial = SvcConfig {
+        max_inflight: 1,
+        admit_per_tick: 1,
+        ..SvcConfig::default()
+    };
+    let solo = run_target_multiplexed(target, &cfgs, &serial, &ChaosProfile::reliable()).unwrap();
+    assert_eq!(solo.stats.batched_flushes, 0, "{}", solo.stats);
+    assert_eq!(solo.stats.frames_delivered, mux.stats.frames_delivered);
+}
+
+#[test]
+fn shared_cache_verifies_repeated_prefixes_once_fleet_wide() {
+    // Six identical instances, admitted one per tick: instance k's phase-p
+    // verifications were already published by instance k-1's identical
+    // phase-p work, so the fleet does strictly less signature verification
+    // than six isolated runs — the cache is shared, not merely present.
+    let target = find_target("ds-broadcast").unwrap();
+    let cfg = cfg_for(target.name, Value::ONE, ScheduleSpec::default());
+    let cfgs = vec![cfg.clone(); 6];
+    let svc = SvcConfig {
+        admit_per_tick: 1,
+        ..SvcConfig::default()
+    };
+    let mux = run_target_multiplexed(target, &cfgs, &svc, &ChaosProfile::reliable()).unwrap();
+    let mux_verifications: u64 = mux
+        .runs
+        .iter()
+        .map(|r| r.as_ref().unwrap().metrics.crypto.sig_verifications)
+        .sum();
+    let solo_verifications: u64 = (0..6)
+        .map(|_| {
+            run_target(
+                target,
+                &cfg,
+                &NetConfig::default(),
+                &ChaosProfile::reliable(),
+            )
+            .unwrap()
+            .metrics
+            .crypto
+            .sig_verifications
+        })
+        .sum();
+    assert!(
+        mux_verifications < solo_verifications,
+        "fleet-shared cache must save work: multiplexed {mux_verifications} vs isolated {solo_verifications}"
+    );
+    let (hits, _, evictions) = mux.cache;
+    assert!(hits > 0, "the shared cache must actually hit");
+    assert_eq!(evictions, 0, "this workload fits the default cap");
+}
+
+#[test]
+fn degradation_verdicts_stay_per_instance() {
+    // A fleet-wide dead link 1 -> 3 under budget t = 1: instances with no
+    // scheduled faults suspect p1 and still decide; the instance whose
+    // schedule already spends the budget on the transmitter degrades with
+    // its own FaultBudgetExceeded verdict. The service settles them all.
+    let target = find_target("ds-broadcast").unwrap();
+    let cfgs = vec![
+        cfg_for(target.name, Value::ONE, ScheduleSpec::default()),
+        cfg_for(target.name, Value::ONE, splitting_spec()),
+        cfg_for(target.name, Value::ZERO, ScheduleSpec::default()),
+    ];
+    let chaos = ChaosProfile::reliable().with_link(ProcessId(1), ProcessId(3), LinkChaos::dead());
+    let svc = SvcConfig::default();
+    let mux = run_target_multiplexed(target, &cfgs, &svc, &chaos).unwrap();
+    assert_eq!(mux.runs.len(), 3);
+
+    let healthy = mux.runs[0].as_ref().expect("within budget: decides");
+    assert_eq!(healthy.suspected, vec![ProcessId(1)]);
+    assert!(!healthy.violated(), "{:?}", healthy.agreement);
+
+    let degraded = mux.runs[1].as_ref().expect_err("budget blown: degrades");
+    assert!(
+        matches!(
+            degraded.reason,
+            DegradationReason::FaultBudgetExceeded {
+                observed: 2,
+                budget: 1
+            }
+        ),
+        "{degraded}"
+    );
+    assert_eq!(degraded.suspected, vec![ProcessId(1)]);
+
+    let other = mux.runs[2].as_ref().expect("unaffected by neighbour");
+    assert!(!other.violated(), "{:?}", other.agreement);
+    assert_eq!(
+        other.decisions.iter().flatten().count(),
+        4,
+        "every processor of the healthy instance decides"
+    );
+}
+
+#[test]
+fn latencies_and_ticks_reflect_pipelining() {
+    // K staggered instances over a (phases + 1)-tick protocol: pipelining
+    // must finish in far fewer ticks than K serial protocol runs, and
+    // every decided instance reports a latency.
+    let target = find_target("ds-broadcast").unwrap();
+    let cfg = cfg_for(target.name, Value::ONE, ScheduleSpec::default());
+    let k = 8usize;
+    let cfgs = vec![cfg; k];
+    let pipelined = SvcConfig {
+        admit_per_tick: 1,
+        ..SvcConfig::default()
+    };
+    let mux = run_target_multiplexed(target, &cfgs, &pipelined, &ChaosProfile::reliable()).unwrap();
+    assert_eq!(mux.latencies.len(), k);
+    // ds-broadcast t=1: 2 phases + finalize = 3 steps; +1 settle tick.
+    // Pipelined: ~K + phases ticks instead of K * (phases + 2).
+    assert!(
+        mux.ticks <= (k as u64) + 6,
+        "pipelining should overlap instances: {} ticks",
+        mux.ticks
+    );
+
+    let serial = SvcConfig {
+        max_inflight: 1,
+        admit_per_tick: 1,
+        ..SvcConfig::default()
+    };
+    let solo = run_target_multiplexed(target, &cfgs, &serial, &ChaosProfile::reliable()).unwrap();
+    assert!(
+        solo.ticks > mux.ticks,
+        "serial ({}) must need more ticks than pipelined ({})",
+        solo.ticks,
+        mux.ticks
+    );
+}
