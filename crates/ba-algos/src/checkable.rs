@@ -141,6 +141,12 @@ pub struct CheckTarget {
     /// every well-formed schedule. Violations on a sound target are bugs;
     /// on an unsound target they are the corpus's reason to exist.
     pub sound: bool,
+    /// Whether the target can agree on arbitrary (non-binary) input
+    /// values. The Dolev–Strong variants relay whatever signed value the
+    /// transmitter introduces, so they serve as inner-BA for the
+    /// extension layer's digest words; Algorithm 1's bipartite structure
+    /// is inherently binary.
+    pub multi_valued: bool,
     supports: fn(n: usize, t: usize) -> bool,
     build_fn: fn(&CheckConfig, Option<&Arc<VerifierCache>>) -> Result<CheckSetup, ScheduleError>,
 }
@@ -173,7 +179,7 @@ impl CheckTarget {
                 self.name, cfg.n, cfg.t
             ));
         }
-        if cfg.value != Value::ZERO && cfg.value != Value::ONE {
+        if !self.multi_valued && cfg.value != Value::ZERO && cfg.value != Value::ONE {
             return Err(format!("value {} is not binary", cfg.value));
         }
         cfg.spec.validate(cfg.n, cfg.t)?;
@@ -238,6 +244,7 @@ pub fn targets() -> &'static [CheckTarget] {
             name: "ds-broadcast",
             summary: "Dolev-Strong, broadcast variant (t + 1 phases, O(n^2) messages)",
             sound: true,
+            multi_valued: true,
             supports: ds_supports,
             build_fn: build_ds_broadcast,
         },
@@ -245,6 +252,7 @@ pub fn targets() -> &'static [CheckTarget] {
             name: "ds-relay",
             summary: "Dolev-Strong, committee-relay variant (t + 3 phases, O(nt) messages)",
             sound: true,
+            multi_valued: true,
             supports: ds_supports,
             build_fn: build_ds_relay,
         },
@@ -253,6 +261,7 @@ pub fn targets() -> &'static [CheckTarget] {
             summary:
                 "Dolev-Strong broadcast with an off-by-one relay threshold (deliberately broken)",
             sound: false,
+            multi_valued: true,
             supports: ds_supports,
             build_fn: build_ds_weak,
         },
@@ -260,6 +269,7 @@ pub fn targets() -> &'static [CheckTarget] {
             name: "algorithm1",
             summary: "Algorithm 1, the bipartite signature-chain algorithm (n = 2t + 1)",
             sound: true,
+            multi_valued: false,
             supports: alg1_supports,
             build_fn: build_algorithm1,
         },
@@ -454,9 +464,18 @@ mod tests {
         let ds = find_target("ds-broadcast").unwrap();
         assert!(ds.validate(&cfg(4, 1, ScheduleSpec::default())).is_ok());
         assert!(ds.validate(&cfg(2, 1, ScheduleSpec::default())).is_err());
+        // Dolev–Strong relays arbitrary signed values, so a non-binary
+        // input is valid there (the extension layer's digest words depend
+        // on this) — but binary-only targets still reject it.
         let mut non_binary = cfg(4, 1, ScheduleSpec::default());
         non_binary.value = Value(7);
-        assert!(ds.validate(&non_binary).is_err());
+        assert!(ds.validate(&non_binary).is_ok());
+        let mut non_binary_alg1 = cfg(5, 2, ScheduleSpec::default());
+        non_binary_alg1.value = Value(7);
+        assert!(find_target("algorithm1")
+            .unwrap()
+            .validate(&non_binary_alg1)
+            .is_err());
         // Equivocation off the transmitter is target-invalid even though
         // the spec itself is well-formed.
         let eq_spec = ScheduleSpec {
@@ -468,6 +487,28 @@ mod tests {
         let alg1 = find_target("algorithm1").unwrap();
         assert!(alg1.validate(&cfg(5, 2, ScheduleSpec::default())).is_ok());
         assert!(alg1.validate(&cfg(6, 2, ScheduleSpec::default())).is_err());
+    }
+
+    #[test]
+    fn multi_valued_targets_agree_on_arbitrary_values() {
+        // The extension layer agrees on digest words through the DS
+        // variants; a fault-free run must carry an arbitrary 64-bit value
+        // to every correct processor, and a faulty transmitter must still
+        // leave agreement intact (validity is then vacuous).
+        for name in ["ds-broadcast", "ds-relay"] {
+            let target = find_target(name).unwrap();
+            assert!(target.multi_valued);
+            let mut config = cfg(5, 1, ScheduleSpec::default());
+            config.value = Value(0x00AB_CDEF_0123_4567);
+            let outcome = target.run(&config);
+            assert_eq!(outcome.failure(), None, "{name}");
+            let verdict = outcome.verdict.unwrap();
+            assert_eq!(verdict.agreed, Some(config.value), "{name}");
+
+            let mut config = cfg(5, 1, splitting_spec());
+            config.value = Value(0x00AB_CDEF_0123_4567);
+            assert_eq!(target.run(&config).failure(), None, "{name} under faults");
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ use ba_algos::{algorithm3, dolev_strong};
 use ba_bench::microbench::{bench, print_samples, Sample};
 use ba_crypto::keys::{KeyRegistry, SchemeKind, Signer, Verifier};
 use ba_crypto::{Chain, ProcessId, Value};
-use ba_sim::{Actor, Envelope, Metrics, Outbox, RunOutcome, Simulation};
+use ba_sim::{Actor, Envelope, Metrics, Outbox, Payload, RunOutcome, Simulation};
 use std::fmt::Write as _;
 
 const FANOUT_PEERS: usize = 64;
@@ -229,6 +229,10 @@ struct Row {
     threads: usize,
     pooled: bool,
     batched: bool,
+    /// Wire bytes sent by correct processors in one run of this cell
+    /// (`Metrics::bytes_by_correct`; for the `chain_fanout` microbench,
+    /// the staged broadcast volume).
+    bytes_sent: u64,
     sample: Sample,
 }
 
@@ -238,7 +242,7 @@ fn json_rows(rows: &[Row], parallelism: usize) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pooled\": {}, \"batched\": {}, \"parallelism\": {}, \"single_core\": {single_core}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
+            "    {{\"section\": \"{}\", \"label\": \"{}\", \"n\": {}, \"threads\": {}, \"pooled\": {}, \"batched\": {}, \"parallelism\": {}, \"single_core\": {single_core}, \"bytes_sent\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
             r.section,
             r.label,
             r.n,
@@ -246,6 +250,7 @@ fn json_rows(rows: &[Row], parallelism: usize) -> String {
             r.pooled,
             r.batched,
             parallelism,
+            r.bytes_sent,
             r.sample.median_ns,
             r.sample.mean_ns,
             r.sample.min_ns,
@@ -376,6 +381,7 @@ fn main() {
                 threads: 1,
                 pooled: false,
                 batched: false,
+                bytes_sent: (chain.weight_bytes() * (FANOUT_PEERS - 1)) as u64,
                 sample: bench(
                     format!("fanout L={len:>3} to {} peers", FANOUT_PEERS - 1),
                     || {
@@ -421,6 +427,7 @@ fn main() {
                     threads,
                     pooled,
                     batched: false,
+                    bytes_sent: outcome.metrics.bytes_by_correct,
                     sample,
                 });
             }
@@ -451,7 +458,8 @@ fn main() {
             };
             let baseline = run_ds(1).outcome.metrics;
             for threads in [1usize, 4] {
-                ds_identical &= run_ds(threads).outcome.metrics == baseline;
+                let probe = run_ds(threads).outcome.metrics;
+                ds_identical &= probe == baseline;
                 rows.push(Row {
                     section: "dolev_strong",
                     label: format!("t={t} threads={threads}"),
@@ -459,6 +467,7 @@ fn main() {
                     threads,
                     pooled: true,
                     batched: false,
+                    bytes_sent: probe.bytes_by_correct,
                     sample: bench(format!("dolev-strong n={n:>3} threads={threads}"), || {
                         run_ds(threads).outcome.metrics.messages_by_correct
                     }),
@@ -486,7 +495,8 @@ fn main() {
         };
         let baseline = run_a3(1).outcome.metrics;
         for threads in [1usize, 4] {
-            alg3_identical &= run_a3(threads).outcome.metrics == baseline;
+            let probe = run_a3(threads).outcome.metrics;
+            alg3_identical &= probe == baseline;
             rows.push(Row {
                 section: "algorithm3",
                 label: format!("t={t} s={s} threads={threads}"),
@@ -494,6 +504,7 @@ fn main() {
                 threads,
                 pooled: true,
                 batched: false,
+                bytes_sent: probe.bytes_by_correct,
                 sample: bench(format!("algorithm3 n={n:>3} threads={threads}"), || {
                     run_a3(threads).outcome.metrics.messages_by_correct
                 }),
@@ -543,6 +554,7 @@ fn main() {
                         threads,
                         pooled: true,
                         batched: true,
+                        bytes_sent: baseline.as_ref().map_or(0, |m| m.bytes_by_correct),
                         sample,
                     });
                 }

@@ -238,6 +238,16 @@ fn agreements(mux: &MultiplexRun) -> usize {
         .count()
 }
 
+/// Fleet-wide wire bytes sent by correct processors (degraded instances
+/// contribute nothing — their runs carry no metrics).
+fn fleet_bytes(mux: &MultiplexRun) -> u64 {
+    mux.runs
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|run| run.metrics.bytes_by_correct)
+        .sum()
+}
+
 fn degraded(mux: &MultiplexRun) -> usize {
     mux.runs.iter().filter(|r| r.is_err()).count()
 }
@@ -359,7 +369,12 @@ fn main() {
     if cfg.section("throughput") {
         for &threads in &cfg.threads {
             let serial_decided = run_serial(target, &cfgs, &reliable, threads);
-            let pipe_decided = agreements(&run_svc(target, &cfgs, &reliable, threads, true));
+            // The svc-serial probe doubles as the wire-volume source for
+            // the serial-runtime row: per-instance byte-identity with the
+            // standalone runtime is the gated determinism contract.
+            let serial_probe = run_svc(target, &cfgs, &reliable, threads, false);
+            let pipe_probe = run_svc(target, &cfgs, &reliable, threads, true);
+            let pipe_decided = agreements(&pipe_probe);
             assert_eq!(
                 serial_decided, k,
                 "reliable wire: every serial instance must decide"
@@ -388,13 +403,21 @@ fn main() {
                 );
                 medians[si] = sample.median_ns;
                 let agreements_per_sec = k as f64 * 1e9 / sample.median_ns;
+                let bytes_sent = if label == "svc-pipelined" {
+                    fleet_bytes(&pipe_probe)
+                } else {
+                    fleet_bytes(&serial_probe)
+                };
                 rows.push(Row {
                     section: "throughput",
                     label: format!("{label} k={k}"),
                     threads,
                     batched,
                     sample,
-                    extra: format!(", \"agreements_per_sec\": {agreements_per_sec:.1}"),
+                    extra: format!(
+                        ", \"agreements_per_sec\": {agreements_per_sec:.1}, \
+                         \"bytes_sent\": {bytes_sent}"
+                    ),
                 });
             }
             let speedup = medians[0] / medians[2];
@@ -414,8 +437,12 @@ fn main() {
     // -- latency: p50/p99 admission-to-decision, pipelined fleet -----------
     if cfg.section("latency") {
         let mut pooled_ns: Vec<f64> = Vec::new();
-        for _ in 0..LATENCY_RUNS {
+        let mut fleet_wire: u64 = 0;
+        for i in 0..LATENCY_RUNS {
             let mux = run_svc(target, &cfgs, &reliable, th_hi, true);
+            if i == 0 {
+                fleet_wire = fleet_bytes(&mux);
+            }
             pooled_ns.extend(mux.latencies.iter().map(|d| d.as_nanos() as f64));
         }
         pooled_ns.sort_by(|a, b| a.total_cmp(b));
@@ -434,7 +461,7 @@ fn main() {
                     mean_ns: pooled_ns.iter().sum::<f64>() / pooled_ns.len() as f64,
                     min_ns: pooled_ns[0],
                 },
-                extra: String::new(),
+                extra: format!(", \"bytes_sent\": {fleet_wire}"),
             });
         }
     }
@@ -468,7 +495,9 @@ fn main() {
                 sample,
                 extra: format!(
                     ", \"drop_per_mille\": {drop}, \"decided\": {decided}, \
-                     \"degraded\": {failed}, \"agreements_per_sec\": {agreements_per_sec:.1}"
+                     \"degraded\": {failed}, \"agreements_per_sec\": {agreements_per_sec:.1}, \
+                     \"bytes_sent\": {}",
+                    fleet_bytes(&probe)
                 ),
             });
         }

@@ -747,6 +747,51 @@ mod tests {
     }
 
     #[test]
+    fn cap_pressure_cannot_force_redundant_reverification() {
+        // Regression: a per-shard cap-clear used to evict the prefix
+        // digest a verify had just reused, so the *next* verify of the
+        // same chain in the same tick re-checked every signature (and,
+        // under HMAC, re-hashed every tag). The touched-this-flush pin
+        // keeps the hot prefix across the clear.
+        let reg = KeyRegistry::new(12, 13, SchemeKind::Fast);
+        reg.cache().set_shard_cap(4);
+        let v = reg.verifier();
+        let mut c = Chain::new(4, Value::ONE);
+        for id in 0..8 {
+            c.sign_and_append(&reg.signer(ProcessId(id)));
+        }
+        c.verify(&v).unwrap();
+
+        // Reuse the full prefix once — this pins it for the current
+        // flush window.
+        let before = CryptoStats::snapshot();
+        c.verify(&v).unwrap();
+        assert_eq!(CryptoStats::snapshot().since(&before).sig_verifications, 0);
+
+        // Cap pressure from other traffic: 16 unrelated digests per shard
+        // (XOR fold of i < 256 is its low byte, so i % 16 walks the
+        // shards), overflowing every shard's cap of 4 several times over
+        // and evicting everything unpinned.
+        let mut d = [0u8; DIGEST_LEN];
+        for i in 0..256u64 {
+            d[..8].copy_from_slice(&i.to_be_bytes());
+            reg.cache().insert_verified(&[d]);
+        }
+        assert!(reg.cache().evictions() > 0);
+
+        // The reused prefix survived: still zero redundant signature
+        // checks (pre-fix this delta was 8 — the whole chain again).
+        let before = CryptoStats::snapshot();
+        c.verify(&v).unwrap();
+        let delta = CryptoStats::snapshot().since(&before);
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(
+            delta.sig_verifications, 0,
+            "pinned prefix was evicted under cap pressure"
+        );
+    }
+
+    #[test]
     fn cache_never_rescues_a_tampered_chain() {
         // Verify a good chain (populating the cache), then tamper with a
         // *suffix* signature: the cached prefix is reused but the bad

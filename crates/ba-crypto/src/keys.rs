@@ -199,6 +199,39 @@ struct CacheShard {
     /// buffered digests must be schedule-independent, which it is because
     /// each actor's verifications are deterministic.
     pending: Mutex<Vec<[u8; DIGEST_LEN]>>,
+    /// Digests a lookup reused since the last flush: the *hot* prefixes.
+    /// A cap-clear retains these instead of wiping the whole shard, so
+    /// eviction under cap pressure can no longer discard a digest that the
+    /// very next verification in the same tick would redundantly re-hash.
+    /// The set is schedule independent (a phase's reused prefixes are a
+    /// deterministic union over actors) and is reset at every flush
+    /// boundary, so it pins at most one flush window's working set.
+    touched: Mutex<HashSet<[u8; DIGEST_LEN]>>,
+}
+
+impl CacheShard {
+    /// Evicts down to the touched-this-flush pin set, charging the removed
+    /// entries to `evictions`. The pin set survives the clear (repeated
+    /// overflow within one flush window must not strip the pins) and is
+    /// reset only at flush boundaries — except when it has itself grown to
+    /// `cap`, where everything is wiped so the cap keeps bounding memory
+    /// even for immediate-mode callers that never flush.
+    fn evict_keeping_touched(
+        &self,
+        verified: &mut HashSet<[u8; DIGEST_LEN]>,
+        evictions: &AtomicU64,
+        cap: usize,
+    ) {
+        let mut touched = self.touched.lock().expect("verifier cache poisoned");
+        let before = verified.len();
+        if touched.is_empty() || touched.len() >= cap {
+            verified.clear();
+            touched.clear();
+        } else {
+            verified.retain(|d| touched.contains(d));
+        }
+        evictions.fetch_add((before - verified.len()) as u64, Ordering::Relaxed);
+    }
 }
 
 /// Number of independently locked cache shards.
@@ -268,7 +301,16 @@ impl VerifierCache {
                 .contains(d)
         });
         match found {
-            Some(_) => {
+            Some(i) => {
+                // Pin the reused prefix against cap-clears until the next
+                // flush: evicting a digest that lookups in the same tick
+                // still depend on would force a redundant re-hash.
+                let d = &digests[i];
+                self.shards[shard_of(d)]
+                    .touched
+                    .lock()
+                    .expect("verifier cache poisoned")
+                    .insert(*d);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 crate::stats::record_cache_hit();
             }
@@ -295,11 +337,10 @@ impl VerifierCache {
                     .push(*d);
                 continue;
             }
+            let cap = self.shard_cap();
             let mut verified = shard.verified.lock().expect("verifier cache poisoned");
-            if verified.len() >= self.shard_cap() {
-                self.evictions
-                    .fetch_add(verified.len() as u64, Ordering::Relaxed);
-                verified.clear();
+            if verified.len() >= cap {
+                shard.evict_keeping_touched(&mut verified, &self.evictions, cap);
             }
             verified.insert(*d);
         }
@@ -338,14 +379,26 @@ impl VerifierCache {
         for shard in &self.shards {
             let mut pending = shard.pending.lock().expect("verifier cache poisoned");
             if pending.is_empty() {
+                // Flush is still a tick boundary: expire the shard's pins
+                // so a quiet phase does not extend their lifetime.
+                shard
+                    .touched
+                    .lock()
+                    .expect("verifier cache poisoned")
+                    .clear();
                 continue;
             }
+            let cap = self.shard_cap();
             let mut verified = shard.verified.lock().expect("verifier cache poisoned");
-            if verified.len() + pending.len() > self.shard_cap() {
-                self.evictions
-                    .fetch_add(verified.len() as u64, Ordering::Relaxed);
-                verified.clear();
+            if verified.len() + pending.len() > cap {
+                shard.evict_keeping_touched(&mut verified, &self.evictions, cap);
             }
+            // Flush is the pin boundary: the window's pins expire here.
+            shard
+                .touched
+                .lock()
+                .expect("verifier cache poisoned")
+                .clear();
             verified.extend(pending.drain(..));
         }
     }
@@ -914,6 +967,41 @@ mod tests {
         }
         cache.flush_pending();
         assert_eq!(cache.evictions(), 9);
+    }
+
+    #[test]
+    fn cap_clear_retains_digests_touched_this_flush() {
+        // Regression: a shard at its cap used to clear *everything*,
+        // including a digest a lookup had reused moments earlier in the
+        // same flush window — the next verification depending on that
+        // prefix then redundantly re-verified the whole chain. A reused
+        // digest is now pinned until the next flush boundary.
+        let cache = VerifierCache::with_shard_cap(2);
+        let fold0 = |i: u16| {
+            let mut d = [0u8; 32];
+            d[..2].copy_from_slice(&i.to_be_bytes());
+            d[2] = (i & 0xFF) as u8 ^ (i >> 8) as u8; // keep fold 0
+            d
+        };
+        let hot = fold0(0);
+        cache.insert_verified(&[hot]);
+        // A lookup reuses `hot`, pinning it for this flush window.
+        assert_eq!(cache.longest_verified_prefix(&[hot]), Some(0));
+        // Cap pressure in the same window: the shard overflows and
+        // clears — but must keep the pinned digest.
+        cache.insert_verified(&[fold0(1)]);
+        cache.insert_verified(&[fold0(2)]);
+        assert!(cache.evictions() > 0);
+        assert_eq!(
+            cache.longest_verified_prefix(&[hot]),
+            Some(0),
+            "cap-clear evicted a digest reused this flush"
+        );
+        // The pin expires at the flush boundary, so the cap still bounds
+        // memory: after a flush an untouched `hot` is evictable again.
+        cache.flush_pending();
+        cache.insert_verified(&[fold0(3)]);
+        assert_eq!(cache.longest_verified_prefix(&[hot]), None);
     }
 
     #[test]

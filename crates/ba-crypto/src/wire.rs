@@ -23,7 +23,11 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// An immutable, cheaply clonable byte string (`Arc<[u8]>` inside).
+/// An immutable, cheaply clonable byte string: a shared `Arc<[u8]>`
+/// allocation plus a window `[start, end)` into it.
+///
+/// Equality, ordering and hashing follow the *visible* window contents, so
+/// a slice compares equal to an owned copy of the same bytes.
 ///
 /// ```
 /// use ba_crypto::wire::Bytes;
@@ -32,65 +36,145 @@ use std::sync::Arc;
 /// let c = b.clone(); // O(1), shares the allocation
 /// assert_eq!(&b[..2], &[1, 2]);
 /// assert_eq!(b, c);
+/// let s = b.slice(1..3); // O(1), still shares the allocation
+/// assert_eq!(s, &[2u8, 3][..]);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Bytes(Arc<[u8]>);
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// The empty byte string.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    fn whole(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 
     /// Copies a static slice into a buffer (the in-tree type always owns
     /// its storage; the name matches the `bytes` crate for drop-in use).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::whole(Arc::from(data))
     }
 
     /// Copies an arbitrary slice into a buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::whole(Arc::from(data))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self[..].to_vec()
+    }
+
+    /// A zero-copy sub-window: the returned `Bytes` shares this buffer's
+    /// allocation and exposes `range` of it. O(1) — no bytes move. This is
+    /// what lets a megabyte payload be framed into erasure-coded chunks
+    /// that are all views of the one payload allocation.
+    ///
+    /// # Panics
+    /// Panics when `range` is out of bounds or decreasing, matching slice
+    /// indexing semantics.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of range for {} bytes",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Whether `other` is a view of the same underlying allocation —
+    /// diagnostic for zero-copy invariants in tests.
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v))
+        Bytes::whole(Arc::from(v))
     }
 }
 
@@ -102,24 +186,24 @@ impl From<&[u8]> for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.0[..] == other
+        &self[..] == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.0[..] == *other
+        &self[..] == *other
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &byte in self.0.iter().take(32) {
+        for &byte in self.iter().take(32) {
             write!(f, "{byte:02x}")?;
         }
-        if self.0.len() > 32 {
-            write!(f, "…({} bytes)", self.0.len())?;
+        if self.len() > 32 {
+            write!(f, "…({} bytes)", self.len())?;
         }
         write!(f, "\"")
     }
@@ -420,6 +504,36 @@ mod tests {
         set.insert(Bytes::from_static(b"b"));
         set.insert(Bytes::from_static(b"a"));
         assert_eq!(set.iter().next().unwrap(), &Bytes::from_static(b"a"));
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.slice(4..12);
+        assert_eq!(s.len(), 8);
+        assert_eq!(&s[..], &(4u8..12).collect::<Vec<u8>>()[..]);
+        assert!(b.shares_allocation(&s), "slice must not reallocate");
+        // Slices of slices compose and stay views.
+        let ss = s.slice(2..5);
+        assert_eq!(&ss[..], &[6u8, 7, 8]);
+        assert!(b.shares_allocation(&ss));
+        // Content equality ignores provenance.
+        assert_eq!(ss, Bytes::copy_from_slice(&[6, 7, 8]));
+        assert!(!ss.shares_allocation(&Bytes::copy_from_slice(&[6, 7, 8])));
+        // Empty and full-range slices behave.
+        assert!(b.slice(3..3).is_empty());
+        assert_eq!(b.slice(0..b.len()), b);
+        // Hash/order follow content: a slice keys the same as its copy.
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(b.slice(4..12));
+        assert!(set.contains(&Bytes::copy_from_slice(&(4u8..12).collect::<Vec<u8>>())));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Systematic Reed–Solomon–style erasure coding over GF(256), in-tree.
+//!
+//! A payload is split into `k` *data chunks* — zero-copy
+//! [`Bytes`] slices of the one payload allocation — and extended with
+//! `n − k` *parity chunks* so that **any** `k` of the `n` coded chunks
+//! reconstruct the payload exactly. Chunk `i` is the value of a degree
+//! `< k` polynomial (per byte position) at the field point `i`: points
+//! `0..k` carry the data itself (systematic — fault-free decoding is a
+//! straight concatenation with no field arithmetic), points `k..n` carry
+//! Lagrange-interpolated parity.
+//!
+//! The field is GF(2⁸) with the usual AES-adjacent reduction polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11D), log/exp tables built once. Addition
+//! is XOR, so "any `k` chunks suffice" costs one table-multiply and one
+//! XOR per byte per support chunk — and nothing at all on the systematic
+//! fast path.
+
+use ba_crypto::Bytes;
+use std::sync::OnceLock;
+
+/// Reduction polynomial for GF(2⁸).
+const GF_POLY: u16 = 0x11D;
+
+struct Tables {
+    /// `exp[i] = g^i` for generator `g = 2`, doubled so products of logs
+    /// (each `< 255`) index without a modulo.
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+static TABLES: OnceLock<Tables> = OnceLock::new();
+
+fn tables() -> &'static Tables {
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= GF_POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+fn gf_div(a: u8, b: u8) -> u8 {
+    debug_assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[255 + t.log[a as usize] as usize - t.log[b as usize] as usize]
+}
+
+/// The Lagrange coefficient `∏_{u≠j} (e − xs[u]) / (xs[j] − xs[u])`
+/// (subtraction is XOR): the weight of support point `xs[j]` when
+/// evaluating the interpolating polynomial at `e`.
+fn lagrange_coeff(e: u8, xs: &[u8], j: usize) -> u8 {
+    let mut num = 1u8;
+    let mut den = 1u8;
+    for (u, &x) in xs.iter().enumerate() {
+        if u == j {
+            continue;
+        }
+        num = gf_mul(num, e ^ x);
+        den = gf_mul(den, xs[j] ^ x);
+    }
+    gf_div(num, den)
+}
+
+/// Accumulates `coeff · src[b]` into `acc[b]` for every byte position,
+/// through a per-coefficient 256-entry product table so the hot loop is a
+/// lookup and an XOR. `src` shorter than `acc` is implicitly zero-padded
+/// (the tail contributes nothing).
+fn fma_bytes(acc: &mut [u8], coeff: u8, src: &[u8]) {
+    if coeff == 0 {
+        return;
+    }
+    let mut table = [0u8; 256];
+    for (v, slot) in table.iter_mut().enumerate() {
+        *slot = gf_mul(coeff, v as u8);
+    }
+    for (a, &s) in acc.iter_mut().zip(src) {
+        *a ^= table[s as usize];
+    }
+}
+
+/// A systematic `(n, k)` erasure coder: `k` data chunks, `n − k` parity
+/// chunks, any `k` of the `n` reconstruct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Coder {
+    k: usize,
+    n: usize,
+}
+
+impl Coder {
+    /// Creates an `(n, k)` coder.
+    ///
+    /// # Panics
+    /// When `k` is zero, `k > n`, or `n > 256` (chunk indices must be
+    /// distinct GF(256) points).
+    pub fn new(k: usize, n: usize) -> Self {
+        assert!(k >= 1, "at least one data chunk is required");
+        assert!(k <= n, "cannot need more chunks ({k}) than exist ({n})");
+        assert!(n <= 256, "chunk indices must be distinct GF(256) points");
+        Coder { k, n }
+    }
+
+    /// Chunks needed to reconstruct.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total coded chunks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes per chunk for an `len`-byte payload (the last data chunk may
+    /// be shorter on the wire; it is implicitly zero-padded for coding).
+    pub fn chunk_size(&self, len: usize) -> usize {
+        len.div_ceil(self.k).max(1)
+    }
+
+    /// Splits `payload` into `n` coded chunks. The first `k` are zero-copy
+    /// slices of `payload`'s allocation; the parity chunks are fresh
+    /// `chunk_size`-byte allocations.
+    pub fn encode(&self, payload: &Bytes) -> Vec<Bytes> {
+        let cs = self.chunk_size(payload.len());
+        let mut chunks = Vec::with_capacity(self.n);
+        for i in 0..self.k {
+            let start = (i * cs).min(payload.len());
+            let end = ((i + 1) * cs).min(payload.len());
+            chunks.push(payload.slice(start..end));
+        }
+        let xs: Vec<u8> = (0..self.k as u16).map(|x| x as u8).collect();
+        for p in self.k..self.n {
+            let mut parity = vec![0u8; cs];
+            for (j, chunk) in chunks.iter().enumerate().take(self.k) {
+                let coeff = lagrange_coeff(p as u8, &xs, j);
+                fma_bytes(&mut parity, coeff, chunk);
+            }
+            chunks.push(Bytes::from(parity));
+        }
+        chunks
+    }
+
+    /// Reconstructs the `len`-byte payload from any `k` of the coded
+    /// chunks (`chunks[i]` holds the chunk at point `i`, `None` when
+    /// missing). Returns `None` when fewer than `k` chunks are present.
+    ///
+    /// Chunks shorter than `chunk_size` are treated as zero-padded; the
+    /// result is truncated to `len`. Present data chunks are copied
+    /// through unchanged (the systematic fast path), so a fault-free
+    /// reconstruction performs no field arithmetic at all.
+    pub fn reconstruct(&self, chunks: &[Option<Bytes>], len: usize) -> Option<Vec<u8>> {
+        assert_eq!(chunks.len(), self.n, "one slot per coded chunk expected");
+        let cs = self.chunk_size(len);
+        let present = chunks.iter().filter(|c| c.is_some()).count();
+        if present < self.k {
+            return None;
+        }
+        // Support set: the first k present chunks (deterministic, so every
+        // node reconstructs identically from identical chunk sets).
+        let support: Vec<usize> = (0..self.n)
+            .filter(|&i| chunks[i].is_some())
+            .take(self.k)
+            .collect();
+        let xs: Vec<u8> = support.iter().map(|&i| i as u8).collect();
+        let mut payload = vec![0u8; cs * self.k];
+        for i in 0..self.k {
+            let out = &mut payload[i * cs..(i + 1) * cs];
+            if let Some(chunk) = &chunks[i] {
+                out[..chunk.len().min(cs)].copy_from_slice(&chunk[..chunk.len().min(cs)]);
+                continue;
+            }
+            for (j, &s) in support.iter().enumerate() {
+                let coeff = lagrange_coeff(i as u8, &xs, j);
+                fma_bytes(
+                    out,
+                    coeff,
+                    chunks[s].as_ref().expect("support chunk present"),
+                );
+            }
+        }
+        payload.truncate(len);
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_crypto::rng::SimRng;
+
+    fn payload(len: usize, seed: u64) -> Bytes {
+        let mut rng = SimRng::new(seed);
+        Bytes::from((0..len).map(|_| rng.next_u64() as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn gf_tables_are_consistent() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_div(gf_mul(a, 7), 7), a);
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+        }
+        // 2·x^7 overflows to x^8, which reduces to 0x11D's low byte.
+        assert_eq!(gf_mul(2, 0x80), 0x1D);
+    }
+
+    #[test]
+    fn systematic_chunks_are_zero_copy() {
+        let coder = Coder::new(4, 6);
+        let p = payload(64, 1);
+        let chunks = coder.encode(&p);
+        assert_eq!(chunks.len(), 6);
+        for chunk in &chunks[..4] {
+            assert!(chunk.shares_allocation(&p));
+        }
+        assert!(!chunks[4].shares_allocation(&p));
+        assert_eq!(
+            chunks[..4]
+                .iter()
+                .flat_map(|c| c.iter())
+                .copied()
+                .collect::<Vec<u8>>(),
+            p.to_vec()
+        );
+    }
+
+    #[test]
+    fn any_k_chunks_reconstruct() {
+        let coder = Coder::new(3, 6);
+        let p = payload(100, 2);
+        let chunks = coder.encode(&p);
+        // Every 3-subset of the 6 chunks reconstructs the exact payload.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let mut have: Vec<Option<Bytes>> = vec![None; 6];
+                    for i in [a, b, c] {
+                        have[i] = Some(chunks[i].clone());
+                    }
+                    let out = coder.reconstruct(&have, 100).expect("3 chunks suffice");
+                    assert_eq!(out, p.to_vec(), "subset {{{a},{b},{c}}}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn below_k_chunks_fail() {
+        let coder = Coder::new(3, 6);
+        let p = payload(50, 3);
+        let chunks = coder.encode(&p);
+        let mut have: Vec<Option<Bytes>> = vec![None; 6];
+        have[1] = Some(chunks[1].clone());
+        have[5] = Some(chunks[5].clone());
+        assert_eq!(coder.reconstruct(&have, 50), None);
+    }
+
+    #[test]
+    fn uneven_and_tiny_payloads_roundtrip() {
+        for (len, k, n) in [
+            (1, 4, 9),
+            (7, 3, 5),
+            (97, 16, 25),
+            (256, 1, 4),
+            (13, 13, 16),
+        ] {
+            let coder = Coder::new(k, n);
+            let p = payload(len, len as u64);
+            let chunks = coder.encode(&p);
+            // Parity-only support (hardest case: every data chunk missing
+            // where possible).
+            let mut have: Vec<Option<Bytes>> = vec![None; n];
+            let parity = n - k;
+            for i in (0..n).rev().take(k.min(parity) + k.saturating_sub(parity)) {
+                have[i] = Some(chunks[i].clone());
+            }
+            let mut count = have.iter().filter(|c| c.is_some()).count();
+            for i in 0..n {
+                if count >= k {
+                    break;
+                }
+                if have[i].is_none() {
+                    have[i] = Some(chunks[i].clone());
+                    count += 1;
+                }
+            }
+            assert_eq!(
+                coder.reconstruct(&have, len).expect("k chunks held"),
+                p.to_vec(),
+                "len {len} k {k} n {n}"
+            );
+        }
+    }
+}

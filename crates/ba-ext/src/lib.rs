@@ -1,0 +1,909 @@
+//! Extension-protocol layer: Byzantine Agreement on arbitrary ℓ-byte
+//! payloads.
+//!
+//! The paper's algorithms (and every other target in this workspace) agree
+//! on single values; real traffic agrees on blocks. Following the
+//! digest-then-disseminate construction from the extension-protocol
+//! literature (Chen, *Fundamental Limits of Byzantine Agreement*), this
+//! crate splits the problem:
+//!
+//! 1. **Digest agreement** — the sender hashes the payload
+//!    (SHA-256, 32 bytes) and the digest's four 64-bit words are agreed
+//!    through an existing *multi-valued* checkable target
+//!    ([`ba_algos::checkable`], Dolev–Strong by default) as pluggable
+//!    inner-BA. Everything downstream can now *verify* the payload, so
+//!    dissemination needs no further agreement rounds.
+//! 2. **Coded dissemination** — the payload is erasure-coded
+//!    ([`coding::Coder`], systematic RS-lite over GF(256)) into `n`
+//!    sender-signed chunks, `k = n − 2t` of which reconstruct. The chunks
+//!    flow over the Algorithm-4 grid pattern (√n × √n): disperse one chunk
+//!    per node, broadcast along rows, bundle rows down columns, then a
+//!    demand-driven repair round along rows. Fault-free, the column-bundle
+//!    phase dominates at `ℓ·n²/k ≤ 2ℓn` bytes — within a constant factor
+//!    of the `ℓn` lower bound — and the repair phases are silent.
+//! 3. **Digest-verified decision** — a node decides a payload only when
+//!    its reconstruction hashes to the agreed digest; otherwise it aborts
+//!    with a structured [`AbortReason`]. A Byzantine sender can force
+//!    aborts, never a wrong payload; Byzantine relays (up to `t ≤ √n − 1`,
+//!    withholding or garbling chunks) can force nothing at all.
+//!
+//! The fault-schedule surface mirroring `ba-check`'s explorer lives in
+//! [`check`]; wire-volume accounting rides the engine's
+//! [`Metrics`] (`bytes_by_correct` / `payload_bytes_by_correct`), so the
+//! bits-exchanged figures are schedule-independent and byte-identical at
+//! any worker count like every other counter.
+
+pub mod check;
+pub mod coding;
+
+use ba_algos::checkable::{find_target, CheckConfig, CheckTarget};
+use ba_algos::common::Board;
+use ba_crypto::sha256::{Sha256, DIGEST_LEN};
+use ba_crypto::wire::Encoder;
+use ba_crypto::{Bytes, KeyRegistry, ProcessId, SchemeKind, Signature, Signer, Value, Verifier};
+use ba_sim::schedule::{ScheduleError, ScheduleSpec};
+use ba_sim::{Actor, Envelope, Metrics, Outbox, Payload, Simulation, WorkerPool};
+use coding::Coder;
+use std::sync::Arc;
+
+/// Signing domain for extension-layer chunks (disjoint from
+/// [`ba_algos::common::domains`]).
+const DOMAIN_EXT_CHUNK: u32 = 6;
+
+/// Dissemination phases: disperse, row broadcast, column bundles, repair
+/// requests, repair responses (finalize consumes the responses).
+pub const DISSEMINATION_PHASES: usize = 5;
+
+/// The √n × √n grid underneath the dissemination pattern (the Algorithm-4
+/// exchange geometry: processor `i` sits at row `i / m`, column `i % m`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Grid {
+    pub(crate) m: usize,
+}
+
+impl Grid {
+    pub(crate) fn new(n: usize) -> Option<Grid> {
+        let m = (n as f64).sqrt().round() as usize;
+        (m >= 2 && m * m == n).then_some(Grid { m })
+    }
+
+    fn row(&self, id: usize) -> usize {
+        id / self.m
+    }
+
+    /// Ids in `id`'s row, excluding `id`.
+    pub(crate) fn row_mates(&self, id: usize) -> impl Iterator<Item = ProcessId> {
+        let start = self.row(id) * self.m;
+        (start..start + self.m)
+            .filter(move |&i| i != id)
+            .map(|i| ProcessId(i as u32))
+    }
+
+    /// Ids in `id`'s column, excluding `id`.
+    fn col_mates(&self, id: usize) -> impl Iterator<Item = ProcessId> {
+        let m = self.m;
+        let col = id % m;
+        (0..m)
+            .map(move |r| r * m + col)
+            .filter(move |&i| i != id)
+            .map(|i| ProcessId(i as u32))
+    }
+
+    /// The chunk indices owned by `id`'s row (chunk `i` is dispersed to
+    /// node `i`, so a row owns a contiguous index range).
+    fn row_indices(&self, id: usize) -> std::ops::Range<usize> {
+        let start = self.row(id) * self.m;
+        start..start + self.m
+    }
+}
+
+/// One erasure-coded chunk, signed by the sender.
+///
+/// The signature binds the chunk index, the payload length and the chunk
+/// bytes (through their digest), so relays can authenticate chunks without
+/// any further agreement: a garbled or re-indexed chunk fails verification
+/// and is dropped at the first correct hop.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedChunk {
+    /// Position in the coded-chunk vector (also the id of the node the
+    /// chunk was dispersed to).
+    pub index: u16,
+    /// Total payload length in bytes, as claimed by the sender.
+    pub payload_len: u64,
+    /// The chunk bytes — a zero-copy slice of the sender's payload
+    /// allocation for systematic chunks.
+    pub data: Bytes,
+    /// The sender's signature over `(index, payload_len, H(data))`.
+    pub sig: Signature,
+}
+
+impl SignedChunk {
+    fn content(index: u16, payload_len: u64, data: &[u8]) -> Bytes {
+        let mut enc = Encoder::with_capacity(4 + 4 + 8 + DIGEST_LEN);
+        enc.u32(DOMAIN_EXT_CHUNK)
+            .u32(u32::from(index))
+            .u64(payload_len)
+            .raw(&Sha256::digest(data));
+        enc.finish()
+    }
+
+    /// Signs `data` as chunk `index` of a `payload_len`-byte payload.
+    pub fn sign(signer: &Signer, index: u16, payload_len: u64, data: Bytes) -> SignedChunk {
+        let sig = signer.sign(&Self::content(index, payload_len, &data));
+        SignedChunk {
+            index,
+            payload_len,
+            data,
+            sig,
+        }
+    }
+
+    /// Whether this chunk carries a valid signature by `sender`.
+    pub fn verify(&self, verifier: &Verifier, sender: ProcessId) -> bool {
+        self.sig.signer() == sender
+            && verifier.verify(
+                &self.sig,
+                &Self::content(self.index, self.payload_len, &self.data),
+            )
+    }
+
+    /// Encoded wire size: index + payload length + data length prefix +
+    /// data + signature.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8 + 4 + self.data.len() + self.sig.encoded_len()
+    }
+}
+
+/// A dissemination message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExtMsg {
+    /// A single chunk (disperse and row-broadcast phases).
+    Chunk(SignedChunk),
+    /// Several chunks at once (column bundles and repair responses).
+    Bundle(Vec<SignedChunk>),
+    /// Chunk indices the requester is missing (repair round).
+    Repair(Vec<u16>),
+}
+
+impl Payload for ExtMsg {
+    fn signature_count(&self) -> usize {
+        match self {
+            ExtMsg::Chunk(_) => 1,
+            ExtMsg::Bundle(chunks) => chunks.len(),
+            ExtMsg::Repair(_) => 0,
+        }
+    }
+
+    fn weight_bytes(&self) -> usize {
+        // One discriminant byte, then the body.
+        1 + match self {
+            ExtMsg::Chunk(c) => c.encoded_len(),
+            ExtMsg::Bundle(chunks) => {
+                4 + chunks.iter().map(SignedChunk::encoded_len).sum::<usize>()
+            }
+            ExtMsg::Repair(missing) => 4 + 2 * missing.len(),
+        }
+    }
+
+    fn payload_bytes(&self) -> usize {
+        match self {
+            ExtMsg::Chunk(c) => c.data.len(),
+            ExtMsg::Bundle(chunks) => chunks.iter().map(|c| c.data.len()).sum(),
+            ExtMsg::Repair(_) => 0,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            ExtMsg::Chunk(_) => "ext-chunk",
+            ExtMsg::Bundle(_) => "ext-bundle",
+            ExtMsg::Repair(_) => "ext-repair",
+        }
+    }
+}
+
+/// Why a node could not decide a payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AbortReason {
+    /// The node's inner-BA runs did not yield a digest.
+    MissingDigest,
+    /// Fewer than `needed` authenticated chunks arrived.
+    InsufficientChunks {
+        /// Verified chunks held at finalize.
+        held: usize,
+        /// Chunks required to reconstruct (`k`).
+        needed: usize,
+    },
+    /// Reconstruction succeeded but hashed to something other than the
+    /// agreed digest (a Byzantine sender signed inconsistent chunks).
+    DigestMismatch,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::MissingDigest => write!(f, "no agreed digest"),
+            AbortReason::InsufficientChunks { held, needed } => {
+                write!(f, "only {held} of {needed} required chunks")
+            }
+            AbortReason::DigestMismatch => write!(f, "reconstruction contradicts agreed digest"),
+        }
+    }
+}
+
+/// A node's extension-protocol outcome: the payload, or a structured
+/// abort. Never a payload whose digest differs from the agreed one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExtDecision {
+    /// Decided this exact payload (digest-verified).
+    Decide(Bytes),
+    /// Gave up, with the reason.
+    Abort(AbortReason),
+}
+
+impl ExtDecision {
+    /// The decided payload, when there is one.
+    pub fn payload(&self) -> Option<&Bytes> {
+        match self {
+            ExtDecision::Decide(p) => Some(p),
+            ExtDecision::Abort(_) => None,
+        }
+    }
+}
+
+/// One dissemination participant.
+///
+/// Node 0 is the sender: it encodes, signs and disperses the chunks.
+/// Every node (sender included) then runs the same grid exchange:
+/// row-broadcast its own chunk, bundle its row's chunks down its column,
+/// request repairs from row mates, answer repair requests. `finalize`
+/// reconstructs and digest-verifies.
+#[derive(Debug)]
+pub struct ExtActor {
+    id: ProcessId,
+    grid: Grid,
+    coder: Coder,
+    digest: Option<[u8; DIGEST_LEN]>,
+    payload_len: Option<u64>,
+    verifier: Verifier,
+    chunks: Vec<Option<SignedChunk>>,
+    /// Sender only: chunks staged for the disperse phase.
+    outgoing: Option<Vec<SignedChunk>>,
+    repair_requests: Vec<(ProcessId, Vec<u16>)>,
+    decision: Option<ExtDecision>,
+    board: Arc<Board<ExtDecision>>,
+}
+
+impl ExtActor {
+    const SENDER: ProcessId = ProcessId(0);
+
+    fn try_store(&mut self, chunk: SignedChunk) {
+        let idx = chunk.index as usize;
+        if idx >= self.chunks.len() || self.chunks[idx].is_some() {
+            return;
+        }
+        if !chunk.verify(&self.verifier, Self::SENDER) {
+            return;
+        }
+        if self.payload_len.is_none() {
+            self.payload_len = Some(chunk.payload_len);
+        }
+        self.chunks[idx] = Some(chunk);
+    }
+
+    fn absorb(&mut self, inbox: &[Envelope<ExtMsg>]) {
+        for env in inbox {
+            match &env.payload {
+                ExtMsg::Chunk(chunk) => self.try_store(chunk.clone()),
+                ExtMsg::Bundle(chunks) => {
+                    for chunk in chunks {
+                        self.try_store(chunk.clone());
+                    }
+                }
+                ExtMsg::Repair(missing) => {
+                    self.repair_requests.push((env.from, missing.clone()));
+                }
+            }
+        }
+    }
+
+    fn held(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_some()).count()
+    }
+
+    fn missing(&self) -> Vec<u16> {
+        (0..self.chunks.len())
+            .filter(|&i| self.chunks[i].is_none())
+            .map(|i| i as u16)
+            .collect()
+    }
+
+    fn decide(&mut self) {
+        let decision = self.compute_decision();
+        self.board.post(self.id, decision.clone());
+        self.decision = Some(decision);
+    }
+
+    fn compute_decision(&self) -> ExtDecision {
+        let Some(digest) = self.digest else {
+            return ExtDecision::Abort(AbortReason::MissingDigest);
+        };
+        let held = self.held();
+        if held < self.coder.k() {
+            return ExtDecision::Abort(AbortReason::InsufficientChunks {
+                held,
+                needed: self.coder.k(),
+            });
+        }
+        let Some(len) = self.payload_len else {
+            return ExtDecision::Abort(AbortReason::InsufficientChunks {
+                held: 0,
+                needed: self.coder.k(),
+            });
+        };
+        let data: Vec<Option<Bytes>> = self
+            .chunks
+            .iter()
+            .map(|c| c.as_ref().map(|chunk| chunk.data.clone()))
+            .collect();
+        match self.coder.reconstruct(&data, len as usize) {
+            Some(payload) if Sha256::digest(&payload) == digest => {
+                ExtDecision::Decide(Bytes::from(payload))
+            }
+            Some(_) => ExtDecision::Abort(AbortReason::DigestMismatch),
+            None => ExtDecision::Abort(AbortReason::InsufficientChunks {
+                held,
+                needed: self.coder.k(),
+            }),
+        }
+    }
+}
+
+impl Actor<ExtMsg> for ExtActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<ExtMsg>], out: &mut Outbox<ExtMsg>) {
+        self.absorb(inbox);
+        let id = self.id.index();
+        match phase {
+            // Disperse: the sender hands chunk i to node i.
+            1 => {
+                if let Some(chunks) = self.outgoing.take() {
+                    for chunk in chunks {
+                        let owner = ProcessId(u32::from(chunk.index));
+                        if owner == self.id {
+                            self.try_store(chunk);
+                        } else {
+                            // The sender keeps every chunk (it can answer
+                            // any repair) and sends node i its chunk.
+                            self.try_store(chunk.clone());
+                            out.send(owner, ExtMsg::Chunk(chunk));
+                        }
+                    }
+                }
+            }
+            // Row broadcast: own chunk to row mates.
+            2 => {
+                if let Some(own) = self.chunks[id].clone() {
+                    out.broadcast(self.grid.row_mates(id), ExtMsg::Chunk(own));
+                }
+            }
+            // Column bundles: my row's chunks to my column mates. After
+            // this phase a fault-free node holds every chunk: column mate
+            // r delivered row r's chunks.
+            3 => {
+                let bundle: Vec<SignedChunk> = self
+                    .grid
+                    .row_indices(id)
+                    .filter_map(|i| self.chunks[i].clone())
+                    .collect();
+                if !bundle.is_empty() {
+                    out.broadcast(self.grid.col_mates(id), ExtMsg::Bundle(bundle));
+                }
+            }
+            // Repair requests: ask row mates for whatever is missing
+            // (fault-free: nothing, and the round is free).
+            4 => {
+                let missing = self.missing();
+                if !missing.is_empty() {
+                    out.broadcast(self.grid.row_mates(id), ExtMsg::Repair(missing));
+                }
+            }
+            // Repair responses.
+            5 => {
+                let requests = std::mem::take(&mut self.repair_requests);
+                for (requester, wanted) in requests {
+                    let available: Vec<SignedChunk> = wanted
+                        .iter()
+                        .filter_map(|&i| self.chunks.get(i as usize).cloned().flatten())
+                        .collect();
+                    if !available.is_empty() {
+                        out.send(requester, ExtMsg::Bundle(available));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<ExtMsg>]) {
+        self.absorb(inbox);
+        self.decide();
+    }
+
+    fn decision(&self) -> Option<Value> {
+        // The engine's decision channel is a single `Value`; the payload
+        // itself is read from the board. Deciding nodes report the first
+        // agreed-digest word, aborting nodes report nothing.
+        match &self.decision {
+            Some(ExtDecision::Decide(_)) => {
+                let digest = self.digest.expect("decided without digest");
+                Some(Value(u64::from_be_bytes(
+                    digest[..8].try_into().expect("digest has 8-byte prefix"),
+                )))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Options for [`agree_on_payload`].
+#[derive(Clone, Debug)]
+pub struct ExtOptions {
+    /// Number of processors; must be a perfect square `m² ≥ 4` (the grid).
+    pub n: usize,
+    /// Fault budget. Dissemination tolerates `t ≤ m − 1` (each missing
+    /// chunk must be repairable through some fully-honest column pair)
+    /// and coding requires `k = n − 2t ≥ 1`.
+    pub t: usize,
+    /// Run seed (keys, inner-BA seeds).
+    pub seed: u64,
+    /// Worker threads for intra-phase stepping (results byte-identical
+    /// at any count).
+    pub threads: usize,
+    /// When set, dissemination rides the process-wide
+    /// [`WorkerPool::shared`] instead of per-run scoped threads.
+    pub pooled: bool,
+    /// Tag scheme for chunk signatures.
+    pub scheme: SchemeKind,
+    /// Name of the inner-BA target for digest agreement (must be
+    /// multi-valued; see [`ba_algos::checkable::targets`]).
+    pub inner: &'static str,
+}
+
+impl Default for ExtOptions {
+    fn default() -> Self {
+        ExtOptions {
+            n: 16,
+            t: 2,
+            seed: 0,
+            threads: 1,
+            pooled: false,
+            scheme: SchemeKind::Fast,
+            inner: "ds-broadcast",
+        }
+    }
+}
+
+impl ExtOptions {
+    /// Grid side `m = √n`.
+    pub fn grid_side(&self) -> usize {
+        (self.n as f64).sqrt().round() as usize
+    }
+
+    /// Chunks required to reconstruct: `k = n − 2t`.
+    pub fn data_chunks(&self) -> usize {
+        self.n - 2 * self.t
+    }
+
+    /// Validates the geometry and inner-target choice.
+    ///
+    /// # Errors
+    /// A human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let Some(grid) = Grid::new(self.n) else {
+            return Err(format!("n = {} is not a perfect square ≥ 4", self.n));
+        };
+        if self.t >= grid.m {
+            return Err(format!(
+                "t = {} exceeds the grid bound √n − 1 = {}",
+                self.t,
+                grid.m - 1
+            ));
+        }
+        if 2 * self.t >= self.n {
+            return Err(format!(
+                "k = n − 2t would be ≤ 0 (n = {}, t = {})",
+                self.n, self.t
+            ));
+        }
+        let Some(target) = find_target(self.inner) else {
+            return Err(format!("unknown inner target {:?}", self.inner));
+        };
+        if !target.multi_valued {
+            return Err(format!(
+                "inner target {:?} is binary-only; digest words need a multi-valued target",
+                self.inner
+            ));
+        }
+        if self.t >= 1 && !target.supports(self.n, self.t) {
+            return Err(format!(
+                "inner target {:?} rejects n = {}, t = {}",
+                self.inner, self.n, self.t
+            ));
+        }
+        Ok(())
+    }
+
+    fn inner_target(&self) -> &'static CheckTarget {
+        find_target(self.inner).expect("validated inner target")
+    }
+}
+
+/// What one extension-protocol run produced.
+#[derive(Debug)]
+pub struct ExtReport {
+    /// Payload length ℓ in bytes.
+    pub payload_len: usize,
+    /// The sender's payload digest (what honest runs agree on).
+    pub digest: [u8; DIGEST_LEN],
+    /// Per-node outcomes (index = processor id; `None` only if a faulty
+    /// actor never posted).
+    pub decisions: Vec<Option<ExtDecision>>,
+    /// Which processors were modeled correct.
+    pub correct: Vec<bool>,
+    /// Merged metrics of the four digest-word inner-BA runs.
+    pub inner_metrics: Metrics,
+    /// Dissemination-phase metrics (chunk traffic).
+    pub dissemination: Metrics,
+}
+
+impl ExtReport {
+    /// Total wire bytes sent by correct processors, across digest
+    /// agreement and dissemination.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.inner_metrics.wire_bytes() + self.dissemination.wire_bytes()
+    }
+
+    /// The payload portion of [`total_wire_bytes`](Self::total_wire_bytes).
+    pub fn payload_wire_bytes(&self) -> u64 {
+        self.inner_metrics.payload_bytes_by_correct + self.dissemination.payload_bytes_by_correct
+    }
+
+    /// Correct-sender wire volume relative to the `ℓ·n` lower-bound
+    /// regime (the figure the overhead gate bounds).
+    pub fn overhead_ratio(&self) -> f64 {
+        let floor = (self.payload_len as u64).max(1) * self.correct.len() as u64;
+        self.total_wire_bytes() as f64 / floor as f64
+    }
+
+    /// Outcomes of correct processors only, with their ids.
+    pub fn correct_decisions(
+        &self,
+    ) -> impl Iterator<Item = (ProcessId, Option<&ExtDecision>)> + '_ {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.correct[*i])
+            .map(|(i, d)| (ProcessId(i as u32), d.as_ref()))
+    }
+}
+
+/// Errors from [`agree_on_payload`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExtError {
+    /// The options failed [`ExtOptions::validate`].
+    BadOptions(String),
+    /// The fault schedule could not be compiled onto the actors.
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for ExtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtError::BadOptions(msg) => write!(f, "bad options: {msg}"),
+            ExtError::Schedule(err) => write!(f, "schedule error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtError {}
+
+/// Agrees on `payload` across `opts.n` processors with node 0 as sender,
+/// fault-free. See [`run_extension`] for the schedule-driven variant the
+/// checker explores.
+///
+/// # Errors
+/// [`ExtError::BadOptions`] when the geometry or inner target is invalid.
+pub fn agree_on_payload(payload: &Bytes, opts: &ExtOptions) -> Result<ExtReport, ExtError> {
+    run_extension(payload, opts, &ScheduleSpec::default(), |actors| actors)
+}
+
+/// [`agree_on_payload`] with a fault schedule compiled onto both layers
+/// (the spec's faulty processors are faulty for digest agreement *and*
+/// dissemination), plus a hook rewriting the dissemination actors (the
+/// check layer injects chunk-withholding / garbling adversaries there).
+///
+/// # Errors
+/// [`ExtError::BadOptions`] on invalid geometry, [`ExtError::Schedule`]
+/// when the spec cannot be mapped onto the dissemination actors.
+pub fn run_extension(
+    payload: &Bytes,
+    opts: &ExtOptions,
+    spec: &ScheduleSpec,
+    rewrite: impl FnOnce(Vec<Box<dyn Actor<ExtMsg>>>) -> Vec<Box<dyn Actor<ExtMsg>>>,
+) -> Result<ExtReport, ExtError> {
+    opts.validate().map_err(ExtError::BadOptions)?;
+    spec.validate(opts.n, opts.t)
+        .map_err(ExtError::BadOptions)?;
+    let digest = Sha256::digest(payload);
+    let words: Vec<u64> = digest
+        .chunks_exact(8)
+        .map(|w| u64::from_be_bytes(w.try_into().expect("8-byte digest word")))
+        .collect();
+
+    // Digest agreement: one inner-BA run per digest word. Each node's
+    // digest view is assembled from its OWN four decisions — agreement on
+    // the full digest follows from agreement on every word.
+    let target = opts.inner_target();
+    let mut inner_metrics = Metrics::default();
+    let mut word_views: Vec<Vec<Option<u64>>> = Vec::with_capacity(words.len());
+    for (w, &word) in words.iter().enumerate() {
+        let cfg = CheckConfig {
+            n: opts.n,
+            t: opts.t.max(1),
+            value: Value(word),
+            seed: opts.seed ^ (0xE87_0000 + w as u64),
+            threads: opts.threads,
+            spec: spec.clone(),
+        };
+        let setup = target.build(&cfg).map_err(ExtError::Schedule)?;
+        let mut sim = Simulation::new(setup.actors)
+            .with_threads(opts.threads)
+            .with_registry(&setup.registry)
+            .with_link_drops(spec.link_drops.iter().copied());
+        let outcome = sim.run(setup.phases);
+        inner_metrics.merge(&outcome.metrics);
+        word_views.push(outcome.decisions.iter().map(|d| d.map(|v| v.0)).collect());
+    }
+
+    // Dissemination: encode, sign, run the grid exchange.
+    let grid = Grid::new(opts.n).expect("validated geometry");
+    let coder = Coder::new(opts.data_chunks(), opts.n);
+    let registry = KeyRegistry::new(opts.n, opts.seed ^ 0xD15E_0001, opts.scheme);
+    let board = Board::new(opts.n);
+    let sender_signer = registry.signer(ExtActor::SENDER);
+    let outgoing: Vec<SignedChunk> = coder
+        .encode(payload)
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| SignedChunk::sign(&sender_signer, i as u16, payload.len() as u64, data))
+        .collect();
+
+    let mut actors: Vec<Box<dyn Actor<ExtMsg>>> = (0..opts.n)
+        .map(|i| {
+            let digest_view: Option<[u8; DIGEST_LEN]> = {
+                let mut out = [0u8; DIGEST_LEN];
+                let mut complete = true;
+                for (w, view) in word_views.iter().enumerate() {
+                    match view[i] {
+                        Some(word) => out[w * 8..(w + 1) * 8].copy_from_slice(&word.to_be_bytes()),
+                        None => complete = false,
+                    }
+                }
+                complete.then_some(out)
+            };
+            Box::new(ExtActor {
+                id: ProcessId(i as u32),
+                grid,
+                coder,
+                digest: digest_view,
+                payload_len: (i == 0).then_some(payload.len() as u64),
+                verifier: registry.verifier(),
+                chunks: vec![None; opts.n],
+                outgoing: (i == 0).then(|| outgoing.clone()),
+                repair_requests: Vec::new(),
+                decision: None,
+                board: Arc::clone(&board),
+            }) as Box<dyn Actor<ExtMsg>>
+        })
+        .collect();
+
+    // Compile the schedule's generic fault behaviours onto the actors
+    // (equivocation is not mappable here — the sender's "equivocation" is
+    // signing inconsistent chunks, which the check layer injects through
+    // `rewrite`).
+    for (p, behavior) in &spec.faults {
+        let honest = std::mem::replace(
+            &mut actors[p.index()],
+            Box::new(NullActor) as Box<dyn Actor<ExtMsg>>,
+        );
+        actors[p.index()] = behavior.apply(honest).map_err(ExtError::Schedule)?;
+    }
+    let actors = rewrite(actors);
+
+    let shared_pool;
+    let mut sim = Simulation::new(actors)
+        .with_threads(opts.threads)
+        .with_registry(&registry)
+        .with_link_drops(spec.link_drops.iter().copied());
+    if opts.pooled {
+        shared_pool = WorkerPool::shared();
+        sim = sim.with_pool(&shared_pool);
+    }
+    let outcome = sim.run(DISSEMINATION_PHASES);
+
+    Ok(ExtReport {
+        payload_len: payload.len(),
+        digest,
+        decisions: board.snapshot(),
+        correct: outcome.correct,
+        inner_metrics,
+        dissemination: outcome.metrics,
+    })
+}
+
+/// Placeholder actor used while splicing fault wrappers in.
+#[derive(Debug)]
+pub(crate) struct NullActor;
+
+impl Actor<ExtMsg> for NullActor {
+    fn step(&mut self, _: usize, _: &[Envelope<ExtMsg>], _: &mut Outbox<ExtMsg>) {}
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize, seed: u64) -> Bytes {
+        let mut rng = ba_crypto::rng::SimRng::new(seed);
+        Bytes::from((0..len).map(|_| rng.next_u64() as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn grid_geometry() {
+        assert!(Grid::new(3).is_none());
+        assert!(Grid::new(1).is_none());
+        let g = Grid::new(9).unwrap();
+        assert_eq!(g.m, 3);
+        assert_eq!(
+            g.row_mates(4).collect::<Vec<_>>(),
+            vec![ProcessId(3), ProcessId(5)]
+        );
+        assert_eq!(
+            g.col_mates(4).collect::<Vec<_>>(),
+            vec![ProcessId(1), ProcessId(7)]
+        );
+        assert_eq!(g.row_indices(7), 6..9);
+    }
+
+    #[test]
+    fn signed_chunks_verify_and_reject_tampering() {
+        let reg = KeyRegistry::new(4, 9, SchemeKind::Fast);
+        let signer = reg.signer(ProcessId(0));
+        let chunk = SignedChunk::sign(&signer, 3, 100, Bytes::from(vec![1, 2, 3]));
+        assert!(chunk.verify(&reg.verifier(), ProcessId(0)));
+        // Wrong claimed sender.
+        assert!(!chunk.verify(&reg.verifier(), ProcessId(1)));
+        // Garbled data.
+        let mut garbled = chunk.clone();
+        garbled.data = Bytes::from(vec![1, 2, 4]);
+        assert!(!garbled.verify(&reg.verifier(), ProcessId(0)));
+        // Re-indexed.
+        let mut moved = chunk.clone();
+        moved.index = 2;
+        assert!(!moved.verify(&reg.verifier(), ProcessId(0)));
+        // Signed by a non-sender identity.
+        let fake = SignedChunk::sign(
+            &reg.signer(ProcessId(2)),
+            3,
+            100,
+            Bytes::from(vec![1, 2, 3]),
+        );
+        assert!(!fake.verify(&reg.verifier(), ProcessId(0)));
+    }
+
+    #[test]
+    fn ext_msg_accounting_is_consistent() {
+        let reg = KeyRegistry::new(4, 9, SchemeKind::Fast);
+        let chunk = SignedChunk::sign(&reg.signer(ProcessId(0)), 0, 8, Bytes::from(vec![0; 8]));
+        let msg = ExtMsg::Chunk(chunk.clone());
+        assert!(msg.payload_bytes() <= msg.weight_bytes());
+        assert_eq!(msg.payload_bytes(), 8);
+        assert_eq!(msg.signature_count(), 1);
+        let bundle = ExtMsg::Bundle(vec![chunk.clone(), chunk]);
+        assert_eq!(bundle.payload_bytes(), 16);
+        assert_eq!(bundle.signature_count(), 2);
+        let repair = ExtMsg::Repair(vec![1, 2, 3]);
+        assert_eq!(repair.payload_bytes(), 0);
+        assert!(repair.weight_bytes() > 0);
+    }
+
+    #[test]
+    fn fault_free_run_decides_everywhere() {
+        let p = payload(10_000, 42);
+        let report = agree_on_payload(&p, &ExtOptions::default()).unwrap();
+        assert_eq!(report.payload_len, 10_000);
+        for (id, decision) in report.correct_decisions() {
+            match decision {
+                Some(ExtDecision::Decide(bytes)) => assert_eq!(bytes, &p, "{id}"),
+                other => panic!("{id} did not decide: {other:?}"),
+            }
+        }
+        // Fault-free repair rounds are silent: phases 4 and 5 carry no
+        // correct-sender traffic.
+        let per_phase = &report.dissemination.per_phase;
+        assert_eq!(per_phase[3].messages_by_correct, 0);
+        assert_eq!(per_phase[4].messages_by_correct, 0);
+        // The column-bundle phase dominates the byte volume.
+        assert!(per_phase[2].bytes_by_correct > per_phase[1].bytes_by_correct);
+        // Wire volume is within the gated constant of ℓ·n.
+        assert!(
+            report.overhead_ratio() < 4.0,
+            "overhead {}",
+            report.overhead_ratio()
+        );
+        // Payload/control split is sane: chunk data dominates.
+        assert!(report.dissemination.payload_bytes_by_correct > 0);
+        assert!(
+            report.dissemination.payload_bytes_by_correct < report.dissemination.bytes_by_correct
+        );
+    }
+
+    #[test]
+    fn options_validation_catches_bad_geometry() {
+        let mut opts = ExtOptions {
+            n: 15,
+            ..ExtOptions::default()
+        };
+        assert!(opts.validate().is_err(), "non-square n");
+        opts.n = 16;
+        opts.t = 4;
+        assert!(opts.validate().is_err(), "t ≥ √n");
+        opts.t = 3;
+        assert!(opts.validate().is_ok());
+        opts.inner = "algorithm1";
+        assert!(opts.validate().is_err(), "binary-only inner target");
+        opts.inner = "nope";
+        assert!(opts.validate().is_err(), "unknown inner target");
+    }
+
+    #[test]
+    fn tiny_and_empty_payloads_round_trip() {
+        for len in [0usize, 1, 15, 16, 17] {
+            let p = payload(len, len as u64 + 7);
+            let report = agree_on_payload(&p, &ExtOptions::default()).unwrap();
+            for (id, decision) in report.correct_decisions() {
+                assert_eq!(
+                    decision.and_then(|d| d.payload()),
+                    Some(&p),
+                    "{id} at len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threading_is_byte_identical() {
+        let p = payload(5_000, 7);
+        let base = agree_on_payload(&p, &ExtOptions::default()).unwrap();
+        for threads in [4, 8] {
+            let opts = ExtOptions {
+                threads,
+                pooled: true,
+                ..ExtOptions::default()
+            };
+            let report = agree_on_payload(&p, &opts).unwrap();
+            assert_eq!(report.decisions, base.decisions, "threads {threads}");
+            assert_eq!(
+                report.dissemination, base.dissemination,
+                "threads {threads}"
+            );
+            assert_eq!(
+                report.inner_metrics, base.inner_metrics,
+                "threads {threads}"
+            );
+        }
+    }
+}

@@ -473,6 +473,7 @@ impl<P: Payload + 'static> NetRuntime<P> {
                     correct[env.from.index()],
                     env.payload.signature_count(),
                     env.payload.weight_bytes(),
+                    env.payload.payload_bytes(),
                     env.payload.kind(),
                 );
                 inboxes[env.to.index()].push(env);

@@ -561,6 +561,7 @@ impl<P: Payload> Instance<P> {
                 self.correct[env.from.index()],
                 env.payload.signature_count(),
                 env.payload.weight_bytes(),
+                env.payload.payload_bytes(),
                 env.payload.kind(),
             );
             self.inboxes[env.to.index()].push(env);

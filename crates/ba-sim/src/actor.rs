@@ -29,6 +29,16 @@ pub trait Payload: Clone + fmt::Debug + Send + Sync {
         0
     }
 
+    /// The portion of [`weight_bytes`](Payload::weight_bytes) that is
+    /// application payload — user data being agreed on, as opposed to
+    /// protocol control (framing, signatures, digests). The single-value
+    /// targets carry none; the extension layer's coded chunks report
+    /// their data slices here so metrics can split wire volume into
+    /// payload vs control. Must never exceed `weight_bytes`.
+    fn payload_bytes(&self) -> usize {
+        0
+    }
+
     /// A short label classifying this message for the per-kind metrics
     /// breakdown (e.g. Algorithm 5 reports "activate" / "grid" /
     /// "chain"). Defaults to `"message"`.

@@ -359,6 +359,7 @@ impl<P: Payload> Simulation<P> {
                             correct[i],
                             env.payload.signature_count(),
                             env.payload.weight_bytes(),
+                            env.payload.payload_bytes(),
                             env.payload.kind(),
                         );
                         if keep_phase_log {

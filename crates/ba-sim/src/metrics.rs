@@ -25,6 +25,11 @@ pub struct PhaseMetrics {
     pub messages_by_correct: u64,
     /// Signatures carried by those messages.
     pub signatures_by_correct: u64,
+    /// Wire bytes sent by correct processors during this phase.
+    pub bytes_by_correct: u64,
+    /// The application-payload portion of those bytes (see
+    /// [`Metrics::payload_bytes_by_correct`]).
+    pub payload_bytes_by_correct: u64,
     /// Messages sent by faulty processors during this phase.
     pub messages_by_faulty: u64,
     /// SHA-256 invocations performed while executing this phase.
@@ -56,8 +61,20 @@ pub struct Metrics {
     /// Signatures appended to messages sent by correct processors — the
     /// paper's signature count.
     pub signatures_by_correct: u64,
-    /// Approximate bytes sent by correct processors.
+    /// Approximate bytes sent by correct processors — the *bits exchanged*
+    /// figure, with the same correct-sender restriction as the message
+    /// count. Like the crypto counters this is schedule-independent: it
+    /// depends only on what each correct actor sends, never on how a phase
+    /// was threaded or which runtime carried the traffic.
     pub bytes_by_correct: u64,
+    /// The application-payload portion of [`bytes_by_correct`]
+    /// (Metrics::bytes_by_correct): bytes of user data being agreed on, as
+    /// reported by [`Payload::payload_bytes`]
+    /// (crate::actor::Payload::payload_bytes). Zero for the single-value
+    /// targets; the extension layer's coded chunks report their data
+    /// slices here, so `bytes_by_correct - payload_bytes_by_correct` is
+    /// the protocol-control overhead.
+    pub payload_bytes_by_correct: u64,
     /// Messages sent by faulty processors (diagnostic only).
     pub messages_by_faulty: u64,
     /// Messages suppressed by adversaries or scheduled link drops: traffic
@@ -81,6 +98,18 @@ impl Metrics {
         self.messages_by_correct + self.messages_by_faulty
     }
 
+    /// Total wire bytes sent by correct processors — the headline
+    /// bits-exchanged figure (bench rows report it as `bytes_sent`).
+    pub fn wire_bytes(&self) -> u64 {
+        self.bytes_by_correct
+    }
+
+    /// The control (non-payload) portion of the correct senders' wire
+    /// bytes: framing, signatures, digests, repair requests.
+    pub fn control_bytes_by_correct(&self) -> u64 {
+        self.bytes_by_correct - self.payload_bytes_by_correct
+    }
+
     /// Records one sent message.
     ///
     /// Public (not `pub(crate)`) because the `ba-net` runtime drives the
@@ -94,8 +123,13 @@ impl Metrics {
         correct_sender: bool,
         signatures: usize,
         bytes: usize,
+        payload_bytes: usize,
         kind: &'static str,
     ) {
+        debug_assert!(
+            payload_bytes <= bytes,
+            "payload portion ({payload_bytes}) exceeds wire bytes ({bytes})"
+        );
         if self.per_phase.len() < phase {
             self.per_phase.resize(phase, PhaseMetrics::default());
         }
@@ -103,9 +137,12 @@ impl Metrics {
         if correct_sender {
             slot.messages_by_correct += 1;
             slot.signatures_by_correct += signatures as u64;
+            slot.bytes_by_correct += bytes as u64;
+            slot.payload_bytes_by_correct += payload_bytes as u64;
             self.messages_by_correct += 1;
             self.signatures_by_correct += signatures as u64;
             self.bytes_by_correct += bytes as u64;
+            self.payload_bytes_by_correct += payload_bytes as u64;
             *self.by_kind_correct.entry(kind).or_insert(0) += 1;
             self.last_active_phase = self.last_active_phase.max(phase);
         } else {
@@ -154,6 +191,7 @@ impl Metrics {
         self.messages_by_correct += other.messages_by_correct;
         self.signatures_by_correct += other.signatures_by_correct;
         self.bytes_by_correct += other.bytes_by_correct;
+        self.payload_bytes_by_correct += other.payload_bytes_by_correct;
         self.messages_by_faulty += other.messages_by_faulty;
         self.omitted_messages += other.omitted_messages;
         if self.per_phase.len() < other.per_phase.len() {
@@ -163,6 +201,8 @@ impl Metrics {
         for (slot, theirs) in self.per_phase.iter_mut().zip(&other.per_phase) {
             slot.messages_by_correct += theirs.messages_by_correct;
             slot.signatures_by_correct += theirs.signatures_by_correct;
+            slot.bytes_by_correct += theirs.bytes_by_correct;
+            slot.payload_bytes_by_correct += theirs.payload_bytes_by_correct;
             slot.messages_by_faulty += theirs.messages_by_faulty;
             slot.hash_invocations += theirs.hash_invocations;
             slot.sig_verifications += theirs.sig_verifications;
@@ -195,9 +235,9 @@ mod tests {
     #[test]
     fn record_aggregates_by_correctness() {
         let mut m = Metrics::default();
-        m.record_send(1, true, 2, 10, "a");
-        m.record_send(1, false, 5, 99, "a");
-        m.record_send(3, true, 0, 4, "b");
+        m.record_send(1, true, 2, 10, 6, "a");
+        m.record_send(1, false, 5, 99, 0, "a");
+        m.record_send(3, true, 0, 4, 0, "b");
         assert_eq!(m.messages_by_correct, 2);
         assert_eq!(m.signatures_by_correct, 2);
         assert_eq!(m.messages_by_faulty, 1);
@@ -216,7 +256,7 @@ mod tests {
     #[test]
     fn faulty_sends_do_not_advance_last_active_phase() {
         let mut m = Metrics::default();
-        m.record_send(5, false, 0, 0, "a");
+        m.record_send(5, false, 0, 0, 0, "a");
         assert_eq!(m.last_active_phase, 0);
     }
 
@@ -230,7 +270,7 @@ mod tests {
             cache_misses: 2,
         };
         let mut a = Metrics::default();
-        a.record_send(1, true, 1, 8, "x");
+        a.record_send(1, true, 1, 8, 2, "x");
         a.record_phase_crypto(2, delta);
         assert_eq!(a.per_phase[1].hash_invocations, 10);
         assert_eq!(a.per_phase[1].sig_verifications, 3);
@@ -242,8 +282,8 @@ mod tests {
             phases: 5,
             ..Default::default()
         };
-        b.record_send(3, false, 0, 0, "x");
-        b.record_send(1, true, 2, 4, "y");
+        b.record_send(3, false, 0, 0, 0, "x");
+        b.record_send(1, true, 2, 4, 4, "y");
         b.record_phase_crypto(1, delta);
 
         let mut merged = a.clone();
@@ -281,7 +321,7 @@ mod tests {
             phases: 4,
             ..Default::default()
         };
-        m.record_send(2, true, 1, 0, "a");
+        m.record_send(2, true, 1, 0, 0, "a");
         let s = m.to_string();
         assert!(s.contains("phases=4"));
         assert!(s.contains("msgs(correct)=1"));

@@ -229,9 +229,9 @@ mod tests {
     #[test]
     fn merge_metrics_sums_cells() {
         let mut a = Metrics::default();
-        a.record_send(1, true, 1, 8, "x");
+        a.record_send(1, true, 1, 8, 0, "x");
         let mut b = Metrics::default();
-        b.record_send(2, true, 3, 8, "x");
+        b.record_send(2, true, 3, 8, 0, "x");
         let total = merge_metrics([&a, &b]);
         assert_eq!(total.messages_by_correct, 2);
         assert_eq!(total.signatures_by_correct, 4);

@@ -15,7 +15,11 @@
 //! * [`net`] ([`ba_net`]) — the multi-threaded message-passing runtime
 //!   over an unreliable wire: retransmission with backoff, phase
 //!   watchdogs, and graceful-degradation verdicts, equivalence-checked
-//!   against the lock-step engine.
+//!   against the lock-step engine;
+//! * [`ext`] ([`ba_ext`]) — the extension-protocol layer: agreement on
+//!   arbitrary ℓ-byte payloads via digest agreement (a multi-valued
+//!   checkable target as inner-BA) plus erasure-coded grid dissemination,
+//!   with a schedule-independent bits-exchanged budget.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@
 
 pub use ba_algos as algos;
 pub use ba_crypto as crypto;
+pub use ba_ext as ext;
 pub use ba_model as model;
 pub use ba_net as net;
 pub use ba_sim as sim;
