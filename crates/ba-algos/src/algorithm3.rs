@@ -522,7 +522,13 @@ pub enum Alg3Fault {
     },
 }
 
-/// Options for [`run`].
+/// Options for [`run`]. Construct with
+/// [`Alg3Options::new`]/[`default`](Alg3Options::default) and the
+/// `with_*` builders (the same convention as `SvcConfig`, `NetConfig`,
+/// `DsOptions` and `ExtOptions`).
+///
+/// Defaults: no fault, seed 0, fast scheme, sequential stepping,
+/// per-delivery verification.
 #[derive(Debug, Default)]
 pub struct Alg3Options {
     /// Fault scenario.
@@ -540,6 +546,43 @@ pub struct Alg3Options {
     /// [`Simulation::with_batched_verification`]. Decisions and message
     /// counts are unchanged; the crypto work counters honestly shrink.
     pub batch_verify: bool,
+}
+
+impl Alg3Options {
+    /// The default options; chain `with_*` builders to customize.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the fault scenario.
+    pub fn with_fault(mut self, fault: Alg3Fault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Sets the registry seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the signature scheme.
+    pub fn with_scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the worker-thread count for intra-phase stepping.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables barrier-batched signature verification.
+    pub fn with_batch_verify(mut self, batch_verify: bool) -> Self {
+        self.batch_verify = batch_verify;
+        self
+    }
 }
 
 /// Builds and runs an Algorithm 3 scenario.

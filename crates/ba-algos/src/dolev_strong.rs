@@ -306,7 +306,13 @@ pub enum DsFault {
     },
 }
 
-/// Options for [`run`].
+/// Options for [`run`]. Construct with
+/// [`DsOptions::new`]/[`default`](DsOptions::default) and the `with_*`
+/// builders (the same convention as `SvcConfig`, `NetConfig`,
+/// `Alg3Options` and `ExtOptions`).
+///
+/// Defaults: full variant, no fault, seed 0, fast scheme, sequential
+/// stepping, per-delivery verification.
 #[derive(Debug, Default)]
 pub struct DsOptions {
     /// Message pattern.
@@ -326,6 +332,49 @@ pub struct DsOptions {
     /// [`Simulation::with_batched_verification`]. Decisions and message
     /// counts are unchanged; the crypto work counters honestly shrink.
     pub batch_verify: bool,
+}
+
+impl DsOptions {
+    /// The default options; chain `with_*` builders to customize.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the message pattern.
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the fault scenario.
+    pub fn with_fault(mut self, fault: DsFault) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Sets the registry seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the signature scheme.
+    pub fn with_scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the worker-thread count for intra-phase stepping.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables barrier-batched signature verification.
+    pub fn with_batch_verify(mut self, batch_verify: bool) -> Self {
+        self.batch_verify = batch_verify;
+        self
+    }
 }
 
 /// Builds and runs a Dolev–Strong scenario with `n` processors and up to

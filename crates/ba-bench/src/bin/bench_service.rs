@@ -24,7 +24,18 @@
 //!   fleet, pooled over several runs;
 //! * `degradation` — agreements/sec and decided/degraded split for the
 //!   pipelined fleet as per-link loss sweeps 0 → 350 ‰: the curve must
-//!   degrade gracefully (fewer decisions, never an agreement violation).
+//!   degrade gracefully (fewer decisions, never an agreement violation);
+//! * `open_loop` — the session API under sustained offered load: seeded
+//!   [`PoissonArrivals`] submit instances over `session()`/`submit()`
+//!   while the tick loop drains completions, with a bounded admission
+//!   queue and shed-oldest backpressure. Rows sweep λ across 0.5×, 1× and
+//!   2× saturation and report steady-state agreements/sec, p50/p99
+//!   submission-to-decision latency, shed rate and queue depth. The
+//!   section also gates exact admission accounting
+//!   (`submitted = decided + degraded + shed`), no-deadlock under
+//!   block-with-deadline admission, and byte-identity of the deprecated
+//!   closed-loop `run()` wrapper with a hand-driven session at every
+//!   thread count.
 //!
 //! The determinism check always runs first and the binary exits non-zero
 //! if it fails: the pipelined fleet must be byte-identical across worker
@@ -58,13 +69,14 @@
 
 use ba_algos::checkable::{find_target, CheckConfig, CheckTarget};
 use ba_bench::microbench::{bench, print_samples, Sample};
-use ba_crypto::Value;
+use ba_crypto::{Chain, Value, VerifierCache};
 use ba_net::{
-    instance_seed, run_target, run_target_multiplexed, ChaosProfile, MultiplexRun, NetConfig,
-    NetRunError, SvcConfig,
+    instance_seed, run_target, run_target_multiplexed, AdmissionPolicy, BaService, ChaosProfile,
+    InstanceSpec, MultiplexRun, NetConfig, NetRunError, PoissonArrivals, SvcConfig, SvcReport,
 };
 use ba_sim::schedule::ScheduleSpec;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 const TARGET: &str = "ds-broadcast";
 const N: usize = 16;
@@ -74,6 +86,16 @@ const CHAOS_SEED: u64 = 77;
 const LOSS_SWEEP: [u16; 5] = [0, 75, 150, 250, 350];
 /// Runs pooled for the latency percentiles.
 const LATENCY_RUNS: usize = 5;
+/// Offered-load sweep for the open-loop section, in instances per tick.
+/// `ds-broadcast` (n = 16, t = 1) settles in 4 service ticks, so with
+/// `max_inflight = 8` the service completes ~2 instances/tick: the sweep
+/// spans 0.5×, 1× and 2× saturation.
+const OPEN_LOOP_RATES: [f64; 3] = [1.0, 2.0, 4.0];
+/// Ticks over which the Poisson process offers load (the session then
+/// drains to quiescence).
+const OPEN_LOOP_ARRIVAL_TICKS: u64 = 64;
+const OPEN_LOOP_INFLIGHT: usize = 8;
+const OPEN_LOOP_QUEUE: usize = 8;
 
 struct Config {
     out_path: String,
@@ -150,7 +172,7 @@ fn parse_args(args: &[String]) -> Config {
             path => cfg.out_path = path.to_string(),
         }
     }
-    let known = ["throughput", "latency", "degradation"];
+    let known = ["throughput", "latency", "degradation", "open_loop"];
     for s in &cfg.sections {
         if !known.contains(&s.as_str()) {
             die(&format!(
@@ -188,10 +210,7 @@ fn run_serial(
     chaos: &ChaosProfile,
     threads: usize,
 ) -> usize {
-    let net = NetConfig {
-        threads,
-        ..NetConfig::default()
-    };
+    let net = NetConfig::new().with_threads(threads);
     cfgs.iter()
         .enumerate()
         .filter(|(i, cfg)| {
@@ -213,18 +232,14 @@ fn run_svc(
     pipelined: bool,
 ) -> MultiplexRun {
     let svc = if pipelined {
-        SvcConfig {
-            threads,
-            admit_per_tick: 1,
-            ..SvcConfig::default()
-        }
+        SvcConfig::new()
+            .with_threads(threads)
+            .with_admit_per_tick(1)
     } else {
-        SvcConfig {
-            threads,
-            max_inflight: 1,
-            admit_per_tick: 1,
-            ..SvcConfig::default()
-        }
+        SvcConfig::new()
+            .with_threads(threads)
+            .with_max_inflight(1)
+            .with_admit_per_tick(1)
     };
     run_target_multiplexed(target, cfgs, &svc, chaos)
         .unwrap_or_else(|e| die(&format!("multiplexed run: {e}")))
@@ -307,6 +322,139 @@ fn determinism_check(target: &CheckTarget, cfgs: &[CheckConfig], threads: &[usiz
         }
     }
     ok
+}
+
+/// Builds the spec for open-loop arrival number `i` (alternating values,
+/// one cluster identity) against the session's shared cache.
+fn build_spec(target: &CheckTarget, i: u64, cache: &Arc<VerifierCache>) -> InstanceSpec<Chain> {
+    let cfg = CheckConfig {
+        n: N,
+        t: T,
+        value: if i.is_multiple_of(2) {
+            Value::ONE
+        } else {
+            Value::ZERO
+        },
+        seed: 11,
+        threads: 1,
+        spec: ScheduleSpec::default(),
+    };
+    let setup = target
+        .build_shared(&cfg, cache)
+        .unwrap_or_else(|e| die(&format!("open-loop spec {i}: {e}")));
+    InstanceSpec {
+        actors: setup.actors,
+        phases: setup.phases,
+        fault_budget: cfg.t,
+        link_drops: vec![],
+        registry: Some(setup.registry),
+    }
+}
+
+/// Drives one open-loop run: Poisson arrivals at `rate` instances/tick
+/// over [`OPEN_LOOP_ARRIVAL_TICKS`] ticks against a bounded queue with
+/// shed-oldest backpressure, then drains to quiescence.
+fn run_open_loop(target: &CheckTarget, threads: usize, rate: f64) -> SvcReport {
+    let cache = Arc::new(VerifierCache::new());
+    let svc = SvcConfig::new()
+        .with_threads(threads)
+        .with_max_inflight(OPEN_LOOP_INFLIGHT)
+        .with_queue_capacity(OPEN_LOOP_QUEUE)
+        .with_admission(AdmissionPolicy::ShedOldest);
+    let service = BaService::new(svc).with_shared_cache(Arc::clone(&cache));
+    let mut session = service.session();
+    let mut arrivals = PoissonArrivals::new(CHAOS_SEED, rate);
+    let mut submitted = 0u64;
+    for _ in 0..OPEN_LOOP_ARRIVAL_TICKS {
+        for _ in 0..arrivals.next_arrivals() {
+            session
+                .submit(build_spec(target, submitted, &cache))
+                .expect("shed-oldest admission never refuses");
+            submitted += 1;
+        }
+        session.tick();
+    }
+    session.drain()
+}
+
+/// Everything deterministic about a session report — timestamps in ticks,
+/// outcomes, admission log, shed set, queue and wire statistics.
+/// Wall-clock fields are excluded.
+fn svc_fingerprint(report: &SvcReport) -> String {
+    let outcomes: Vec<_> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.id,
+                o.submitted_tick,
+                o.admitted_tick,
+                o.settled_tick,
+                &o.result,
+            )
+        })
+        .collect();
+    format!(
+        "{outcomes:?} | shed={:?} | log={:?} | queue={:?} | {:?} | ticks={} peak={}",
+        report.shed,
+        report.admission_log,
+        report.queue,
+        report.stats,
+        report.ticks,
+        report.peak_inflight
+    )
+}
+
+/// Proves the deprecated closed-loop `run()` wrapper byte-identical to a
+/// hand-driven session over the same fixed fleet.
+fn wrapper_matches(target: &CheckTarget, k: usize, threads: usize) -> bool {
+    let svc = SvcConfig::new()
+        .with_threads(threads)
+        .with_queue_capacity(k);
+    let session_report = {
+        let cache = Arc::new(VerifierCache::new());
+        let service = BaService::new(svc.clone()).with_shared_cache(Arc::clone(&cache));
+        let mut session = service.session();
+        for i in 0..k as u64 {
+            session
+                .submit(build_spec(target, i, &cache))
+                .expect("queue sized to the fleet");
+        }
+        session.drain()
+    };
+    let wrapper_report = {
+        let cache = Arc::new(VerifierCache::new());
+        let service = BaService::new(svc).with_shared_cache(Arc::clone(&cache));
+        let specs = (0..k as u64)
+            .map(|i| build_spec(target, i, &cache))
+            .collect();
+        #[allow(deprecated)]
+        service.run(specs)
+    };
+    svc_fingerprint(&session_report) == svc_fingerprint(&wrapper_report)
+}
+
+/// Saturates a tiny session under block-with-deadline admission and
+/// proves every submit returns (accepted or refused — never wedged) and
+/// the drained report still accounts exactly.
+fn no_admission_deadlock(target: &CheckTarget, threads: usize) -> bool {
+    let cache = Arc::new(VerifierCache::new());
+    let svc = SvcConfig::new()
+        .with_threads(threads)
+        .with_max_inflight(2)
+        .with_admit_per_tick(1)
+        .with_queue_capacity(2)
+        .with_admission(AdmissionPolicy::BlockWithDeadline { deadline_ticks: 64 });
+    let service = BaService::new(svc).with_shared_cache(Arc::clone(&cache));
+    let mut session = service.session();
+    let mut accepted = 0usize;
+    for i in 0..16u64 {
+        if session.submit(build_spec(target, i, &cache)).is_ok() {
+            accepted += 1;
+        }
+    }
+    let report = session.drain();
+    accepted == report.outcomes.len() && report.accounting_balanced()
 }
 
 struct Row {
@@ -503,6 +651,72 @@ fn main() {
         }
     }
 
+    // -- open_loop: Poisson arrivals against the session API ---------------
+    let mut open_loop_accounting: Option<bool> = None;
+    let mut open_loop_deterministic: Option<bool> = None;
+    let mut deadlock_free: Option<bool> = None;
+    let mut wrapper_identical: Option<bool> = None;
+    if cfg.section("open_loop") {
+        let mut accounting = true;
+        for rate in OPEN_LOOP_RATES {
+            let probe = run_open_loop(target, th_hi, rate);
+            accounting &= probe.accounting_balanced();
+            let submitted = probe.submitted();
+            let decided = probe.decided();
+            let failed = probe.degraded();
+            let shed = probe.shed_count();
+            let shed_rate = shed as f64 / submitted.max(1) as f64;
+            let mut lat_ns: Vec<f64> = probe
+                .submission_to_decision_latencies()
+                .iter()
+                .map(|d| d.as_nanos() as f64)
+                .collect();
+            lat_ns.sort_by(|a, b| a.total_cmp(b));
+            let (p50, p99) = (percentile(&lat_ns, 0.50), percentile(&lat_ns, 0.99));
+            let sample = bench(
+                format!("open-loop λ={rate} k={submitted} threads={th_hi}"),
+                || run_open_loop(target, th_hi, rate).decided(),
+            );
+            let agreements_per_sec = decided as f64 * 1e9 / sample.median_ns;
+            eprintln!(
+                "bench_service: open-loop λ={rate}: {submitted} submitted → {decided} decided, \
+                 {failed} degraded, {shed} shed ({:.0}% shed) at {agreements_per_sec:.0} agr/s",
+                shed_rate * 100.0
+            );
+            rows.push(Row {
+                section: "open_loop",
+                label: format!("poisson λ={rate}"),
+                threads: th_hi,
+                batched: true,
+                sample,
+                extra: format!(
+                    ", \"offered_per_tick\": {rate}, \"submitted\": {submitted}, \
+                     \"decided\": {decided}, \"degraded\": {failed}, \"shed\": {shed}, \
+                     \"shed_rate\": {shed_rate:.3}, \
+                     \"agreements_per_sec\": {agreements_per_sec:.1}, \
+                     \"latency_p50_ns\": {p50:.1}, \"latency_p99_ns\": {p99:.1}, \
+                     \"mean_queue_depth\": {:.2}, \"peak_queue_depth\": {}, \
+                     \"peak_inflight\": {}, \"ticks\": {}",
+                    probe.queue.mean_depth(),
+                    probe.queue.peak_depth,
+                    probe.peak_inflight,
+                    probe.ticks
+                ),
+            });
+        }
+        open_loop_accounting = Some(accounting);
+        // The open-loop analogue of the fleet determinism gate: the same
+        // arrival schedule must replay byte-identically at every thread
+        // count (wall clock aside).
+        let want = svc_fingerprint(&run_open_loop(target, cfg.threads[0], OPEN_LOOP_RATES[1]));
+        open_loop_deterministic =
+            Some(cfg.threads[1..].iter().all(|&th| {
+                svc_fingerprint(&run_open_loop(target, th, OPEN_LOOP_RATES[1])) == want
+            }));
+        deadlock_free = Some(no_admission_deadlock(target, th_hi));
+        wrapper_identical = Some(cfg.threads.iter().all(|&th| wrapper_matches(target, k, th)));
+    }
+
     let samples: Vec<Sample> = rows.iter().map(|r| r.sample.clone()).collect();
     print_samples("ba-svc multiplexer", &samples);
 
@@ -511,12 +725,19 @@ fn main() {
     let _ = writeln!(json, "  \"available_parallelism\": {parallelism},");
     let _ = writeln!(json, "  \"single_core\": {single_core},");
     let speedup_str = speedup_hi.map_or("null".to_string(), |s| format!("{s:.3}"));
+    let opt = |v: Option<bool>| v.map_or("null".to_string(), |b| b.to_string());
     let _ = writeln!(
         json,
         "  \"checks\": {{\"determinism\": {deterministic}, \"no_agreement_violations\": \
          {no_violations}, \"pipelined_speedup_vs_serial\": {speedup_str}, \
-         \"pipelined_speedup_at_least_2x\": {}}},",
-        speedup_hi.is_some_and(|s| s >= 2.0)
+         \"pipelined_speedup_at_least_2x\": {}, \"open_loop_accounting\": {}, \
+         \"open_loop_determinism\": {}, \"no_admission_deadlock\": {}, \
+         \"run_wrapper_byte_identical\": {}}},",
+        speedup_hi.is_some_and(|s| s >= 2.0),
+        opt(open_loop_accounting),
+        opt(open_loop_deterministic),
+        opt(deadlock_free),
+        opt(wrapper_identical),
     );
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -552,6 +773,29 @@ fn main() {
     if !no_violations {
         eprintln!("bench_service: FAILED: an instance violated Byzantine Agreement under loss");
         std::process::exit(1);
+    }
+    for (check, ok) in [
+        (
+            "open-loop accounting (submitted = decided + degraded + shed)",
+            open_loop_accounting,
+        ),
+        (
+            "open-loop determinism across worker counts",
+            open_loop_deterministic,
+        ),
+        (
+            "no admission deadlock under block-with-deadline",
+            deadlock_free,
+        ),
+        (
+            "run() wrapper byte-identity with session()",
+            wrapper_identical,
+        ),
+    ] {
+        if ok == Some(false) {
+            eprintln!("bench_service: FAILED: {check}");
+            std::process::exit(1);
+        }
     }
     if let Some(ratio) = cfg.assert_speedup {
         match speedup_hi {

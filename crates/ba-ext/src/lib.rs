@@ -445,7 +445,13 @@ impl Actor<ExtMsg> for ExtActor {
     }
 }
 
-/// Options for [`agree_on_payload`].
+/// Options for [`agree_on_payload`]. Construct with
+/// [`ExtOptions::new`]/[`default`](ExtOptions::default) and the `with_*`
+/// builders (the same convention as `SvcConfig`, `NetConfig`, `DsOptions`
+/// and `Alg3Options`).
+///
+/// Defaults: `n = 16`, `t = 2`, seed 0, sequential stepping, scoped
+/// threads, fast scheme, `ds-broadcast` inner target.
 #[derive(Clone, Debug)]
 pub struct ExtOptions {
     /// Number of processors; must be a perfect square `m² ≥ 4` (the grid).
@@ -484,6 +490,53 @@ impl Default for ExtOptions {
 }
 
 impl ExtOptions {
+    /// The default options; chain `with_*` builders to customize.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the processor count (must be a perfect square `m² ≥ 4`).
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the fault budget.
+    pub fn with_t(mut self, t: usize) -> Self {
+        self.t = t;
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for intra-phase stepping.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Routes dissemination over the process-wide shared pool.
+    pub fn with_pooled(mut self, pooled: bool) -> Self {
+        self.pooled = pooled;
+        self
+    }
+
+    /// Sets the chunk-signature scheme.
+    pub fn with_scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the inner-BA target for digest agreement.
+    pub fn with_inner(mut self, inner: &'static str) -> Self {
+        self.inner = inner;
+        self
+    }
+
     /// Grid side `m = √n`.
     pub fn grid_side(&self) -> usize {
         (self.n as f64).sqrt().round() as usize

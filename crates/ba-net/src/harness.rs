@@ -111,8 +111,8 @@ pub struct MultiplexRun {
     /// Per instance, in admission order: the completed run (with its own
     /// agreement verdict) or that instance's degradation verdict.
     pub runs: Vec<Result<NetRun, Box<DegradationVerdict>>>,
-    /// Per instance, in admission order: wall-clock admission-to-settle
-    /// latency.
+    /// Per instance, in submission order: wall-clock
+    /// submission-to-decision latency (queue wait included).
     pub latencies: Vec<Duration>,
     /// Fleet-wide wire statistics, including the flush-coalescing
     /// counters.
@@ -171,15 +171,23 @@ pub fn run_target_multiplexed(
             registry: Some(setup.registry),
         });
     }
-    let service = BaService::new(svc.clone())
+    let mut cfg_svc = svc.clone();
+    cfg_svc.queue_capacity = cfg_svc.queue_capacity.max(specs.len());
+    let service = BaService::new(cfg_svc)
         .with_chaos(chaos.clone())
         .with_shared_cache(Arc::clone(&cache));
-    let report = service.run(specs);
+    let mut session = service.session();
+    for spec in specs {
+        session
+            .submit(spec)
+            .expect("queue widened to hold the whole fleet");
+    }
+    let report = session.drain();
 
     let mut runs = Vec::with_capacity(report.outcomes.len());
     let mut latencies = Vec::with_capacity(report.outcomes.len());
     for (outcome, cfg) in report.outcomes.into_iter().zip(cfgs) {
-        latencies.push(outcome.latency);
+        latencies.push(outcome.latency());
         runs.push(outcome.result.map(|run| {
             let shim: RunOutcome<Chain> = RunOutcome {
                 decisions: run.decisions.clone(),

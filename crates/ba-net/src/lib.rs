@@ -24,10 +24,13 @@
 //!   runtime and proves that, under a reliable wire, decisions and
 //!   [`Metrics`](ba_sim::Metrics) are byte-identical to
 //!   [`ba_sim::Simulation`] at any worker-thread count;
-//! * [`svc`] — the multi-instance multiplexer (`ba-svc`): many concurrent
-//!   BA instances with pipelined phases over one wire, per-link batched
-//!   flushes, a fleet-shared verifier cache, and per-instance degradation
-//!   verdicts.
+//! * [`svc`] — the multi-instance service (`ba-svc`): a session-based
+//!   open-loop API (`session`/`submit`/`tick`/`try_outcome`/`drain`) over
+//!   many concurrent BA instances with pipelined phases on one wire,
+//!   per-link batched flushes, a fleet-shared verifier cache, per-instance
+//!   degradation verdicts, and explicit admission control — a bounded
+//!   queue with reject / shed-oldest / block-with-deadline backpressure,
+//!   every decision recorded as a structured [`AdmissionVerdict`].
 //!
 //! # Example
 //!
@@ -85,7 +88,10 @@ pub use harness::{
 };
 pub use runtime::{NetConfig, NetOutcome, NetRuntime};
 pub use svc::{
-    instance_seed, BaService, InstanceOutcome, InstanceRun, InstanceSpec, SvcConfig, SvcReport,
-    TaggedFrame,
+    instance_seed, AdmissionPolicy, BaService, InstanceOutcome, InstanceRun, InstanceSpec,
+    PoissonArrivals, SvcConfig, SvcReport, SvcSession, TaggedFrame, TicketOutcome, TicketStatus,
 };
-pub use verdict::{DegradationReason, DegradationVerdict, FailedLink, NetStats};
+pub use verdict::{
+    AdmissionError, AdmissionVerdict, DegradationReason, DegradationVerdict, FailedLink, NetStats,
+    ShedOutcome, Ticket,
+};

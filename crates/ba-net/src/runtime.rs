@@ -56,7 +56,13 @@ use std::collections::BTreeSet;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
-/// Tuning knobs for the runtime.
+/// Tuning knobs for the runtime. Construct with
+/// [`NetConfig::new`]/[`default`](NetConfig::default) and the `with_*`
+/// builders (the same convention as `SvcConfig`, `DsOptions`,
+/// `Alg3Options` and `ExtOptions`).
+///
+/// Defaults: `threads = 1`, `fault_budget = 0`, `max_retries = 4`,
+/// `deadline_ticks = 128`, `phase_timeout = 5s`.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
     /// Worker threads stepping actors (clamped to at least 1 and at most
@@ -83,6 +89,43 @@ impl Default for NetConfig {
             deadline_ticks: 128,
             phase_timeout: Duration::from_secs(5),
         }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration; chain `with_*` builders to customize.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the fault budget `t`.
+    pub fn with_fault_budget(mut self, fault_budget: usize) -> Self {
+        self.fault_budget = fault_budget;
+        self
+    }
+
+    /// Sets the per-frame retransmission budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the virtual-tick deadline per phase.
+    pub fn with_deadline_ticks(mut self, deadline_ticks: u64) -> Self {
+        self.deadline_ticks = deadline_ticks;
+        self
+    }
+
+    /// Sets the wall-clock watchdog per phase barrier.
+    pub fn with_phase_timeout(mut self, phase_timeout: Duration) -> Self {
+        self.phase_timeout = phase_timeout;
+        self
     }
 }
 

@@ -1,8 +1,169 @@
-//! Structured outcomes of a runtime run: wire statistics, and the
-//! graceful-degradation verdict emitted when the fault budget is exceeded.
+//! Structured outcomes of a runtime run: wire statistics, the
+//! graceful-degradation verdict emitted when the fault budget is exceeded,
+//! and the admission vocabulary of the open-loop service layer
+//! ([`Ticket`], [`AdmissionVerdict`], [`AdmissionError`], [`ShedOutcome`]).
 
 use ba_crypto::ProcessId;
 use core::fmt;
+
+/// Handle for one submission accepted by a service session
+/// ([`SvcSession::submit`](crate::svc::SvcSession::submit)): pass it back
+/// to [`try_outcome`](crate::svc::SvcSession::try_outcome) to poll for the
+/// instance's settlement. Tickets are dense from 0 in submission order and
+/// double as the instance id the chaos seed is derived from
+/// ([`instance_seed`](crate::svc::instance_seed)).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ticket(pub u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Why a submission was not accepted. Admission failures are ordinary
+/// values, never panics: the caller decides whether to retry, back off, or
+/// drop the work — the session never decides for it and never drops
+/// silently.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The admission queue is at capacity and the session's policy is
+    /// [`AdmissionPolicy::Reject`](crate::svc::AdmissionPolicy::Reject).
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The policy was
+    /// [`AdmissionPolicy::BlockWithDeadline`](crate::svc::AdmissionPolicy::BlockWithDeadline)
+    /// and no queue slot freed within the deadline.
+    DeadlineExpired {
+        /// Service ticks the submission waited before giving up.
+        waited_ticks: u64,
+        /// The configured queue capacity that stayed full throughout.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            AdmissionError::DeadlineExpired {
+                waited_ticks,
+                capacity,
+            } => write!(
+                f,
+                "admission deadline expired after {waited_ticks} ticks \
+                 (queue capacity {capacity} never freed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// What one [`submit`](crate::svc::SvcSession::submit) call did — the
+/// structured audit record the session appends to its admission log for
+/// *every* submission, accepted or not. Together with [`ShedOutcome`] this
+/// makes the backpressure account exact: every ticket ever issued is
+/// settled, shed, or still in the session; nothing is dropped silently.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum AdmissionVerdict {
+    /// The submission was enqueued with free capacity to spare.
+    Enqueued {
+        /// The ticket issued.
+        ticket: Ticket,
+        /// Queue depth right after the enqueue (including this ticket).
+        depth: usize,
+    },
+    /// The queue was full; the oldest queued ticket was shed to make room
+    /// (policy [`ShedOldest`](crate::svc::AdmissionPolicy::ShedOldest)).
+    /// The victim's [`ShedOutcome`] is recorded in the session.
+    EnqueuedAfterShed {
+        /// The ticket issued to the new submission.
+        ticket: Ticket,
+        /// The queued ticket that was evicted to make room.
+        victim: Ticket,
+    },
+    /// The queue was full; the submission waited inside `submit` while the
+    /// session ticked, and a slot freed before the deadline (policy
+    /// [`BlockWithDeadline`](crate::svc::AdmissionPolicy::BlockWithDeadline)).
+    EnqueuedAfterWait {
+        /// The ticket issued.
+        ticket: Ticket,
+        /// Service ticks executed while the submission waited.
+        waited_ticks: u64,
+    },
+    /// The submission was refused; no ticket was issued. Mirrors the
+    /// [`AdmissionError`] returned from `submit`.
+    Refused {
+        /// Why admission failed.
+        error: AdmissionError,
+        /// Queue depth at refusal time.
+        depth: usize,
+    },
+}
+
+impl AdmissionVerdict {
+    /// The ticket this verdict issued, if any.
+    pub fn ticket(&self) -> Option<Ticket> {
+        match self {
+            AdmissionVerdict::Enqueued { ticket, .. }
+            | AdmissionVerdict::EnqueuedAfterShed { ticket, .. }
+            | AdmissionVerdict::EnqueuedAfterWait { ticket, .. } => Some(*ticket),
+            AdmissionVerdict::Refused { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for AdmissionVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionVerdict::Enqueued { ticket, depth } => {
+                write!(f, "{ticket} enqueued (depth {depth})")
+            }
+            AdmissionVerdict::EnqueuedAfterShed { ticket, victim } => {
+                write!(f, "{ticket} enqueued, shed {victim}")
+            }
+            AdmissionVerdict::EnqueuedAfterWait {
+                ticket,
+                waited_ticks,
+            } => write!(f, "{ticket} enqueued after {waited_ticks} ticks"),
+            AdmissionVerdict::Refused { error, depth } => {
+                write!(f, "refused at depth {depth}: {error}")
+            }
+        }
+    }
+}
+
+/// The structured record of one queued instance evicted by a shed-oldest
+/// admission — the backpressure analogue of [`DegradationVerdict`]: the
+/// work was not done, and here is exactly when and why.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShedOutcome {
+    /// The evicted ticket.
+    pub ticket: Ticket,
+    /// Service tick at which the victim was submitted.
+    pub submitted_tick: u64,
+    /// Service tick at which it was shed.
+    pub shed_tick: u64,
+    /// The ticket whose admission displaced it.
+    pub displaced_by: Ticket,
+}
+
+impl fmt::Display for ShedOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shed at tick {} (submitted tick {}, displaced by {})",
+            self.ticket, self.shed_tick, self.submitted_tick, self.displaced_by
+        )
+    }
+}
 
 /// One permanently failed link: the sender exhausted its retransmission
 /// budget without the frame ever reaching the receiver.
@@ -315,6 +476,41 @@ mod tests {
         assert_eq!(a.coalesced_frames, 9);
         assert_eq!(a.max_frames_per_flush, 7);
         assert_eq!(a.failed_links.len(), 1);
+    }
+
+    #[test]
+    fn admission_vocabulary_displays_and_tickets() {
+        let enqueued = AdmissionVerdict::Enqueued {
+            ticket: Ticket(3),
+            depth: 2,
+        };
+        assert_eq!(enqueued.ticket(), Some(Ticket(3)));
+        assert!(enqueued.to_string().contains("#3"));
+        let shed = AdmissionVerdict::EnqueuedAfterShed {
+            ticket: Ticket(9),
+            victim: Ticket(4),
+        };
+        assert!(shed.to_string().contains("shed #4"), "{shed}");
+        let refused = AdmissionVerdict::Refused {
+            error: AdmissionError::QueueFull { capacity: 8 },
+            depth: 8,
+        };
+        assert_eq!(refused.ticket(), None);
+        assert!(refused.to_string().contains("capacity 8"), "{refused}");
+        let deadline = AdmissionError::DeadlineExpired {
+            waited_ticks: 16,
+            capacity: 8,
+        };
+        assert!(deadline.to_string().contains("16 ticks"), "{deadline}");
+        let outcome = ShedOutcome {
+            ticket: Ticket(4),
+            submitted_tick: 1,
+            shed_tick: 7,
+            displaced_by: Ticket(9),
+        };
+        assert!(outcome.to_string().contains("displaced by #9"), "{outcome}");
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AdmissionError>();
     }
 
     #[test]

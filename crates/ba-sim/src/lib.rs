@@ -97,7 +97,7 @@ pub mod transport;
 pub use actor::{Actor, Envelope, Outbox, Payload};
 pub use checker::{check_byzantine_agreement, AgreementViolation, RunVerdict};
 pub use engine::{RunOutcome, Simulation};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, QueueStats};
 pub use pool::WorkerPool;
 pub use schedule::{FaultBehavior, LinkDrop, ScheduleError, ScheduleSpec};
 pub use transport::{Fate, Flaky, Reliable, ScheduledDrops, Transport};

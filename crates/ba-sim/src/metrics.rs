@@ -228,6 +228,78 @@ impl fmt::Display for Metrics {
     }
 }
 
+/// Admission-queue accounting for an open-loop serving layer.
+///
+/// [`Metrics`] counts what a single agreement costs; a service admitting a
+/// *stream* of agreements also has to account for the work it refused or
+/// shed, and for how deep the waiting line got while it refused. These
+/// counters are the queue-side complement: every submission ends up in
+/// exactly one of `admitted` (eventually ran), `shed` (evicted from the
+/// queue by a later arrival) — and `rejected` submissions never received a
+/// ticket at all, so `submitted = admitted + shed + still-queued` holds at
+/// any instant.
+///
+/// Depth is sampled once per service tick (after admission), so
+/// [`mean_depth`](QueueStats::mean_depth) is a tick-weighted average, not a
+/// per-submission one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct QueueStats {
+    /// Submissions that received a ticket (enqueued or directly admitted).
+    pub submitted: u64,
+    /// Tickets moved from the queue into flight.
+    pub admitted: u64,
+    /// Queued tickets evicted by a shed-oldest admission.
+    pub shed: u64,
+    /// Submissions refused outright (no ticket issued).
+    pub rejected: u64,
+    /// Submissions that had to wait for queue space (block-with-deadline).
+    pub blocked_submits: u64,
+    /// Service ticks spent inside blocking submissions, in total.
+    pub blocked_ticks: u64,
+    /// The deepest the queue ever got.
+    pub peak_depth: usize,
+    /// Sum of sampled queue depths (numerator of the mean).
+    pub depth_sum: u64,
+    /// Number of depth samples taken (denominator of the mean).
+    pub depth_samples: u64,
+}
+
+impl QueueStats {
+    /// Records one per-tick queue-depth sample.
+    pub fn record_depth(&mut self, depth: usize) {
+        self.peak_depth = self.peak_depth.max(depth);
+        self.depth_sum += depth as u64;
+        self.depth_samples += 1;
+    }
+
+    /// Tick-weighted mean queue depth (`0.0` before any sample).
+    pub fn mean_depth(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_samples as f64
+        }
+    }
+}
+
+impl fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "submitted={} admitted={} shed={} rejected={} blocked={}({} ticks) \
+             depth(peak={} mean={:.2})",
+            self.submitted,
+            self.admitted,
+            self.shed,
+            self.rejected,
+            self.blocked_submits,
+            self.blocked_ticks,
+            self.peak_depth,
+            self.mean_depth()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +323,25 @@ mod tests {
         assert_eq!(m.per_phase[2].messages_by_correct, 1);
         assert_eq!(m.by_kind_correct.get("a"), Some(&1));
         assert_eq!(m.by_kind_correct.get("b"), Some(&1));
+    }
+
+    #[test]
+    fn queue_stats_depth_sampling_and_display() {
+        let mut q = QueueStats::default();
+        assert_eq!(q.mean_depth(), 0.0);
+        q.record_depth(3);
+        q.record_depth(5);
+        q.record_depth(0);
+        q.submitted = 4;
+        q.admitted = 3;
+        q.shed = 1;
+        assert_eq!(q.peak_depth, 5);
+        assert_eq!(q.depth_samples, 3);
+        assert!((q.mean_depth() - 8.0 / 3.0).abs() < 1e-12);
+        let text = q.to_string();
+        assert!(text.contains("submitted=4"), "{text}");
+        assert!(text.contains("shed=1"), "{text}");
+        assert!(text.contains("peak=5"), "{text}");
     }
 
     #[test]
