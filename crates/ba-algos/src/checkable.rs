@@ -33,6 +33,11 @@ pub struct CheckConfig {
     pub t: usize,
     /// The transmitter's input value (binary).
     pub value: Value,
+    /// Which processor introduces the value. Multi-valued targets accept
+    /// any processor here (the extension layer's availability vote runs
+    /// one instance per node, each node transmitting its own vote);
+    /// binary-only targets are pinned to processor 0.
+    pub transmitter: ProcessId,
     /// Key-registry seed.
     pub seed: u64,
     /// Worker threads for intra-phase stepping (results are byte-identical
@@ -40,6 +45,28 @@ pub struct CheckConfig {
     pub threads: usize,
     /// The fault schedule under test.
     pub spec: ScheduleSpec,
+}
+
+impl CheckConfig {
+    /// A config with the conventional transmitter (processor 0).
+    pub fn new(
+        n: usize,
+        t: usize,
+        value: Value,
+        seed: u64,
+        threads: usize,
+        spec: ScheduleSpec,
+    ) -> Self {
+        CheckConfig {
+            n,
+            t,
+            value,
+            transmitter: ProcessId(0),
+            seed,
+            threads,
+            spec,
+        }
+    }
 }
 
 /// What one checked run produced: the agreement verdict plus the message
@@ -168,7 +195,7 @@ impl CheckTarget {
 
     /// Full validation of a config: dimensions, schedule well-formedness,
     /// and the target-specific rule that equivocation only makes sense on
-    /// the transmitter (processor 0).
+    /// the transmitter ([`CheckConfig::transmitter`]).
     ///
     /// # Errors
     /// A human-readable description of the first problem found.
@@ -182,9 +209,21 @@ impl CheckTarget {
         if !self.multi_valued && cfg.value != Value::ZERO && cfg.value != Value::ONE {
             return Err(format!("value {} is not binary", cfg.value));
         }
+        if cfg.transmitter.index() >= cfg.n {
+            return Err(format!(
+                "transmitter {} is out of range for n = {}",
+                cfg.transmitter, cfg.n
+            ));
+        }
+        if !self.multi_valued && cfg.transmitter != ProcessId(0) {
+            return Err(format!(
+                "target {} is pinned to transmitter p0 (bipartite structure), got {}",
+                self.name, cfg.transmitter
+            ));
+        }
         cfg.spec.validate(cfg.n, cfg.t)?;
         for (p, behavior) in &cfg.spec.faults {
-            if matches!(behavior, FaultBehavior::Equivocate { .. }) && p.index() != 0 {
+            if matches!(behavior, FaultBehavior::Equivocate { .. }) && *p != cfg.transmitter {
                 return Err(format!(
                     "equivocation scheduled on {p}, but only the transmitter can equivocate"
                 ));
@@ -331,6 +370,7 @@ fn build_ds(
     let registry = registry_for(cfg, cache);
     let mut params = DsParams::standard(cfg.n, cfg.t, variant, registry.verifier());
     params.weaken_relay_threshold = weaken;
+    params.transmitter = cfg.transmitter;
     let params = Arc::new(params);
     let honest = |p: ProcessId| -> Box<dyn Actor<Chain>> {
         let own = (p == params.transmitter).then_some(cfg.value);
@@ -369,7 +409,7 @@ fn build_algorithm1(
         verifier: registry.verifier(),
     });
     let honest = |p: ProcessId| -> Box<dyn Actor<Chain>> {
-        let own = (p.index() == 0).then_some(cfg.value);
+        let own = (p == cfg.transmitter).then_some(cfg.value);
         Box::new(Algo1Actor::new(params.clone(), p, registry.signer(p), own))
     };
     let mut actors: Vec<Box<dyn Actor<Chain>>> = Vec::with_capacity(cfg.n);
@@ -405,7 +445,7 @@ fn drive(cfg: &CheckConfig, setup: CheckSetup) -> CheckOutcome {
         .with_registry(&setup.registry)
         .with_link_drops(cfg.spec.link_drops.iter().copied());
     let outcome = sim.run(setup.phases);
-    let verdict = check_byzantine_agreement(&outcome, ProcessId(0), cfg.value);
+    let verdict = check_byzantine_agreement(&outcome, cfg.transmitter, cfg.value);
     CheckOutcome {
         verdict,
         messages_by_correct: outcome.metrics.messages_by_correct,
@@ -422,14 +462,7 @@ mod tests {
     use ba_sim::schedule::LinkDrop;
 
     fn cfg(target_n: usize, t: usize, spec: ScheduleSpec) -> CheckConfig {
-        CheckConfig {
-            n: target_n,
-            t,
-            value: Value::ONE,
-            seed: 0,
-            threads: 1,
-            spec,
-        }
+        CheckConfig::new(target_n, t, Value::ONE, 0, 1, spec)
     }
 
     /// The schedule that breaks the weakened Dolev-Strong variant: the
@@ -509,6 +542,59 @@ mod tests {
             config.value = Value(0x00AB_CDEF_0123_4567);
             assert_eq!(target.run(&config).failure(), None, "{name} under faults");
         }
+    }
+
+    #[test]
+    fn non_zero_transmitters_run_on_multi_valued_targets() {
+        // The availability vote runs one DS instance per node, each node
+        // transmitting its own vote — so every processor must be usable as
+        // the transmitter, with agreement checked against that processor.
+        for name in ["ds-broadcast", "ds-relay"] {
+            let target = find_target(name).unwrap();
+            for transmitter in 0..5u32 {
+                let mut config = cfg(5, 1, ScheduleSpec::default());
+                config.transmitter = ProcessId(transmitter);
+                config.value = Value(transmitter as u64 + 10);
+                target.validate(&config).unwrap();
+                let outcome = target.run(&config);
+                assert_eq!(outcome.failure(), None, "{name} tx {transmitter}");
+                let verdict = outcome.verdict.unwrap();
+                assert_eq!(
+                    verdict.agreed,
+                    Some(config.value),
+                    "{name} tx {transmitter}"
+                );
+            }
+            // A faulty non-zero transmitter leaves agreement intact.
+            let mut config = cfg(
+                5,
+                1,
+                ScheduleSpec {
+                    faults: vec![(ProcessId(3), FaultBehavior::Silent)],
+                    link_drops: vec![],
+                },
+            );
+            config.transmitter = ProcessId(3);
+            assert_eq!(target.run(&config).failure(), None, "{name} faulty tx");
+        }
+        // Binary-only targets stay pinned to p0, and out-of-range
+        // transmitters are rejected everywhere.
+        let alg1 = find_target("algorithm1").unwrap();
+        let mut config = cfg(5, 2, ScheduleSpec::default());
+        config.transmitter = ProcessId(1);
+        assert!(alg1.validate(&config).is_err());
+        let ds = find_target("ds-broadcast").unwrap();
+        let mut config = cfg(4, 1, ScheduleSpec::default());
+        config.transmitter = ProcessId(4);
+        assert!(ds.validate(&config).is_err());
+        // Equivocation is keyed to the configured transmitter.
+        let eq_spec = ScheduleSpec {
+            faults: vec![(ProcessId(1), FaultBehavior::Equivocate { ones: vec![] })],
+            link_drops: vec![],
+        };
+        let mut config = cfg(4, 1, eq_spec);
+        config.transmitter = ProcessId(1);
+        assert!(ds.validate(&config).is_ok());
     }
 
     #[test]

@@ -9,7 +9,17 @@
 //!   layers (`Metrics::bytes_by_correct`);
 //! * `payload_bytes` / `control_bytes` — the user-data vs framing split;
 //! * `overhead_ratio` — `total_bytes / (ℓ·n)`, the figure the
-//!   extension-protocol literature's `Ω(ℓn)` lower bound normalizes.
+//!   extension-protocol literature's `Ω(ℓn)` lower bound normalizes;
+//! * `repair_requests` / `repair_response_bytes` — how much of the grid's
+//!   column repair machinery each cell exercised.
+//!
+//! Each `(ℓ, n)` cell appears three times: fault-free (`"none"`), with the
+//! last `t` grid nodes silent (`"withhold-t"` — their chunks must be
+//! recovered through repair), and with the last `t` nodes garbling every
+//! chunk and bundle they relay (`"garble-t"` — digest checks reject the
+//! forgeries and repair routes around them). Faulty rows must still reach
+//! unanimous decision among correct nodes; only fault-free rows feed the
+//! overhead gate.
 //!
 //! Sections (select with `--section`, default `small`):
 //!
@@ -30,8 +40,10 @@
 
 use ba_bench::microbench::{bench, print_samples, Sample};
 use ba_crypto::rng::SimRng;
-use ba_crypto::Bytes;
-use ba_ext::{agree_on_payload, ExtDecision, ExtOptions, ExtReport};
+use ba_crypto::{Bytes, ProcessId};
+use ba_ext::check::{run_scenario, ExtScenario};
+use ba_ext::{ExtDecision, ExtOptions, ExtReport};
+use ba_sim::schedule::{FaultBehavior, ScheduleSpec};
 use std::fmt::Write as _;
 
 const KIB: usize = 1024;
@@ -51,13 +63,41 @@ struct Row {
     payload_len: usize,
     n: usize,
     t: usize,
+    fault: &'static str,
     total_bytes: u64,
     payload_bytes: u64,
     inner_bytes: u64,
     dissemination_bytes: u64,
     overhead_ratio: f64,
+    repair_requests: u64,
+    repair_response_bytes: u64,
     decided: usize,
     sample: Sample,
+}
+
+/// The benchmarked fault families: each cell runs fault-free, with the
+/// last `t` grid nodes silent, and with the last `t` nodes garbling.
+const FAULT_FAMILIES: [&str; 3] = ["none", "withhold-t", "garble-t"];
+
+fn family_scenario(family: &str, n: usize, t: usize) -> ExtScenario {
+    let tail: Vec<ProcessId> = (n - t..n).map(|p| ProcessId(p as u32)).collect();
+    let (faults, garble) = match family {
+        "none" => (Vec::new(), Vec::new()),
+        "withhold-t" => (
+            tail.iter().map(|p| (*p, FaultBehavior::Silent)).collect(),
+            Vec::new(),
+        ),
+        "garble-t" => (Vec::new(), tail),
+        other => die(&format!("unknown fault family {other:?}")),
+    };
+    ExtScenario {
+        spec: ScheduleSpec {
+            faults,
+            link_drops: Vec::new(),
+        },
+        garble,
+        label: family.to_string(),
+    }
 }
 
 struct Config {
@@ -113,35 +153,46 @@ fn decided_count(report: &ExtReport) -> usize {
         .count()
 }
 
-/// Runs one cell and asserts the determinism and totality contracts.
-fn probe(p: &Bytes, opts: &ExtOptions) -> ExtReport {
-    let base = agree_on_payload(p, opts).unwrap_or_else(|e| die(&format!("run failed: {e}")));
-    let correct_total = base.correct.iter().filter(|c| **c).count();
-    if decided_count(&base) != correct_total {
+/// Runs one cell and asserts the determinism and totality contracts: the
+/// judge finds no violation, every correct node decides (the faulty
+/// families stay within the `t` budget, so repair must recover the
+/// payload), and a threads=4/pooled rerun is byte-identical.
+fn probe(p: &Bytes, opts: &ExtOptions, scenario: &ExtScenario) -> ExtReport {
+    let base = run_scenario(p, opts, scenario);
+    if let Some(failure) = &base.failure {
         die(&format!(
-            "fault-free cell n={} ℓ={} did not decide everywhere",
-            opts.n, base.payload_len
+            "cell n={} ℓ={} [{}] violated the judge: {failure}",
+            opts.n,
+            p.len(),
+            scenario.label
         ));
     }
-    let threaded = agree_on_payload(
+    let report = base
+        .report
+        .unwrap_or_else(|| die(&format!("cell [{}] produced no report", scenario.label)));
+    let correct_total = report.correct.iter().filter(|c| **c).count();
+    if decided_count(&report) != correct_total {
+        die(&format!(
+            "cell n={} ℓ={} [{}] did not decide on every correct node",
+            opts.n, report.payload_len, scenario.label
+        ));
+    }
+    let threaded = run_scenario(
         p,
         &ExtOptions {
             threads: 4,
             pooled: true,
             ..opts.clone()
         },
-    )
-    .unwrap_or_else(|e| die(&format!("threaded run failed: {e}")));
-    if threaded.decisions != base.decisions
-        || threaded.dissemination != base.dissemination
-        || threaded.inner_metrics != base.inner_metrics
-    {
+        scenario,
+    );
+    if threaded.report.as_ref() != Some(&report) {
         die(&format!(
-            "DETERMINISM BROKEN at n={} ℓ={}: threads=4/pooled diverges from threads=1",
-            opts.n, base.payload_len
+            "DETERMINISM BROKEN at n={} ℓ={} [{}]: threads=4/pooled diverges from threads=1",
+            opts.n, report.payload_len, scenario.label
         ));
     }
-    base
+    report
 }
 
 fn main() {
@@ -165,22 +216,36 @@ fn main() {
                 ..ExtOptions::default()
             };
             let p = payload(len, len as u64 ^ 0xBA5E);
-            let report = probe(&p, &opts);
-            let sample = bench(format!("ext ℓ={len:>8} n={n:>2} t={t}"), || {
-                decided_count(&agree_on_payload(&p, &opts).expect("bench run"))
-            });
-            rows.push(Row {
-                payload_len: len,
-                n,
-                t,
-                total_bytes: report.total_wire_bytes(),
-                payload_bytes: report.payload_wire_bytes(),
-                inner_bytes: report.inner_metrics.wire_bytes(),
-                dissemination_bytes: report.dissemination.wire_bytes(),
-                overhead_ratio: report.overhead_ratio(),
-                decided: decided_count(&report),
-                sample,
-            });
+            for family in FAULT_FAMILIES {
+                let scenario = family_scenario(family, n, t);
+                let report = probe(&p, &opts, &scenario);
+                let sample = bench(
+                    format!("ext ℓ={len:>8} n={n:>2} t={t} {family:<10}"),
+                    || {
+                        decided_count(
+                            run_scenario(&p, &opts, &scenario)
+                                .report
+                                .as_ref()
+                                .expect("bench run"),
+                        )
+                    },
+                );
+                rows.push(Row {
+                    payload_len: len,
+                    n,
+                    t,
+                    fault: family,
+                    total_bytes: report.total_wire_bytes(),
+                    payload_bytes: report.payload_wire_bytes(),
+                    inner_bytes: report.inner_metrics.wire_bytes(),
+                    dissemination_bytes: report.dissemination.wire_bytes(),
+                    overhead_ratio: report.overhead_ratio(),
+                    repair_requests: report.repair_requests,
+                    repair_response_bytes: report.repair_response_bytes,
+                    decided: decided_count(&report),
+                    sample,
+                });
+            }
         }
     }
 
@@ -188,7 +253,7 @@ fn main() {
     print_samples("extension protocol", &samples);
 
     // -- JSON report -------------------------------------------------------
-    let gate_applies = |r: &Row| r.payload_len >= GATE_MIN_PAYLOAD;
+    let gate_applies = |r: &Row| r.fault == "none" && r.payload_len >= GATE_MIN_PAYLOAD;
     let overhead_ok = rows
         .iter()
         .filter(|r| gate_applies(r))
@@ -203,19 +268,24 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"payload_len\": {}, \"n\": {}, \"t\": {}, \"bytes_sent\": {}, \
+            "    {{\"payload_len\": {}, \"n\": {}, \"t\": {}, \"fault\": \"{}\", \
+             \"bytes_sent\": {}, \
              \"payload_bytes\": {}, \"control_bytes\": {}, \"inner_bytes\": {}, \
-             \"dissemination_bytes\": {}, \"overhead_ratio\": {:.4}, \"gated\": {}, \
+             \"dissemination_bytes\": {}, \"overhead_ratio\": {:.4}, \
+             \"repair_requests\": {}, \"repair_response_bytes\": {}, \"gated\": {}, \
              \"decided\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}",
             r.payload_len,
             r.n,
             r.t,
+            r.fault,
             r.total_bytes,
             r.payload_bytes,
             r.total_bytes - r.payload_bytes,
             r.inner_bytes,
             r.dissemination_bytes,
             r.overhead_ratio,
+            r.repair_requests,
+            r.repair_response_bytes,
             gate_applies(r),
             r.decided,
             r.sample.median_ns,

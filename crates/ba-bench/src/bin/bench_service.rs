@@ -189,13 +189,9 @@ fn parse_args(args: &[String]) -> Config {
 /// instances are not trivially identical.
 fn fleet_cfgs(k: usize) -> Vec<CheckConfig> {
     (0..k)
-        .map(|i| CheckConfig {
-            n: N,
-            t: T,
-            value: if i % 2 == 0 { Value::ONE } else { Value::ZERO },
-            seed: 11,
-            threads: 1,
-            spec: ScheduleSpec::default(),
+        .map(|i| {
+            let value = if i % 2 == 0 { Value::ONE } else { Value::ZERO };
+            CheckConfig::new(N, T, value, 11, 1, ScheduleSpec::default())
         })
         .collect()
 }
@@ -327,18 +323,12 @@ fn determinism_check(target: &CheckTarget, cfgs: &[CheckConfig], threads: &[usiz
 /// Builds the spec for open-loop arrival number `i` (alternating values,
 /// one cluster identity) against the session's shared cache.
 fn build_spec(target: &CheckTarget, i: u64, cache: &Arc<VerifierCache>) -> InstanceSpec<Chain> {
-    let cfg = CheckConfig {
-        n: N,
-        t: T,
-        value: if i.is_multiple_of(2) {
-            Value::ONE
-        } else {
-            Value::ZERO
-        },
-        seed: 11,
-        threads: 1,
-        spec: ScheduleSpec::default(),
+    let value = if i.is_multiple_of(2) {
+        Value::ONE
+    } else {
+        Value::ZERO
     };
+    let cfg = CheckConfig::new(N, T, value, 11, 1, ScheduleSpec::default());
     let setup = target
         .build_shared(&cfg, cache)
         .unwrap_or_else(|e| die(&format!("open-loop spec {i}: {e}")));

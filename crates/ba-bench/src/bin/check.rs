@@ -42,7 +42,10 @@
 
 use ba_check::corpus::{self, default_corpus_path, CorpusEntry};
 use ba_check::json::Json;
-use ba_check::{explore, find_target, targets, ExploreOptions, Strategy, Violation};
+use ba_check::{
+    explore, explore_ext, find_target, targets, ExploreOptions, ExtExploreOptions, ExtViolation,
+    Strategy, Violation,
+};
 use ba_sim::sweep::default_threads;
 use std::path::Path;
 use std::process::ExitCode;
@@ -56,6 +59,7 @@ struct Cli {
     budget: usize,
     threads: usize,
     strategy: Strategy,
+    inner: String,
     replay_only: bool,
     corpus_path: Option<String>,
     json: bool,
@@ -70,9 +74,11 @@ struct JsonOut {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: check [--target NAME] [--n N] [--t T] [--value 0|1] [--seed S] \
-         [--budget B] [--random] [--threads K] [--replay-corpus] [--corpus PATH] [--json]\n\
-         registered targets:"
+        "usage: check [--target NAME|ext] [--n N] [--t T] [--value 0|1] [--seed S] \
+         [--budget B] [--random] [--threads K] [--inner NAME] [--replay-corpus] \
+         [--corpus PATH] [--json]\n\
+         registered targets (plus \"ext\": the extension-layer family, whose \
+         digest agreement runs --inner):"
     );
     for target in targets() {
         eprintln!("  {:<26} {}", target.name, target.summary);
@@ -90,6 +96,7 @@ fn parse_cli() -> Cli {
         budget: 150,
         threads: default_threads().max(1),
         strategy: Strategy::Exhaustive,
+        inner: "ds-broadcast".to_string(),
         replay_only: false,
         corpus_path: None,
         json: false,
@@ -111,6 +118,7 @@ fn parse_cli() -> Cli {
             "--budget" => cli.budget = parse_num(&value_of("--budget"), "--budget"),
             "--threads" => cli.threads = parse_num(&value_of("--threads"), "--threads").max(1),
             "--random" => cli.strategy = Strategy::Random,
+            "--inner" => cli.inner = value_of("--inner"),
             "--replay-corpus" => cli.replay_only = true,
             "--corpus" => cli.corpus_path = Some(value_of("--corpus")),
             "--json" => cli.json = true,
@@ -203,6 +211,79 @@ fn run_target(
     })
 }
 
+fn print_ext_violation(violation: &ExtViolation) {
+    println!("  found:     {}", violation.schedule.to_json().render());
+    println!("  failure:   {}", violation.failure);
+    println!("  minimized: {}", violation.minimized.to_json().render());
+    println!("  failure:   {}", violation.minimized_failure);
+}
+
+fn ext_violation_json(violation: &ExtViolation) -> Json {
+    Json::Obj(vec![
+        ("found".to_string(), violation.schedule.to_json()),
+        ("failure".to_string(), Json::Str(violation.failure.clone())),
+        ("minimized".to_string(), violation.minimized.to_json()),
+        (
+            "minimized_failure".to_string(),
+            Json::Str(violation.minimized_failure.clone()),
+        ),
+    ])
+}
+
+/// Explores the extension-layer family: the standard scenario set plus
+/// `--budget` seeded random schedules, every violation shrunk. Violations
+/// are unexpected exactly when the `--inner` digest target is sound (the
+/// vote target is the sound committee relay).
+fn run_ext(
+    cli: &Cli,
+    out: &mut JsonOut,
+    n: usize,
+    t: usize,
+    extra_random: usize,
+) -> Result<usize, String> {
+    let inner =
+        find_target(&cli.inner).ok_or_else(|| format!("unknown inner target {:?}", cli.inner))?;
+    let report = explore_ext(&ExtExploreOptions {
+        n,
+        t,
+        seed: cli.seed,
+        inner: inner.name.to_string(),
+        extra_random,
+        threads: cli.threads,
+        ..ExtExploreOptions::default()
+    });
+    if cli.json {
+        out.reports.push(Json::Obj(vec![
+            ("target".to_string(), Json::Str("ext".to_string())),
+            ("inner".to_string(), Json::Str(inner.name.to_string())),
+            ("n".to_string(), Json::Int(n as u64)),
+            ("t".to_string(), Json::Int(t as u64)),
+            ("sound".to_string(), Json::Bool(inner.sound)),
+            ("explored".to_string(), Json::Int(report.explored as u64)),
+            (
+                "violations".to_string(),
+                Json::Arr(report.violations.iter().map(ext_violation_json).collect()),
+            ),
+        ]));
+    } else {
+        let kind = if inner.sound { "sound" } else { "unsound" };
+        println!(
+            "ext[{}]: explored {} schedule(s) at n = {n}, t = {t} ({kind} inner) — {} violation(s)",
+            inner.name,
+            report.explored,
+            report.violations.len()
+        );
+        for violation in &report.violations {
+            print_ext_violation(violation);
+        }
+    }
+    Ok(if inner.sound {
+        report.violations.len()
+    } else {
+        0
+    })
+}
+
 fn replay_corpus(cli: &Cli, out: &mut JsonOut) -> Result<(), String> {
     let path: &str = cli
         .corpus_path
@@ -211,7 +292,7 @@ fn replay_corpus(cli: &Cli, out: &mut JsonOut) -> Result<(), String> {
     let entries: Vec<CorpusEntry> = corpus::load(Path::new(path))?;
     for (i, entry) in entries.iter().enumerate() {
         corpus::replay_minimal(entry, cli.threads)
-            .map_err(|e| format!("corpus entry {i} ({}): {e}", entry.schedule.target))?;
+            .map_err(|e| format!("corpus entry {i} ({}): {e}", entry.describe()))?;
     }
     if cli.json {
         out.corpus = Some(Json::Obj(vec![
@@ -228,7 +309,7 @@ fn replay_corpus(cli: &Cli, out: &mut JsonOut) -> Result<(), String> {
 }
 
 /// Smoke mode: every sound target at its smallest supported dimensions,
-/// then the committed corpus.
+/// a short extension-family sweep, then the committed corpus.
 fn run_smoke(cli: &Cli, out: &mut JsonOut) -> Result<usize, String> {
     let mut unexpected = 0;
     for target in targets().iter().filter(|target| target.sound) {
@@ -240,6 +321,7 @@ fn run_smoke(cli: &Cli, out: &mut JsonOut) -> Result<usize, String> {
         };
         unexpected += run_target(cli, out, target.name, n, t)?;
     }
+    unexpected += run_ext(cli, out, 4, 1, 8)?;
     replay_corpus(cli, out)?;
     Ok(unexpected)
 }
@@ -250,6 +332,8 @@ fn main() -> ExitCode {
     let mut out = JsonOut::default();
     let (mode, outcome) = if cli.replay_only {
         ("replay", replay_corpus(&cli, &mut out).map(|()| 0))
+    } else if cli.target.as_deref() == Some("ext") {
+        ("explore", run_ext(&cli, &mut out, cli.n, cli.t, cli.budget))
     } else if cli.target.is_some() {
         let name = cli.target.clone().expect("checked above");
         ("explore", run_target(&cli, &mut out, &name, cli.n, cli.t))

@@ -31,6 +31,11 @@
 //! cargo run -p ba-bench --bin soak --release -- \
 //!     --campaigns 100 --corpus-out /tmp/soak-corpus.json
 //!     # persist newly minimized counterexamples for triage
+//!
+//! cargo run -p ba-bench --bin soak --release -- \
+//!     --target ext --n 9 --t 2 --profile lossy --campaigns 20
+//!     # chaos-soak the extension layer: completed runs must judge clean
+//!     # (strict outcome agreement), degradation verdicts are acceptable
 //! ```
 //!
 //! Determinism: campaign `i` of a target uses the schedule sampler seeded
@@ -40,8 +45,10 @@
 //! `--threads`.
 
 use ba_check::corpus::{self, CorpusEntry};
-use ba_check::{explore, shrink, ExploreOptions, FaultSchedule, Strategy};
+use ba_check::{explore, shrink, shrink_ext, ExploreOptions, ExtSchedule, FaultSchedule, Strategy};
 use ba_crypto::rng::derive_seed;
+use ba_ext::check::{run_scenario_net, standard_scenarios};
+use ba_ext::net::ExtNetError;
 use ba_net::{run_target, ChaosProfile, NetConfig, NetRunError};
 use ba_sim::schedule::{FaultBehavior, LinkDrop, ScheduleSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -57,6 +64,7 @@ struct Cli {
     value: u64,
     seed: u64,
     threads: usize,
+    inner: String,
     corpus_out: Option<String>,
     expect_violation: bool,
 }
@@ -74,9 +82,9 @@ struct Tally {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soak [--target NAME] [--profile {}] [--campaigns N] \
+        "usage: soak [--target NAME|ext] [--profile {}] [--campaigns N] \
          [--n N] [--t T] [--value 0|1] [--seed S] [--threads K] \
-         [--corpus-out PATH] [--expect-violation]",
+         [--inner NAME] [--corpus-out PATH] [--expect-violation]",
         ChaosProfile::NAMES.join("|")
     );
     std::process::exit(2);
@@ -92,6 +100,7 @@ fn parse_cli() -> Cli {
         value: 1,
         seed: 0,
         threads: 2,
+        inner: "ds-broadcast".to_string(),
         corpus_out: None,
         expect_violation: false,
     };
@@ -112,6 +121,7 @@ fn parse_cli() -> Cli {
             "--value" => cli.value = parse_num(&value_of("--value"), "--value") as u64,
             "--seed" => cli.seed = parse_num(&value_of("--seed"), "--seed") as u64,
             "--threads" => cli.threads = parse_num(&value_of("--threads"), "--threads").max(1),
+            "--inner" => cli.inner = value_of("--inner"),
             "--corpus-out" => cli.corpus_out = Some(value_of("--corpus-out")),
             "--expect-violation" => cli.expect_violation = true,
             "--help" | "-h" => usage(),
@@ -169,10 +179,7 @@ fn reproduce_and_shrink(
     match replay {
         Ok(Some(_failure)) => {
             let (minimized, minimized_failure) = shrink::shrink(target, schedule);
-            Some(CorpusEntry {
-                schedule: minimized,
-                failure: minimized_failure,
-            })
+            Some(CorpusEntry::target(minimized, minimized_failure))
         }
         Ok(None) => None,
         Err(_) => {
@@ -184,6 +191,143 @@ fn reproduce_and_shrink(
             None
         }
     }
+}
+
+/// Replays a chaos-found extension violation on the lock-step engine;
+/// returns the shrunk ext corpus entry when the failure reproduces.
+fn reproduce_and_shrink_ext(schedule: &ExtSchedule) -> Option<CorpusEntry> {
+    if schedule.validate().is_err() {
+        // Absorbing failed links can push the schedule past the fault
+        // budget; an over-budget schedule has no lock-step reproduction.
+        return None;
+    }
+    let replay = catch_unwind(AssertUnwindSafe(|| schedule.failure(1)));
+    match replay {
+        Ok(Some(_failure)) => {
+            let (minimized, minimized_failure) = shrink_ext(schedule);
+            Some(CorpusEntry::ext(minimized, minimized_failure))
+        }
+        Ok(None) => None,
+        Err(_) => {
+            eprintln!(
+                "  lock-step replay panicked for ext — schedule kept un-shrunk: {}",
+                schedule.to_json().render()
+            );
+            None
+        }
+    }
+}
+
+/// Chaos-soaks the extension layer: the standard scenario family plus
+/// seeded random schedules runs through `run_extension_net` under the
+/// chosen profile. With a sound inner target (the default) every
+/// completed run must judge clean (strict outcome agreement, no wrong
+/// payload) and a degradation verdict is the only other acceptable
+/// outcome; `--inner` swaps in a weakened digest-agreement target, whose
+/// violations are expected and feed the shrink-to-corpus pipeline.
+fn soak_ext(cli: &Cli, tally: &mut Tally) {
+    let Some(inner) = ba_check::find_target(&cli.inner) else {
+        eprintln!("unknown inner target {:?}", cli.inner);
+        std::process::exit(2);
+    };
+    let (n, t) = (cli.n, cli.t);
+    let scenarios = standard_scenarios(n, t, cli.seed, cli.campaigns);
+    let net = NetConfig {
+        threads: cli.threads,
+        ..NetConfig::default()
+    };
+    let mut local = Tally::default();
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let chaos = ChaosProfile::from_name(&cli.profile, derive_seed(cli.seed, i as u64))
+            .expect("profile validated at parse time");
+        let schedule = ExtSchedule {
+            n,
+            t,
+            payload_len: 2_048,
+            payload_seed: derive_seed(cli.seed, 2_000_000 + i as u64),
+            seed: derive_seed(cli.seed, 1_000_000 + i as u64),
+            inner: inner.name.to_string(),
+            vote_inner: "ds-relay".to_string(),
+            spec: scenario.spec.clone(),
+            garble: scenario.garble.clone(),
+        };
+        let opts = match schedule.options(1) {
+            Ok(opts) if schedule.validate().is_ok() => opts,
+            _ => {
+                local.skipped += 1;
+                continue;
+            }
+        };
+        match run_scenario_net(
+            &schedule.payload(),
+            &opts,
+            &schedule.scenario(),
+            &net,
+            &chaos,
+        ) {
+            Err(ExtNetError::BadOptions(_)) | Err(ExtNetError::Schedule(_)) => local.skipped += 1,
+            Err(ExtNetError::Degraded { .. }) => local.degraded += 1,
+            Ok((_, None)) => local.clean += 1,
+            Ok((run, Some(failure))) => {
+                if inner.sound {
+                    local.unexpected_violations += 1;
+                    eprintln!(
+                        "  EXT SOUNDNESS BREACH under {} chaos (campaign {i}, {}): {failure}",
+                        cli.profile, scenario.label
+                    );
+                } else {
+                    local.expected_violations += 1;
+                }
+                let failed: Vec<ba_net::FailedLink> = run
+                    .wire
+                    .iter()
+                    .flat_map(|stage| stage.stats.failed_links.iter().cloned())
+                    .collect();
+                let augmented = ExtSchedule {
+                    spec: absorb_failed_links(&schedule.spec, &failed),
+                    ..schedule.clone()
+                };
+                if let Some(entry) = reproduce_and_shrink_ext(&augmented) {
+                    local.reproduced += 1;
+                    if !local.corpus_new.iter().any(|e| e.case == entry.case)
+                        && !tally.corpus_new.iter().any(|e| e.case == entry.case)
+                    {
+                        println!(
+                            "  minimized: {} — {}",
+                            entry.schedule_json().render(),
+                            entry.failure
+                        );
+                        local.corpus_new.push(entry);
+                    }
+                } else {
+                    println!(
+                        "  campaign {i}: ext violation did not reproduce on the lock-step \
+                         engine (chaos-order dependent): {}",
+                        augmented.to_json().render()
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "ext: {} campaign(s) under {:?} at n = {n}, t = {t} — {} clean, {} degraded, \
+         {} violation(s) ({} unexpected), {} reproduced, {} skipped",
+        scenarios.len(),
+        cli.profile,
+        local.clean,
+        local.degraded,
+        local.expected_violations + local.unexpected_violations,
+        local.unexpected_violations,
+        local.reproduced,
+        local.skipped
+    );
+    tally.clean += local.clean;
+    tally.degraded += local.degraded;
+    tally.skipped += local.skipped;
+    tally.expected_violations += local.expected_violations;
+    tally.unexpected_violations += local.unexpected_violations;
+    tally.reproduced += local.reproduced;
+    tally.corpus_new.extend(local.corpus_new);
 }
 
 fn soak_target(cli: &Cli, target: &'static ba_check::CheckTarget, tally: &mut Tally) {
@@ -247,18 +391,12 @@ fn soak_target(cli: &Cli, target: &'static ba_check::CheckTarget, tally: &mut Ta
                 };
                 if let Some(entry) = reproduce_and_shrink(target, &augmented) {
                     local.reproduced += 1;
-                    if !local
-                        .corpus_new
-                        .iter()
-                        .any(|e| e.schedule == entry.schedule)
-                        && !tally
-                            .corpus_new
-                            .iter()
-                            .any(|e| e.schedule == entry.schedule)
+                    if !local.corpus_new.iter().any(|e| e.case == entry.case)
+                        && !tally.corpus_new.iter().any(|e| e.case == entry.case)
                     {
                         println!(
                             "  minimized: {} — {}",
-                            entry.schedule.to_json().render(),
+                            entry.schedule_json().render(),
                             entry.failure
                         );
                         local.corpus_new.push(entry);
@@ -304,7 +442,7 @@ fn save_corpus(path: &str, new_entries: &[CorpusEntry]) -> Result<usize, String>
     };
     let mut added = 0;
     for entry in new_entries {
-        if !entries.iter().any(|e| e.schedule == entry.schedule) {
+        if !entries.iter().any(|e| e.case == entry.case) {
             entries.push(entry.clone());
             added += 1;
         }
@@ -318,6 +456,7 @@ fn main() -> ExitCode {
     let started = std::time::Instant::now();
     let mut tally = Tally::default();
     match &cli.target {
+        Some(name) if name == "ext" => soak_ext(&cli, &mut tally),
         Some(name) => match ba_check::find_target(name) {
             Some(target) => soak_target(&cli, target, &mut tally),
             None => {

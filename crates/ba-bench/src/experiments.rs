@@ -1277,14 +1277,7 @@ pub fn e16() -> Vec<Table> {
         ],
     );
     let target = find_target("ds-broadcast").expect("registered");
-    let cfg = CheckConfig {
-        n: 4,
-        t: 1,
-        value: Value::ONE,
-        seed: 3,
-        threads: 1,
-        spec: ScheduleSpec::default(),
-    };
+    let cfg = CheckConfig::new(4, 1, Value::ONE, 3, 1, ScheduleSpec::default());
     let baseline = target.run(&cfg);
     let base_verdict = baseline.verdict.as_ref().expect("sound fault-free run");
     let net = NetConfig {

@@ -67,14 +67,14 @@ fn every_checkable_target_is_thread_count_invariant() {
         let spec = schedule_for(n, t);
         spec.validate(n, t).expect("schedule is well-formed");
         let run = |threads: usize| {
-            target.run(&CheckConfig {
+            target.run(&CheckConfig::new(
                 n,
                 t,
-                value: Value::ONE,
-                seed: 11,
+                Value::ONE,
+                11,
                 threads,
-                spec: spec.clone(),
-            })
+                spec.clone(),
+            ))
         };
         let baseline = fingerprint(&run(1));
         for threads in THREAD_COUNTS {
@@ -94,14 +94,14 @@ fn fault_free_targets_are_thread_count_invariant() {
         let (n, t) = (9usize, 4usize);
         assert!(target.supports(n, t), "{}", target.name);
         let run = |threads: usize| {
-            target.run(&CheckConfig {
+            target.run(&CheckConfig::new(
                 n,
                 t,
-                value: Value::ZERO,
-                seed: 3,
+                Value::ZERO,
+                3,
                 threads,
-                spec: ScheduleSpec::default(),
-            })
+                ScheduleSpec::default(),
+            ))
         };
         let baseline = fingerprint(&run(1));
         for threads in THREAD_COUNTS {

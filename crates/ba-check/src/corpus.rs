@@ -9,28 +9,96 @@
 //!   "entries": [
 //!     { "target": "...", "n": 4, "t": 1, "value": 1, "seed": 0,
 //!       "faults": [...], "link_drops": [...],
-//!       "failure": "correct processors disagree: ..." }
+//!       "failure": "correct processors disagree: ..." },
+//!     { "family": "ext", "n": 4, "t": 1,
+//!       "payload_len": 96, "payload_seed": 9, "seed": 0,
+//!       "inner": "...", "vote_inner": "...",
+//!       "faults": [...], "link_drops": [...], "garble": [...],
+//!       "failure": "correct p1 and p2 disagree on the outcome: ..." }
 //!   ]
 //! }
 //! ```
 //!
-//! Replay is strict: an entry passes only if the schedule still fails with
-//! the *exact* recorded failure string — a changed message means the
-//! behaviour drifted and the corpus entry must be regenerated on purpose.
+//! Entries come in two families, discriminated by the `"family"` field:
+//! absent (or `"target"`) means a classic [`FaultSchedule`] against a
+//! registered check target; `"ext"` means an [`ExtSchedule`] against the
+//! extension layer. Old corpora, written before the ext family existed,
+//! parse unchanged.
+//!
+//! Replay is strict for both families: an entry passes only if the
+//! schedule still fails with the *exact* recorded failure string — a
+//! changed message means the behaviour drifted and the corpus entry must
+//! be regenerated on purpose.
 
+use crate::ext::{self, ExtSchedule};
 use crate::json::{self, Json};
 use crate::schedule::FaultSchedule;
 use crate::shrink;
 use std::path::Path;
+
+/// The schedule a corpus entry replays: one of the two check families.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CorpusCase {
+    /// A classic schedule against a registered [`CheckTarget`]
+    /// (see [`ba_algos::checkable`]).
+    Target(FaultSchedule),
+    /// An extension-layer schedule (see [`crate::ext`]).
+    Ext(ExtSchedule),
+}
 
 /// One committed counterexample: a minimized schedule plus the failure it
 /// reproduces.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CorpusEntry {
     /// The minimized failing schedule.
-    pub schedule: FaultSchedule,
+    pub case: CorpusCase,
     /// The exact failure string the schedule must reproduce.
     pub failure: String,
+}
+
+impl CorpusEntry {
+    /// Wraps a classic target-family schedule.
+    pub fn target(schedule: FaultSchedule, failure: String) -> CorpusEntry {
+        CorpusEntry {
+            case: CorpusCase::Target(schedule),
+            failure,
+        }
+    }
+
+    /// Wraps an extension-family schedule.
+    pub fn ext(schedule: ExtSchedule, failure: String) -> CorpusEntry {
+        CorpusEntry {
+            case: CorpusCase::Ext(schedule),
+            failure,
+        }
+    }
+
+    /// The family discriminator as written to JSON.
+    pub fn family(&self) -> &'static str {
+        match &self.case {
+            CorpusCase::Target(_) => "target",
+            CorpusCase::Ext(_) => "ext",
+        }
+    }
+
+    /// A short human-readable label for error messages: the target name
+    /// for the classic family, the inner-target pair for ext.
+    pub fn describe(&self) -> String {
+        match &self.case {
+            CorpusCase::Target(schedule) => schedule.target.clone(),
+            CorpusCase::Ext(schedule) => {
+                format!("ext[{} / {}]", schedule.inner, schedule.vote_inner)
+            }
+        }
+    }
+
+    /// The schedule's JSON object form, whichever family it belongs to.
+    pub fn schedule_json(&self) -> Json {
+        match &self.case {
+            CorpusCase::Target(schedule) => schedule.to_json(),
+            CorpusCase::Ext(schedule) => schedule.to_json(),
+        }
+    }
 }
 
 /// The corpus format version this module reads and writes.
@@ -46,8 +114,12 @@ pub fn render(entries: &[CorpusEntry]) -> String {
     let rendered = entries
         .iter()
         .map(|entry| {
-            let Json::Obj(mut pairs) = entry.schedule.to_json() else {
-                unreachable!("FaultSchedule::to_json returns an object");
+            let schedule_json = match &entry.case {
+                CorpusCase::Target(schedule) => schedule.to_json(),
+                CorpusCase::Ext(schedule) => schedule.to_json(),
+            };
+            let Json::Obj(mut pairs) = schedule_json else {
+                unreachable!("schedule to_json returns an object");
             };
             pairs.push(("failure".to_string(), Json::Str(entry.failure.clone())));
             Json::Obj(pairs)
@@ -63,7 +135,8 @@ pub fn render(entries: &[CorpusEntry]) -> String {
 /// Parses corpus JSON text.
 ///
 /// # Errors
-/// Syntax errors, an unsupported version, or malformed entries.
+/// Syntax errors, an unsupported version, an unknown family, or malformed
+/// entries.
 pub fn parse(text: &str) -> Result<Vec<CorpusEntry>, String> {
     let root = json::parse(text)?;
     let version = root
@@ -81,13 +154,21 @@ pub fn parse(text: &str) -> Result<Vec<CorpusEntry>, String> {
         .iter()
         .enumerate()
         .map(|(i, item)| {
-            let schedule = FaultSchedule::from_json(item).map_err(|e| format!("entry {i}: {e}"))?;
+            let case = match item.get("family").and_then(Json::as_str) {
+                None | Some("target") => CorpusCase::Target(
+                    FaultSchedule::from_json(item).map_err(|e| format!("entry {i}: {e}"))?,
+                ),
+                Some("ext") => CorpusCase::Ext(
+                    ExtSchedule::from_json(item).map_err(|e| format!("entry {i}: {e}"))?,
+                ),
+                Some(other) => return Err(format!("entry {i}: unknown family {other:?}")),
+            };
             let failure = item
                 .get("failure")
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("entry {i}: missing string field \"failure\""))?
                 .to_string();
-            Ok(CorpusEntry { schedule, failure })
+            Ok(CorpusEntry { case, failure })
         })
         .collect()
 }
@@ -121,8 +202,17 @@ pub fn save(path: &Path, entries: &[CorpusEntry]) -> Result<(), String> {
 /// # Errors
 /// Resolution failures, a vanished failure, or a drifted failure string.
 pub fn replay(entry: &CorpusEntry, threads: usize) -> Result<(), String> {
-    let target = entry.schedule.resolve()?;
-    match target.run(&entry.schedule.config(threads)).failure() {
+    let reproduced = match &entry.case {
+        CorpusCase::Target(schedule) => {
+            let target = schedule.resolve()?;
+            target.run(&schedule.config(threads)).failure()
+        }
+        CorpusCase::Ext(schedule) => {
+            schedule.validate()?;
+            schedule.failure(threads)
+        }
+    };
+    match reproduced {
         Some(f) if f == entry.failure => Ok(()),
         Some(f) => Err(format!(
             "failure drifted: expected {:?}, reproduced {:?}",
@@ -141,8 +231,13 @@ pub fn replay(entry: &CorpusEntry, threads: usize) -> Result<(), String> {
 /// Replay failures or minimality violations.
 pub fn replay_minimal(entry: &CorpusEntry, threads: usize) -> Result<(), String> {
     replay(entry, threads)?;
-    let target = entry.schedule.resolve()?;
-    shrink::assert_minimal(target, &entry.schedule)
+    match &entry.case {
+        CorpusCase::Target(schedule) => {
+            let target = schedule.resolve()?;
+            shrink::assert_minimal(target, schedule)
+        }
+        CorpusCase::Ext(schedule) => ext::assert_minimal_ext(schedule),
+    }
 }
 
 #[cfg(test)]
@@ -174,13 +269,57 @@ mod tests {
             .run(&schedule.config(1))
             .failure()
             .expect("the splitting schedule fails on the weakened target");
-        CorpusEntry { schedule, failure }
+        CorpusEntry::target(schedule, failure)
+    }
+
+    /// The ext-family analogue of the splitting schedule: the weakened
+    /// inner target splits the digest words under `p0 OmitTo [p2]`, so p2
+    /// carries a wrong digest into reconstruction and fetch while the
+    /// availability vote still reaches `t + 1` — a reproducible outcome
+    /// disagreement (Decide vs Abort) the strict judge flags.
+    fn ext_splitting_entry() -> CorpusEntry {
+        let schedule = ExtSchedule {
+            n: 4,
+            t: 1,
+            payload_len: 96,
+            payload_seed: 9,
+            seed: 0,
+            inner: "ds-weak-relay-threshold".to_string(),
+            vote_inner: "ds-relay".to_string(),
+            spec: ScheduleSpec {
+                faults: vec![(
+                    ProcessId(0),
+                    FaultBehavior::OmitTo {
+                        targets: vec![ProcessId(2)],
+                    },
+                )],
+                link_drops: vec![],
+            },
+            garble: vec![],
+        };
+        let failure = schedule
+            .failure(1)
+            .expect("the splitting schedule splits the ext outcome too");
+        CorpusEntry::ext(schedule, failure)
     }
 
     #[test]
-    fn corpus_roundtrips() {
+    fn corpus_roundtrips_both_families() {
+        let entries = vec![splitting_entry(), ext_splitting_entry()];
+        let text = render(&entries);
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn pre_ext_corpora_still_parse() {
+        // Entries written before the family discriminator existed carry no
+        // "family" field and must keep parsing as the target family.
         let entries = vec![splitting_entry()];
         let text = render(&entries);
+        assert!(
+            !text.contains("\"family\""),
+            "target entries stay familyless"
+        );
         assert_eq!(parse(&text).unwrap(), entries);
     }
 
@@ -195,27 +334,55 @@ mod tests {
         assert!(replay(&drifted, 1).unwrap_err().contains("drifted"));
 
         let mut vanished = entry.clone();
-        vanished.schedule.target = "ds-broadcast".to_string();
+        let CorpusCase::Target(schedule) = &mut vanished.case else {
+            unreachable!("splitting entry is target-family");
+        };
+        schedule.target = "ds-broadcast".to_string();
         assert!(replay(&vanished, 1)
             .unwrap_err()
             .contains("no longer fails"));
     }
 
-    /// Regenerates the committed corpus from the known-bad schedule so the
-    /// recorded failure strings always come from an actual run. Invoke with
-    /// `cargo test -p ba-check regenerate_committed_corpus -- --ignored`
+    #[test]
+    fn ext_entry_replays_exactly_shrinks_to_minimal_and_rejects_drift() {
+        let entry = ext_splitting_entry();
+        replay(&entry, 1).unwrap();
+        replay_minimal(&entry, 1).unwrap();
+
+        let mut drifted = entry.clone();
+        drifted.failure = "some other failure".to_string();
+        assert!(replay(&drifted, 1).unwrap_err().contains("drifted"));
+
+        let mut vanished = entry.clone();
+        let CorpusCase::Ext(schedule) = &mut vanished.case else {
+            unreachable!("ext entry is ext-family");
+        };
+        schedule.inner = "ds-broadcast".to_string();
+        assert!(replay(&vanished, 1)
+            .unwrap_err()
+            .contains("no longer fails"));
+    }
+
+    /// Regenerates the committed corpus from the known-bad schedules so
+    /// the recorded failure strings always come from an actual run. Invoke
+    /// with `cargo test -p ba-check regenerate_committed_corpus -- --ignored`
     /// after an intentional behaviour change.
     #[test]
     #[ignore = "writes the committed corpus; run explicitly after intentional changes"]
     fn regenerate_committed_corpus() {
-        let entry = splitting_entry();
-        replay_minimal(&entry, 1).unwrap();
-        save(Path::new(default_corpus_path()), &[entry]).unwrap();
+        let entries = [splitting_entry(), ext_splitting_entry()];
+        for entry in &entries {
+            replay_minimal(entry, 1).unwrap();
+        }
+        save(Path::new(default_corpus_path()), &entries).unwrap();
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn version_mismatch_and_unknown_family_are_rejected() {
         let text = render(&[splitting_entry()]).replace("\"version\": 1", "\"version\": 2");
         assert!(parse(&text).unwrap_err().contains("version 2"));
+        let bad_family =
+            render(&[ext_splitting_entry()]).replace("\"family\": \"ext\"", "\"family\": \"??\"");
+        assert!(parse(&bad_family).unwrap_err().contains("unknown family"));
     }
 }

@@ -1,0 +1,610 @@
+//! The extension-layer check family: serializable schedules for
+//! [`ba_ext`]'s payload-agreement protocol, explored, shrunk and replayed
+//! through the same corpus machinery as the classic targets.
+//!
+//! An [`ExtSchedule`] is the extension analogue of
+//! [`FaultSchedule`](crate::schedule::FaultSchedule): instead of a target
+//! name and a one-word input it carries the grid geometry, a seeded
+//! payload (serialized as `(payload_len, payload_seed)` so the corpus
+//! stays integer-only), the inner-BA target names for digest agreement
+//! and the availability vote, a generic [`ScheduleSpec`] applied to every
+//! stage, and the extension-specific **garble** set (relays that corrupt
+//! chunk bytes and `Full` fetch responses). Running a schedule delegates
+//! to [`ba_ext::check::run_scenario`], whose judge enforces strict
+//! outcome agreement — so a corpus entry in this family certifies a
+//! reproducible *split outcome*, wrong payload, or unexcused abort.
+//!
+//! Shrinking mirrors [`crate::shrink`]: greedy, deterministic, first
+//! still-failing candidate wins, with two extension-specific steps —
+//! dropping a garbler (a removal that counts against 1-minimality) and
+//! halving the payload (a simplification that does not).
+
+use crate::json::{self, Json};
+use crate::schedule::{field_u64, ids_from_json, ids_to_json, spec_from_json, spec_to_json};
+use ba_crypto::rng::SimRng;
+use ba_crypto::{Bytes, ProcessId};
+use ba_ext::check::{run_scenario, standard_scenarios, ExtCheckOutcome, ExtScenario};
+use ba_ext::{ExtOptions, DISSEMINATION_PHASES};
+use ba_sim::schedule::{FaultBehavior, ScheduleSpec};
+use ba_sim::sweep::run_sweep;
+
+/// A complete, replayable extension check case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtSchedule {
+    /// Number of processors (a perfect square `m² ≥ 4`).
+    pub n: usize,
+    /// Fault budget (`t ≤ m − 1`, shared by schedule faults and garblers).
+    pub t: usize,
+    /// Length of the seeded payload in bytes.
+    pub payload_len: usize,
+    /// Seed of the payload byte stream.
+    pub payload_seed: u64,
+    /// Run seed (keys, inner-BA seeds).
+    pub seed: u64,
+    /// Inner-BA target for digest agreement.
+    pub inner: String,
+    /// Inner-BA target for the availability vote.
+    pub vote_inner: String,
+    /// Generic fault schedule, applied to every stage.
+    pub spec: ScheduleSpec,
+    /// Garbling relays (disjoint from `spec.faults`).
+    pub garble: Vec<ProcessId>,
+}
+
+impl ExtSchedule {
+    /// The deterministic payload this schedule runs on.
+    pub fn payload(&self) -> Bytes {
+        let mut rng = SimRng::new(self.payload_seed);
+        Bytes::from(
+            (0..self.payload_len)
+                .map(|_| rng.next_u64() as u8)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    /// The [`ExtOptions`] replaying this schedule with `threads` workers
+    /// (results are identical for any value).
+    ///
+    /// # Errors
+    /// Unknown inner-target names (the options hold `&'static` names, so
+    /// they must resolve through the registry).
+    pub fn options(&self, threads: usize) -> Result<ExtOptions, String> {
+        let inner = ba_algos::checkable::find_target(&self.inner)
+            .ok_or_else(|| format!("unknown inner target {:?}", self.inner))?;
+        let vote = ba_algos::checkable::find_target(&self.vote_inner)
+            .ok_or_else(|| format!("unknown vote target {:?}", self.vote_inner))?;
+        Ok(ExtOptions::new()
+            .with_n(self.n)
+            .with_t(self.t)
+            .with_seed(self.seed)
+            .with_threads(threads)
+            .with_inner(inner.name)
+            .with_vote_inner(vote.name))
+    }
+
+    /// The scenario form [`ba_ext::check`] runs.
+    pub fn scenario(&self) -> ExtScenario {
+        ExtScenario {
+            spec: self.spec.clone(),
+            garble: self.garble.clone(),
+            label: format!(
+                "ext n={} t={} ({} fault(s), {} garbler(s))",
+                self.n,
+                self.t,
+                self.spec.fault_count(),
+                self.garble.len()
+            ),
+        }
+    }
+
+    /// Validates geometry, inner targets and the scenario without running.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let opts = self.options(1)?;
+        opts.validate()?;
+        self.scenario().validate(self.n, self.t)
+    }
+
+    /// Runs the schedule and judges the outcome.
+    pub fn run(&self, threads: usize) -> ExtCheckOutcome {
+        let opts = match self.options(threads) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                return ExtCheckOutcome {
+                    label: self.scenario().label,
+                    report: None,
+                    failure: Some(format!("invalid schedule: {msg}")),
+                }
+            }
+        };
+        run_scenario(&self.payload(), &opts, &self.scenario())
+    }
+
+    /// `Some(description)` when a guaranteed property is violated.
+    pub fn failure(&self, threads: usize) -> Option<String> {
+        self.run(threads).failure
+    }
+
+    /// The JSON object form: a `"family": "ext"` discriminator plus the
+    /// integer-only parameters (see the corpus format in `DESIGN.md`).
+    pub fn to_json(&self) -> Json {
+        let (faults, drops) = spec_to_json(&self.spec);
+        Json::Obj(vec![
+            ("family".to_string(), Json::Str("ext".to_string())),
+            ("n".to_string(), Json::Int(self.n as u64)),
+            ("t".to_string(), Json::Int(self.t as u64)),
+            (
+                "payload_len".to_string(),
+                Json::Int(self.payload_len as u64),
+            ),
+            ("payload_seed".to_string(), Json::Int(self.payload_seed)),
+            ("seed".to_string(), Json::Int(self.seed)),
+            ("inner".to_string(), Json::Str(self.inner.clone())),
+            ("vote_inner".to_string(), Json::Str(self.vote_inner.clone())),
+            ("faults".to_string(), faults),
+            ("link_drops".to_string(), drops),
+            ("garble".to_string(), ids_to_json(&self.garble)),
+        ])
+    }
+
+    /// Parses the object form produced by [`ExtSchedule::to_json`].
+    ///
+    /// # Errors
+    /// A description of the first missing or ill-typed field.
+    pub fn from_json(value: &Json) -> Result<ExtSchedule, String> {
+        match value.get("family").and_then(Json::as_str) {
+            Some("ext") => {}
+            other => return Err(format!("expected \"family\": \"ext\", got {other:?}")),
+        }
+        let string_field = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("ext schedule missing string field {key:?}"))
+        };
+        Ok(ExtSchedule {
+            n: field_u64(value, "n")? as usize,
+            t: field_u64(value, "t")? as usize,
+            payload_len: field_u64(value, "payload_len")? as usize,
+            payload_seed: field_u64(value, "payload_seed")?,
+            seed: field_u64(value, "seed")?,
+            inner: string_field("inner")?,
+            vote_inner: string_field("vote_inner")?,
+            spec: spec_from_json(value)?,
+            garble: ids_from_json(value, "garble")?,
+        })
+    }
+
+    /// Parses an ext schedule from JSON text.
+    ///
+    /// # Errors
+    /// Syntax errors from the parser or structural errors from
+    /// [`ExtSchedule::from_json`].
+    pub fn from_text(text: &str) -> Result<ExtSchedule, String> {
+        ExtSchedule::from_json(&json::parse(text)?)
+    }
+}
+
+/// Shrinks a failing ext schedule to a 1-minimal counterexample and
+/// returns it with its failure description.
+///
+/// Candidate order mirrors [`crate::shrink`]: removals first (faulty
+/// processor with its link drops, garbler, single link drop, single
+/// omission target or equivocation recipient), then a crash delayed by
+/// one phase (capped at the dissemination phase count), then the payload
+/// halved. Every accepted step strictly decreases the measure (fault
+/// count, restriction count, crash headroom, payload length), so the
+/// loop terminates deterministically.
+///
+/// # Panics
+/// Panics if `schedule` does not actually fail.
+pub fn shrink_ext(schedule: &ExtSchedule) -> (ExtSchedule, String) {
+    let mut current = schedule.clone();
+    let mut failure = current
+        .failure(1)
+        .expect("shrink requires a schedule that fails");
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if candidate.validate().is_err() {
+                continue;
+            }
+            if let Some(f) = candidate.failure(1) {
+                current = candidate;
+                failure = f;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, failure);
+        }
+    }
+}
+
+/// Checks that a failing ext schedule is 1-minimal: no single removal —
+/// faulty processor, garbler, link drop, or omission — still fails.
+/// Payload halving is a simplification, not a removal, so it does not
+/// count against minimality.
+///
+/// # Errors
+/// Describes the first reduction that still violates, or reports that the
+/// schedule does not fail at all.
+pub fn assert_minimal_ext(schedule: &ExtSchedule) -> Result<(), String> {
+    if schedule.failure(1).is_none() {
+        return Err("schedule does not fail, so minimality is vacuous".to_string());
+    }
+    for candidate in removal_candidates(schedule) {
+        if candidate.validate().is_err() {
+            continue;
+        }
+        if let Some(f) = candidate.failure(1) {
+            return Err(format!(
+                "not minimal: a reduced schedule ({} fault(s), {} garbler(s), {} link drop(s)) still fails: {f}",
+                candidate.spec.fault_count(),
+                candidate.garble.len(),
+                candidate.spec.link_drops.len(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Strict removals only: the reductions whose failure would contradict
+/// 1-minimality.
+fn removal_candidates(schedule: &ExtSchedule) -> Vec<ExtSchedule> {
+    let mut out = Vec::new();
+
+    // Drop a whole faulty processor, taking its link drops with it.
+    for i in 0..schedule.spec.faults.len() {
+        let mut c = schedule.clone();
+        let (pid, _) = c.spec.faults.remove(i);
+        c.spec.link_drops.retain(|d| d.from != pid);
+        out.push(c);
+    }
+
+    // Drop a garbler.
+    for i in 0..schedule.garble.len() {
+        let mut c = schedule.clone();
+        c.garble.remove(i);
+        out.push(c);
+    }
+
+    // Remove a single link drop.
+    for j in 0..schedule.spec.link_drops.len() {
+        let mut c = schedule.clone();
+        c.spec.link_drops.remove(j);
+        out.push(c);
+    }
+
+    // Remove a single omission target or equivocation recipient.
+    for (i, (_, behavior)) in schedule.spec.faults.iter().enumerate() {
+        match behavior {
+            FaultBehavior::OmitTo { targets } => {
+                for k in 0..targets.len() {
+                    let mut reduced = targets.clone();
+                    reduced.remove(k);
+                    let mut c = schedule.clone();
+                    c.spec.faults[i].1 = if reduced.is_empty() {
+                        FaultBehavior::Passive
+                    } else {
+                        FaultBehavior::OmitTo { targets: reduced }
+                    };
+                    out.push(c);
+                }
+            }
+            FaultBehavior::Equivocate { ones } => {
+                for k in 0..ones.len() {
+                    let mut reduced = ones.clone();
+                    reduced.remove(k);
+                    let mut c = schedule.clone();
+                    c.spec.faults[i].1 = FaultBehavior::Equivocate { ones: reduced };
+                    out.push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn candidates(schedule: &ExtSchedule) -> Vec<ExtSchedule> {
+    let mut out = removal_candidates(schedule);
+
+    // Delay a crash by one phase. Capped at the dissemination phase count
+    // (the longest stage), so the headroom measure strictly decreases.
+    for (i, (_, behavior)) in schedule.spec.faults.iter().enumerate() {
+        if let FaultBehavior::CrashAt { phase } = behavior {
+            if *phase < DISSEMINATION_PHASES {
+                let mut c = schedule.clone();
+                c.spec.faults[i].1 = FaultBehavior::CrashAt { phase: phase + 1 };
+                out.push(c);
+            }
+        }
+    }
+
+    // Halve the payload — smaller counterexamples replay faster and often
+    // expose that the fault pattern, not the payload, is the trigger.
+    if schedule.payload_len >= 2 {
+        let mut c = schedule.clone();
+        c.payload_len /= 2;
+        out.push(c);
+    }
+    out
+}
+
+/// Parameters of one extension-family exploration.
+#[derive(Clone, Debug)]
+pub struct ExtExploreOptions {
+    /// Number of processors.
+    pub n: usize,
+    /// Fault budget.
+    pub t: usize,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Payload byte-stream seed.
+    pub payload_seed: u64,
+    /// Run seed (keys, inner-BA seeds, random-scenario sampling).
+    pub seed: u64,
+    /// Inner-BA target for digest agreement.
+    pub inner: String,
+    /// Inner-BA target for the availability vote.
+    pub vote_inner: String,
+    /// Seeded random scenarios appended to the standard family.
+    pub extra_random: usize,
+    /// Worker threads for the outer fan-out (inner runs sequential;
+    /// results identical for any value).
+    pub threads: usize,
+}
+
+impl Default for ExtExploreOptions {
+    fn default() -> Self {
+        ExtExploreOptions {
+            n: 16,
+            t: 2,
+            payload_len: 2_048,
+            payload_seed: 1,
+            seed: 0,
+            inner: "ds-broadcast".to_string(),
+            vote_inner: "ds-relay".to_string(),
+            extra_random: 8,
+            threads: 1,
+        }
+    }
+}
+
+/// One discovered ext violation: the schedule as found and its shrunk form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtViolation {
+    /// The schedule as the explorer found it.
+    pub schedule: ExtSchedule,
+    /// What failed (split outcome, wrong payload, unexcused abort).
+    pub failure: String,
+    /// The greedily-minimized counterexample.
+    pub minimized: ExtSchedule,
+    /// The minimized schedule's failure.
+    pub minimized_failure: String,
+}
+
+/// Result of one extension-family exploration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExtExploreReport {
+    /// How many scenarios actually ran.
+    pub explored: usize,
+    /// Violations in scenario order.
+    pub violations: Vec<ExtViolation>,
+}
+
+/// Runs the [`standard_scenarios`] family (plus `extra_random` seeded
+/// random schedules) against the extension layer, shrinking every
+/// violation — the ext analogue of [`crate::explore::explore`]. Results
+/// are byte-identical at any thread count.
+pub fn explore_ext(options: &ExtExploreOptions) -> ExtExploreReport {
+    let schedules: Vec<ExtSchedule> =
+        standard_scenarios(options.n, options.t, options.seed, options.extra_random)
+            .into_iter()
+            .map(|scenario| bind(options, scenario))
+            .filter(|s| s.validate().is_ok())
+            .collect();
+    let explored = schedules.len();
+    let failures: Vec<Option<String>> = run_sweep(&schedules, options.threads, |_, s| s.failure(1));
+    let violating: Vec<(ExtSchedule, String)> = schedules
+        .into_iter()
+        .zip(failures)
+        .filter_map(|(schedule, failure)| failure.map(|f| (schedule, f)))
+        .collect();
+    let minimized: Vec<(ExtSchedule, String)> =
+        run_sweep(&violating, options.threads, |_, (schedule, _)| {
+            shrink_ext(schedule)
+        });
+    let violations = violating
+        .into_iter()
+        .zip(minimized)
+        .map(
+            |((schedule, failure), (minimized, minimized_failure))| ExtViolation {
+                schedule,
+                failure,
+                minimized,
+                minimized_failure,
+            },
+        )
+        .collect();
+    ExtExploreReport {
+        explored,
+        violations,
+    }
+}
+
+fn bind(options: &ExtExploreOptions, scenario: ExtScenario) -> ExtSchedule {
+    ExtSchedule {
+        n: options.n,
+        t: options.t,
+        payload_len: options.payload_len,
+        payload_seed: options.payload_seed,
+        seed: options.seed,
+        inner: options.inner.clone(),
+        vote_inner: options.vote_inner.clone(),
+        spec: scenario.spec,
+        garble: scenario.garble,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_sim::schedule::LinkDrop;
+
+    fn sample() -> ExtSchedule {
+        ExtSchedule {
+            n: 4,
+            t: 1,
+            payload_len: 96,
+            payload_seed: 9,
+            seed: 0,
+            inner: "ds-weak-relay-threshold".to_string(),
+            vote_inner: "ds-relay".to_string(),
+            spec: ScheduleSpec {
+                faults: vec![(
+                    ProcessId(0),
+                    FaultBehavior::OmitTo {
+                        targets: vec![ProcessId(2)],
+                    },
+                )],
+                link_drops: vec![],
+            },
+            garble: vec![],
+        }
+    }
+
+    #[test]
+    fn schedule_roundtrips_compact_and_pretty() {
+        let mut schedule = sample();
+        schedule.garble = vec![ProcessId(3)];
+        schedule.spec.faults.clear();
+        schedule.spec.link_drops = vec![LinkDrop {
+            phase: 2,
+            from: ProcessId(3),
+            to: ProcessId(1),
+        }];
+        let compact = ExtSchedule::from_text(&schedule.to_json().render()).unwrap();
+        assert_eq!(compact, schedule);
+        let pretty = ExtSchedule::from_text(&schedule.to_json().pretty()).unwrap();
+        assert_eq!(pretty, schedule);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        assert!(ExtSchedule::from_text("{}").unwrap_err().contains("family"));
+        let no_garble = sample()
+            .to_json()
+            .render()
+            .replace("\"garble\":[]", "\"x\":[]");
+        assert!(ExtSchedule::from_text(&no_garble)
+            .unwrap_err()
+            .contains("garble"));
+        let bad_inner = sample();
+        let mut unknown = bad_inner.clone();
+        unknown.inner = "no-such-target".to_string();
+        assert!(unknown.validate().unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn payload_is_seed_deterministic() {
+        let schedule = sample();
+        assert_eq!(schedule.payload(), schedule.payload());
+        assert_eq!(schedule.payload().len(), 96);
+        let mut other = schedule.clone();
+        other.payload_seed ^= 1;
+        assert_ne!(schedule.payload(), other.payload());
+    }
+
+    #[test]
+    fn splitting_schedule_fails_and_is_minimal() {
+        let schedule = sample();
+        let failure = schedule.failure(1).expect("the weak inner splits outcomes");
+        assert!(
+            failure.contains("disagree on the outcome"),
+            "got: {failure}"
+        );
+        assert_minimal_ext(&schedule).unwrap();
+    }
+
+    #[test]
+    fn shrink_removes_bloat_and_is_deterministic() {
+        // Bloat the splitting core with an irrelevant link drop and an
+        // extra omission target; shrinking must strip both and may halve
+        // the payload — but never lose the failure.
+        let mut bloated = sample();
+        bloated.spec.faults[0].1 = FaultBehavior::OmitTo {
+            targets: vec![ProcessId(2), ProcessId(3)],
+        };
+        bloated.spec.link_drops = vec![LinkDrop {
+            phase: 6,
+            from: ProcessId(0),
+            to: ProcessId(1),
+        }];
+        assert!(bloated.failure(1).is_some(), "precondition: bloated fails");
+        let (minimal, failure) = shrink_ext(&bloated);
+        assert!(!failure.is_empty());
+        assert_eq!(minimal.spec.fault_count(), 1);
+        assert!(minimal.spec.link_drops.is_empty(), "drop was irrelevant");
+        assert!(minimal.payload_len <= bloated.payload_len);
+        assert_minimal_ext(&minimal).unwrap();
+        assert_eq!(shrink_ext(&bloated), (minimal, failure), "deterministic");
+    }
+
+    #[test]
+    fn sound_inner_explores_clean_at_any_thread_count() {
+        let options = ExtExploreOptions {
+            n: 4,
+            t: 1,
+            payload_len: 64,
+            extra_random: 4,
+            ..ExtExploreOptions::default()
+        };
+        let report = explore_ext(&options);
+        assert!(
+            report.explored > 10,
+            "family too small: {}",
+            report.explored
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let threaded = explore_ext(&ExtExploreOptions {
+            threads: 4,
+            ..options
+        });
+        assert_eq!(report, threaded, "exploration is thread-count invariant");
+    }
+
+    #[test]
+    fn weak_inner_yields_minimized_violations() {
+        let report = explore_ext(&ExtExploreOptions {
+            n: 4,
+            t: 1,
+            payload_len: 96,
+            payload_seed: 9,
+            inner: "ds-weak-relay-threshold".to_string(),
+            extra_random: 2,
+            ..ExtExploreOptions::default()
+        });
+        assert!(
+            !report.violations.is_empty(),
+            "the weak inner target must split some ext outcome"
+        );
+        for violation in &report.violations {
+            assert!(
+                violation.minimized.spec.fault_count() + violation.minimized.garble.len()
+                    <= violation.schedule.spec.fault_count() + violation.schedule.garble.len(),
+                "shrinking never grows the schedule"
+            );
+            assert_eq!(
+                violation.minimized.failure(1),
+                Some(violation.minimized_failure.clone()),
+                "the minimized schedule still fails with the recorded string"
+            );
+        }
+    }
+}

@@ -14,8 +14,13 @@
 //!   count;
 //! * [`shrink`] — greedy deterministic shrinking of violating schedules to
 //!   1-minimal counterexamples;
-//! * [`corpus`] — the committed JSON regression corpus, replayed strictly
-//!   (exact failure-string match) by tests and CI;
+//! * [`ext`] — the extension-layer family: [`ExtSchedule`] binds a seeded
+//!   payload and the garbling adversary to the same corpus machinery, with
+//!   its own explorer and shrinker (strict outcome agreement is part of
+//!   the judged contract);
+//! * [`corpus`] — the committed JSON regression corpus (both families,
+//!   discriminated by `"family"`), replayed strictly (exact failure-string
+//!   match) by tests and CI;
 //! * [`json`] — the dependency-free JSON codec the corpus uses
 //!   (unsigned-integer-only numbers, so 64-bit seeds round-trip exactly).
 //!
@@ -26,12 +31,17 @@
 
 pub mod corpus;
 pub mod explore;
+pub mod ext;
 pub mod json;
 pub mod schedule;
 pub mod shrink;
 
 pub use ba_algos::checkable::{find_target, targets, CheckTarget};
-pub use corpus::{replay, replay_minimal, CorpusEntry};
+pub use corpus::{replay, replay_minimal, CorpusCase, CorpusEntry};
 pub use explore::{explore, ExploreOptions, ExploreReport, Strategy, Violation};
+pub use ext::{
+    assert_minimal_ext, explore_ext, shrink_ext, ExtExploreOptions, ExtExploreReport, ExtSchedule,
+    ExtViolation,
+};
 pub use schedule::FaultSchedule;
 pub use shrink::{assert_minimal, shrink};

@@ -29,14 +29,14 @@ impl FaultSchedule {
     /// The [`CheckConfig`] replaying this schedule with `threads` worker
     /// threads (results are identical for any value).
     pub fn config(&self, threads: usize) -> CheckConfig {
-        CheckConfig {
-            n: self.n,
-            t: self.t,
-            value: Value(self.value),
-            seed: self.seed,
+        CheckConfig::new(
+            self.n,
+            self.t,
+            Value(self.value),
+            self.seed,
             threads,
-            spec: self.spec.clone(),
-        }
+            self.spec.clone(),
+        )
     }
 
     /// Resolves and validates this schedule's target.
@@ -52,53 +52,15 @@ impl FaultSchedule {
 
     /// The JSON object form (see the corpus format in `DESIGN.md`).
     pub fn to_json(&self) -> Json {
-        let faults = self
-            .spec
-            .faults
-            .iter()
-            .map(|(p, behavior)| {
-                let mut pairs = vec![
-                    ("process".to_string(), Json::Int(u64::from(p.0))),
-                    (
-                        "behavior".to_string(),
-                        Json::Str(behavior.tag().to_string()),
-                    ),
-                ];
-                match behavior {
-                    FaultBehavior::Silent | FaultBehavior::Passive => {}
-                    FaultBehavior::CrashAt { phase } => {
-                        pairs.push(("phase".to_string(), Json::Int(*phase as u64)));
-                    }
-                    FaultBehavior::OmitTo { targets } => {
-                        pairs.push(("targets".to_string(), ids_to_json(targets)));
-                    }
-                    FaultBehavior::Equivocate { ones } => {
-                        pairs.push(("ones".to_string(), ids_to_json(ones)));
-                    }
-                }
-                Json::Obj(pairs)
-            })
-            .collect();
-        let drops = self
-            .spec
-            .link_drops
-            .iter()
-            .map(|d| {
-                Json::Obj(vec![
-                    ("phase".to_string(), Json::Int(d.phase as u64)),
-                    ("from".to_string(), Json::Int(u64::from(d.from.0))),
-                    ("to".to_string(), Json::Int(u64::from(d.to.0))),
-                ])
-            })
-            .collect();
+        let (faults, drops) = spec_to_json(&self.spec);
         Json::Obj(vec![
             ("target".to_string(), Json::Str(self.target.clone())),
             ("n".to_string(), Json::Int(self.n as u64)),
             ("t".to_string(), Json::Int(self.t as u64)),
             ("value".to_string(), Json::Int(self.value)),
             ("seed".to_string(), Json::Int(self.seed)),
-            ("faults".to_string(), Json::Arr(faults)),
-            ("link_drops".to_string(), Json::Arr(drops)),
+            ("faults".to_string(), faults),
+            ("link_drops".to_string(), drops),
         ])
     }
 
@@ -116,52 +78,13 @@ impl FaultSchedule {
         let t = field_u64(value, "t")? as usize;
         let val = field_u64(value, "value")?;
         let seed = field_u64(value, "seed")?;
-        let mut faults = Vec::new();
-        for entry in value
-            .get("faults")
-            .and_then(Json::as_arr)
-            .ok_or("schedule missing array field \"faults\"")?
-        {
-            let process = ProcessId(field_u64(entry, "process")? as u32);
-            let tag = entry
-                .get("behavior")
-                .and_then(Json::as_str)
-                .ok_or("fault missing string field \"behavior\"")?;
-            let behavior = match tag {
-                "silent" => FaultBehavior::Silent,
-                "passive" => FaultBehavior::Passive,
-                "crash-at" => FaultBehavior::CrashAt {
-                    phase: field_u64(entry, "phase")? as usize,
-                },
-                "omit-to" => FaultBehavior::OmitTo {
-                    targets: ids_from_json(entry, "targets")?,
-                },
-                "equivocate" => FaultBehavior::Equivocate {
-                    ones: ids_from_json(entry, "ones")?,
-                },
-                other => return Err(format!("unknown fault behavior {other:?}")),
-            };
-            faults.push((process, behavior));
-        }
-        let mut link_drops = Vec::new();
-        for entry in value
-            .get("link_drops")
-            .and_then(Json::as_arr)
-            .ok_or("schedule missing array field \"link_drops\"")?
-        {
-            link_drops.push(LinkDrop {
-                phase: field_u64(entry, "phase")? as usize,
-                from: ProcessId(field_u64(entry, "from")? as u32),
-                to: ProcessId(field_u64(entry, "to")? as u32),
-            });
-        }
         Ok(FaultSchedule {
             target,
             n,
             t,
             value: val,
             seed,
-            spec: ScheduleSpec { faults, link_drops },
+            spec: spec_from_json(value)?,
         })
     }
 
@@ -175,18 +98,107 @@ impl FaultSchedule {
     }
 }
 
-fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
+/// Serializes a bare [`ScheduleSpec`] into its `"faults"` and
+/// `"link_drops"` JSON arrays — shared between the classic target family
+/// and the extension family (see [`crate::ext`]).
+pub(crate) fn spec_to_json(spec: &ScheduleSpec) -> (Json, Json) {
+    let faults = spec
+        .faults
+        .iter()
+        .map(|(p, behavior)| {
+            let mut pairs = vec![
+                ("process".to_string(), Json::Int(u64::from(p.0))),
+                (
+                    "behavior".to_string(),
+                    Json::Str(behavior.tag().to_string()),
+                ),
+            ];
+            match behavior {
+                FaultBehavior::Silent | FaultBehavior::Passive => {}
+                FaultBehavior::CrashAt { phase } => {
+                    pairs.push(("phase".to_string(), Json::Int(*phase as u64)));
+                }
+                FaultBehavior::OmitTo { targets } => {
+                    pairs.push(("targets".to_string(), ids_to_json(targets)));
+                }
+                FaultBehavior::Equivocate { ones } => {
+                    pairs.push(("ones".to_string(), ids_to_json(ones)));
+                }
+            }
+            Json::Obj(pairs)
+        })
+        .collect();
+    let drops = spec
+        .link_drops
+        .iter()
+        .map(|d| {
+            Json::Obj(vec![
+                ("phase".to_string(), Json::Int(d.phase as u64)),
+                ("from".to_string(), Json::Int(u64::from(d.from.0))),
+                ("to".to_string(), Json::Int(u64::from(d.to.0))),
+            ])
+        })
+        .collect();
+    (Json::Arr(faults), Json::Arr(drops))
+}
+
+/// Parses the `"faults"` / `"link_drops"` arrays back out of a schedule
+/// object (inverse of [`spec_to_json`]).
+pub(crate) fn spec_from_json(value: &Json) -> Result<ScheduleSpec, String> {
+    let mut faults = Vec::new();
+    for entry in value
+        .get("faults")
+        .and_then(Json::as_arr)
+        .ok_or("schedule missing array field \"faults\"")?
+    {
+        let process = ProcessId(field_u64(entry, "process")? as u32);
+        let tag = entry
+            .get("behavior")
+            .and_then(Json::as_str)
+            .ok_or("fault missing string field \"behavior\"")?;
+        let behavior = match tag {
+            "silent" => FaultBehavior::Silent,
+            "passive" => FaultBehavior::Passive,
+            "crash-at" => FaultBehavior::CrashAt {
+                phase: field_u64(entry, "phase")? as usize,
+            },
+            "omit-to" => FaultBehavior::OmitTo {
+                targets: ids_from_json(entry, "targets")?,
+            },
+            "equivocate" => FaultBehavior::Equivocate {
+                ones: ids_from_json(entry, "ones")?,
+            },
+            other => return Err(format!("unknown fault behavior {other:?}")),
+        };
+        faults.push((process, behavior));
+    }
+    let mut link_drops = Vec::new();
+    for entry in value
+        .get("link_drops")
+        .and_then(Json::as_arr)
+        .ok_or("schedule missing array field \"link_drops\"")?
+    {
+        link_drops.push(LinkDrop {
+            phase: field_u64(entry, "phase")? as usize,
+            from: ProcessId(field_u64(entry, "from")? as u32),
+            to: ProcessId(field_u64(entry, "to")? as u32),
+        });
+    }
+    Ok(ScheduleSpec { faults, link_drops })
+}
+
+pub(crate) fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
     value
         .get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("missing integer field {key:?}"))
 }
 
-fn ids_to_json(ids: &[ProcessId]) -> Json {
+pub(crate) fn ids_to_json(ids: &[ProcessId]) -> Json {
     Json::Arr(ids.iter().map(|p| Json::Int(u64::from(p.0))).collect())
 }
 
-fn ids_from_json(entry: &Json, key: &str) -> Result<Vec<ProcessId>, String> {
+pub(crate) fn ids_from_json(entry: &Json, key: &str) -> Result<Vec<ProcessId>, String> {
     entry
         .get(key)
         .and_then(Json::as_arr)

@@ -4,7 +4,7 @@
 //! committed counterexample must be 1-minimal.
 
 use ba_check::corpus::{self, default_corpus_path};
-use ba_check::{explore, find_target, ExploreOptions, Strategy};
+use ba_check::{explore, find_target, CorpusCase, ExploreOptions, Strategy};
 use std::path::Path;
 
 #[test]
@@ -34,6 +34,21 @@ fn explorer_rediscovers_the_weakened_relay_bug() {
 }
 
 #[test]
+fn committed_corpus_covers_both_families() {
+    let entries = corpus::load(Path::new(default_corpus_path())).unwrap();
+    assert!(
+        entries
+            .iter()
+            .any(|e| matches!(e.case, CorpusCase::Target(_))),
+        "the corpus ships a classic target-family entry"
+    );
+    assert!(
+        entries.iter().any(|e| matches!(e.case, CorpusCase::Ext(_))),
+        "the corpus ships an extension-family entry"
+    );
+}
+
+#[test]
 fn committed_corpus_replays_with_exact_failures() {
     let entries = corpus::load(Path::new(default_corpus_path())).unwrap();
     assert!(!entries.is_empty(), "the corpus ships at least one entry");
@@ -58,13 +73,29 @@ fn committed_counterexamples_are_one_minimal() {
 fn corpus_schedules_are_harmless_on_the_sound_variant() {
     let entries = corpus::load(Path::new(default_corpus_path())).unwrap();
     for entry in &entries {
-        let mut on_sound = entry.schedule.clone();
-        on_sound.target = "ds-broadcast".to_string();
-        let target = on_sound.resolve().unwrap();
-        assert_eq!(
-            target.run(&on_sound.config(1)).failure(),
-            None,
-            "the same schedule must not break the correct relay threshold"
-        );
+        // Every committed failure is a bug in the weakened variant, not in
+        // the schedule: swapping in the sound inner target must clear it,
+        // in both families.
+        match &entry.case {
+            CorpusCase::Target(schedule) => {
+                let mut on_sound = schedule.clone();
+                on_sound.target = "ds-broadcast".to_string();
+                let target = on_sound.resolve().unwrap();
+                assert_eq!(
+                    target.run(&on_sound.config(1)).failure(),
+                    None,
+                    "the same schedule must not break the correct relay threshold"
+                );
+            }
+            CorpusCase::Ext(schedule) => {
+                let mut on_sound = schedule.clone();
+                on_sound.inner = "ds-broadcast".to_string();
+                assert_eq!(
+                    on_sound.failure(1),
+                    None,
+                    "the same ext schedule must not split outcomes under a sound inner target"
+                );
+            }
+        }
     }
 }

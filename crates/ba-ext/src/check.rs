@@ -3,14 +3,16 @@
 //! a scenario runs to an outcome whose `failure` is `None` exactly when
 //! every guaranteed property held.
 //!
-//! A scenario is a generic [`ScheduleSpec`] (applied to *both* layers —
-//! a processor faulty for digest agreement is faulty for dissemination)
-//! plus an extension-specific adversary the generic vocabulary cannot
-//! express: **garbling**, where a Byzantine relay corrupts the chunk
-//! bytes it forwards while leaving the sender's signature attached.
-//! Garbled chunks must die at the first correct hop (the signature binds
-//! the bytes), so garbling degrades to withholding — which repair then
-//! absorbs.
+//! A scenario is a generic [`ScheduleSpec`] (applied to *every* stage —
+//! a processor faulty for digest agreement is faulty for dissemination,
+//! the availability vote and the fetch round) plus an extension-specific
+//! adversary the generic vocabulary cannot express: **garbling**, where a
+//! Byzantine relay corrupts the chunk bytes it forwards while leaving the
+//! sender's signature attached, and corrupts the payload in any `Full`
+//! fetch response it serves. Garbled chunks must die at the first correct
+//! hop (the signature binds the bytes) and garbled fetch responses at the
+//! requester's digest check, so garbling degrades to withholding — which
+//! repair and fetch escalation then absorb.
 //!
 //! Checked properties, over correct processors only:
 //!
@@ -21,19 +23,25 @@
 //!   re-sign. (A sender signing inconsistent chunks is exercised
 //!   separately in the crate tests; it forces aborts, never a wrong
 //!   payload, because reconstruction is digest-checked.)
-//! * **Agreement**: no two correct processors decide different payloads
-//!   (implied by the above, asserted independently anyway).
+//! * **Outcome agreement** (strict): no two correct processors land on
+//!   different [`ExtDecision`]s — not different payloads, not different
+//!   variants, not different [`AbortReason`](crate::AbortReason)s. This is
+//!   the agreement-on-abort guarantee the availability vote buys; any
+//!   split outcome is a violation regardless of the sender's faultiness.
 //! * **Totality** (liveness): when the sender is correct, every correct
 //!   processor decides — the grid-repair argument: a chunk with a correct
 //!   owner reaches processor `v` through one of `√n` column-disjoint
 //!   relay pairs, and `t ≤ √n − 1` faults cannot cut all of them, so `v`
-//!   holds at least `n − t ≥ k` chunks.
+//!   holds at least `n − t ≥ k` chunks, and `n − t ≥ t + 1` available
+//!   votes carry the collective decide.
 
+use crate::net::{run_extension_net, ExtNetError, ExtNetRun};
 use crate::{
     agree_on_payload, run_extension, ExtDecision, ExtError, ExtMsg, ExtOptions, ExtReport,
 };
 use ba_crypto::rng::SimRng;
 use ba_crypto::{Bytes, ProcessId, Value};
+use ba_net::{ChaosProfile, NetConfig};
 use ba_sim::schedule::{FaultBehavior, ScheduleSpec};
 use ba_sim::{Actor, Envelope, Outbox};
 
@@ -112,7 +120,17 @@ impl Garbler {
         match msg {
             ExtMsg::Chunk(c) => ExtMsg::Chunk(corrupt(c)),
             ExtMsg::Bundle(chunks) => ExtMsg::Bundle(chunks.into_iter().map(corrupt).collect()),
-            repair @ ExtMsg::Repair(_) => repair,
+            ExtMsg::Full(payload) => {
+                // Corrupt the served payload; the requester's digest check
+                // must reject it.
+                let mut data = payload.to_vec();
+                match data.first_mut() {
+                    Some(b) => *b ^= 0xFF,
+                    None => data.push(0xFF),
+                }
+                ExtMsg::Full(Bytes::from(data))
+            }
+            passthrough @ (ExtMsg::Repair(_) | ExtMsg::Fetch) => passthrough,
         }
     }
 }
@@ -192,25 +210,64 @@ pub fn run_scenario(payload: &Bytes, opts: &ExtOptions, scenario: &ExtScenario) 
     }
 }
 
+/// Runs one scenario through the chaos runtime (see [`crate::net`]) and
+/// judges a completed run with the same strict properties as
+/// [`run_scenario`]: returns the run plus `Some(description)` when a
+/// guaranteed property was violated. A structured degradation is the
+/// loud, *non*-violating outcome and surfaces as the error.
+///
+/// # Errors
+/// Invalid scenarios (as [`ExtNetError::BadOptions`]), schedule-compile
+/// errors, or a [`DegradationVerdict`](ba_net::verdict::DegradationVerdict)
+/// attributed to the failing stage.
+pub fn run_scenario_net(
+    payload: &Bytes,
+    opts: &ExtOptions,
+    scenario: &ExtScenario,
+    net: &NetConfig,
+    chaos: &ChaosProfile,
+) -> Result<(ExtNetRun, Option<String>), ExtNetError> {
+    if let Err(msg) = scenario.validate(opts.n, opts.t) {
+        return Err(ExtNetError::BadOptions(format!("invalid scenario: {msg}")));
+    }
+    let garble = scenario.garble.clone();
+    let run = run_extension_net(
+        payload,
+        opts,
+        net,
+        chaos,
+        &scenario.spec,
+        move |mut actors| {
+            for p in &garble {
+                let honest = std::mem::replace(
+                    &mut actors[p.index()],
+                    Box::new(crate::NullActor) as Box<dyn Actor<ExtMsg>>,
+                );
+                actors[p.index()] = Box::new(Garbler { honest, id: *p });
+            }
+            actors
+        },
+    )?;
+    let failure = judge(payload, &run.report, scenario);
+    Ok((run, failure))
+}
+
 /// Judges a report against the guaranteed properties. `None` = all held.
 fn judge(payload: &Bytes, report: &ExtReport, scenario: &ExtScenario) -> Option<String> {
-    let mut first_decided: Option<(ProcessId, &Bytes)> = None;
+    // Strict outcome agreement first: any two correct nodes with differing
+    // variants, payloads or abort reasons is a violation — even under a
+    // Byzantine sender.
+    if let Err(msg) = crate::net::outcome_agreement(report) {
+        return Some(msg);
+    }
     for (id, decision) in report.correct_decisions() {
-        let Some(decision) = decision else {
-            return Some(format!("correct {id} produced no outcome at all"));
-        };
-        match decision {
+        match decision.expect("outcome agreement rejects missing outcomes") {
             ExtDecision::Decide(bytes) => {
-                // Safety: only the sender's actual payload is decidable.
+                // Safety: only the sender's actual payload is decidable
+                // (the digest check in `outcome_agreement` implies this
+                // modulo collisions; assert the bytes directly).
                 if bytes != payload {
                     return Some(format!("correct {id} decided a WRONG payload"));
-                }
-                if let Some((other, prev)) = first_decided {
-                    if bytes != prev {
-                        return Some(format!("correct {id} and {other} decided differently"));
-                    }
-                } else {
-                    first_decided = Some((id, bytes));
                 }
             }
             ExtDecision::Abort(reason) => {

@@ -21,20 +21,37 @@
 //!    demand-driven repair round along rows. Fault-free, the column-bundle
 //!    phase dominates at `ℓ·n²/k ≤ 2ℓn` bytes — within a constant factor
 //!    of the `ℓn` lower bound — and the repair phases are silent.
-//! 3. **Digest-verified decision** — a node decides a payload only when
-//!    its reconstruction hashes to the agreed digest; otherwise it aborts
-//!    with a structured [`AbortReason`]. A Byzantine sender can force
-//!    aborts, never a wrong payload; Byzantine relays (up to `t ≤ √n − 1`,
-//!    withholding or garbling chunks) can force nothing at all.
+//! 3. **Agreement on the outcome itself** — reconstruction alone leaves
+//!    `Decide`/`Abort` unagreed: a withholding sender can hand `k` chunks
+//!    to some correct nodes and `k − 1` to others. So after the grid
+//!    exchange every node casts an *availability vote*: `n` parallel
+//!    one-word instances of the inner-BA, instance `v` transmitted by node
+//!    `v`, carrying 1 iff `v` provisionally reconstructed a digest-matching
+//!    payload. Inner agreement makes every correct node derive the same
+//!    availability set; the collective outcome is `Decide` iff at least
+//!    `t + 1` nodes voted available (any `t + 1` voters include a correct
+//!    one, which really holds the payload). Nodes that lack the payload
+//!    then fetch it from voters — first a single deterministically-ranked
+//!    voter, escalating to `t + 1` distinct voters, so at least one
+//!    responder is a correct holder — and verify it against the agreed
+//!    digest. Every correct node therefore lands on the same
+//!    [`ExtDecision`]: all `Decide(payload)`, or all `Abort` with the
+//!    identical structured [`AbortReason`]. A Byzantine sender can force a
+//!    collective abort, never a wrong payload and never a split outcome;
+//!    Byzantine relays (up to `t ≤ √n − 1`, withholding or garbling
+//!    chunks) can force nothing at all.
 //!
 //! The fault-schedule surface mirroring `ba-check`'s explorer lives in
-//! [`check`]; wire-volume accounting rides the engine's
+//! [`check`]; the chaos-runtime driver (dissemination and votes over
+//! `ba-net` with structured degradation verdicts) lives in [`net`];
+//! wire-volume accounting rides the engine's
 //! [`Metrics`] (`bytes_by_correct` / `payload_bytes_by_correct`), so the
 //! bits-exchanged figures are schedule-independent and byte-identical at
 //! any worker count like every other counter.
 
 pub mod check;
 pub mod coding;
+pub mod net;
 
 use ba_algos::checkable::{find_target, CheckConfig, CheckTarget};
 use ba_algos::common::Board;
@@ -51,8 +68,16 @@ use std::sync::Arc;
 const DOMAIN_EXT_CHUNK: u32 = 6;
 
 /// Dissemination phases: disperse, row broadcast, column bundles, repair
-/// requests, repair responses (finalize consumes the responses).
-pub const DISSEMINATION_PHASES: usize = 5;
+/// requests, designated repair responses, escalation re-requests, full-row
+/// escalation responses (finalize consumes the last responses). Fault-free
+/// the four repair phases are silent.
+pub const DISSEMINATION_PHASES: usize = 7;
+
+/// Payload-fetch phases after the availability vote: request to the
+/// designated available voter, full-payload response, escalation request
+/// to the next `t` voters, escalation responses. Silent whenever every
+/// correct node already reconstructed (in particular fault-free).
+pub const FETCH_PHASES: usize = 4;
 
 /// The √n × √n grid underneath the dissemination pattern (the Algorithm-4
 /// exchange geometry: processor `i` sits at row `i / m`, column `i % m`).
@@ -154,7 +179,7 @@ impl SignedChunk {
     }
 }
 
-/// A dissemination message.
+/// A dissemination or payload-fetch message.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ExtMsg {
     /// A single chunk (disperse and row-broadcast phases).
@@ -163,6 +188,11 @@ pub enum ExtMsg {
     Bundle(Vec<SignedChunk>),
     /// Chunk indices the requester is missing (repair round).
     Repair(Vec<u16>),
+    /// Full-payload request to an available voter (fetch round).
+    Fetch,
+    /// Full-payload response. Unsigned: the requester verifies the bytes
+    /// against the agreed digest, which no signature could strengthen.
+    Full(Bytes),
 }
 
 impl Payload for ExtMsg {
@@ -170,7 +200,7 @@ impl Payload for ExtMsg {
         match self {
             ExtMsg::Chunk(_) => 1,
             ExtMsg::Bundle(chunks) => chunks.len(),
-            ExtMsg::Repair(_) => 0,
+            ExtMsg::Repair(_) | ExtMsg::Fetch | ExtMsg::Full(_) => 0,
         }
     }
 
@@ -182,6 +212,8 @@ impl Payload for ExtMsg {
                 4 + chunks.iter().map(SignedChunk::encoded_len).sum::<usize>()
             }
             ExtMsg::Repair(missing) => 4 + 2 * missing.len(),
+            ExtMsg::Fetch => 0,
+            ExtMsg::Full(payload) => 4 + payload.len(),
         }
     }
 
@@ -189,7 +221,8 @@ impl Payload for ExtMsg {
         match self {
             ExtMsg::Chunk(c) => c.data.len(),
             ExtMsg::Bundle(chunks) => chunks.iter().map(|c| c.data.len()).sum(),
-            ExtMsg::Repair(_) => 0,
+            ExtMsg::Repair(_) | ExtMsg::Fetch => 0,
+            ExtMsg::Full(payload) => payload.len(),
         }
     }
 
@@ -198,6 +231,8 @@ impl Payload for ExtMsg {
             ExtMsg::Chunk(_) => "ext-chunk",
             ExtMsg::Bundle(_) => "ext-bundle",
             ExtMsg::Repair(_) => "ext-repair",
+            ExtMsg::Fetch => "ext-fetch",
+            ExtMsg::Full(_) => "ext-full",
         }
     }
 }
@@ -217,6 +252,26 @@ pub enum AbortReason {
     /// Reconstruction succeeded but hashed to something other than the
     /// agreed digest (a Byzantine sender signed inconsistent chunks).
     DigestMismatch,
+    /// The availability vote fell short: fewer than `needed` nodes voted
+    /// that they hold the digest-matching payload. This is the *agreed*
+    /// abort — every correct node derives the same vote tally, so every
+    /// correct node carries this identical reason. Attributed to the
+    /// sender: only a faulty sender (or an over-budget schedule) can keep
+    /// availability below `t + 1`.
+    InsufficientAvailability {
+        /// Nodes whose availability-vote instance decided 1.
+        available: usize,
+        /// Votes required for a collective decide (`t + 1`).
+        needed: usize,
+    },
+    /// The vote decided but this node's payload fetch from `asked`
+    /// available voters produced no digest-matching payload. Unreachable
+    /// within budget on a reliable wire (any `t + 1` voters include a
+    /// correct holder); kept structured for defense in depth.
+    FetchFailed {
+        /// Distinct available voters this node asked.
+        asked: usize,
+    },
 }
 
 impl std::fmt::Display for AbortReason {
@@ -227,6 +282,13 @@ impl std::fmt::Display for AbortReason {
                 write!(f, "only {held} of {needed} required chunks")
             }
             AbortReason::DigestMismatch => write!(f, "reconstruction contradicts agreed digest"),
+            AbortReason::InsufficientAvailability { available, needed } => write!(
+                f,
+                "sender failed to make the payload available: {available} of {needed} required votes"
+            ),
+            AbortReason::FetchFailed { asked } => {
+                write!(f, "no digest-matching payload from {asked} available voters")
+            }
         }
     }
 }
@@ -256,8 +318,12 @@ impl ExtDecision {
 /// Node 0 is the sender: it encodes, signs and disperses the chunks.
 /// Every node (sender included) then runs the same grid exchange:
 /// row-broadcast its own chunk, bundle its row's chunks down its column,
-/// request repairs from row mates, answer repair requests. `finalize`
-/// reconstructs and digest-verifies.
+/// request repairs from row mates, answer repair requests. Repair replies
+/// are load-balanced: for each `(requester, chunk)` a single row mate is
+/// designated by deterministic rank rotation, and only if its reply never
+/// lands does the requester escalate to the full row. `finalize`
+/// reconstructs and digest-verifies into a *provisional* decision — the
+/// availability vote and fetch round turn it into the agreed one.
 #[derive(Debug)]
 pub struct ExtActor {
     id: ProcessId,
@@ -303,6 +369,10 @@ impl ExtActor {
                 ExtMsg::Repair(missing) => {
                     self.repair_requests.push((env.from, missing.clone()));
                 }
+                // Fetch traffic belongs to the post-vote round; a chunk
+                // actor receiving it (only possible from a faulty peer)
+                // ignores it.
+                ExtMsg::Fetch | ExtMsg::Full(_) => {}
             }
         }
     }
@@ -316,6 +386,36 @@ impl ExtActor {
             .filter(|&i| self.chunks[i].is_none())
             .map(|i| i as u16)
             .collect()
+    }
+
+    /// The row mate designated to answer `requester`'s repair request for
+    /// `chunk`: deterministic rank rotation over the requester's row, so
+    /// repair load spreads across the row instead of every mate answering
+    /// every request (up to m× duplicate traffic).
+    fn designated_responder(grid: &Grid, requester: usize, chunk: usize) -> ProcessId {
+        let mates: Vec<ProcessId> = grid.row_mates(requester).collect();
+        mates[(requester + chunk) % mates.len()]
+    }
+
+    /// Answers the buffered repair requests. In the designated round each
+    /// `(requester, chunk)` pair is served by exactly one row mate; in the
+    /// escalation round every holder answers.
+    fn answer_repairs(&mut self, designated_only: bool, out: &mut Outbox<ExtMsg>) {
+        let requests = std::mem::take(&mut self.repair_requests);
+        for (requester, wanted) in requests {
+            let available: Vec<SignedChunk> = wanted
+                .iter()
+                .filter(|&&i| {
+                    !designated_only
+                        || Self::designated_responder(&self.grid, requester.index(), i as usize)
+                            == self.id
+                })
+                .filter_map(|&i| self.chunks.get(i as usize).cloned().flatten())
+                .collect();
+            if !available.is_empty() {
+                out.send(requester, ExtMsg::Bundle(available));
+            }
+        }
     }
 
     fn decide(&mut self) {
@@ -407,19 +507,19 @@ impl Actor<ExtMsg> for ExtActor {
                     out.broadcast(self.grid.row_mates(id), ExtMsg::Repair(missing));
                 }
             }
-            // Repair responses.
-            5 => {
-                let requests = std::mem::take(&mut self.repair_requests);
-                for (requester, wanted) in requests {
-                    let available: Vec<SignedChunk> = wanted
-                        .iter()
-                        .filter_map(|&i| self.chunks.get(i as usize).cloned().flatten())
-                        .collect();
-                    if !available.is_empty() {
-                        out.send(requester, ExtMsg::Bundle(available));
-                    }
+            // Designated repair responses: one responder per (requester,
+            // chunk), so a repairable fault costs one reply, not m.
+            5 => self.answer_repairs(true, out),
+            // Escalation re-requests, only for chunks whose designated
+            // reply never landed (its responder was faulty or withheld).
+            6 => {
+                let missing = self.missing();
+                if !missing.is_empty() {
+                    out.broadcast(self.grid.row_mates(id), ExtMsg::Repair(missing));
                 }
             }
+            // Full-row escalation responses: every holder answers.
+            7 => self.answer_repairs(false, out),
             _ => {}
         }
     }
@@ -440,6 +540,138 @@ impl Actor<ExtMsg> for ExtActor {
                     digest[..8].try_into().expect("digest has 8-byte prefix"),
                 )))
             }
+            _ => None,
+        }
+    }
+}
+
+/// One payload-fetch participant (the round after the availability vote).
+///
+/// Built from a node's post-vote state: its provisional reconstruction,
+/// its (agreed) availability set and the collective outcome. When the
+/// vote decided and this node lacks the payload, it asks one
+/// deterministically-ranked available voter, then escalates to the next
+/// `t` — `t + 1` distinct voters include a correct holder, so within
+/// budget the fetch always lands. Responses are verified against the
+/// agreed digest before acceptance. When the vote aborted, every node
+/// finalizes the identical [`AbortReason::InsufficientAvailability`].
+#[derive(Debug)]
+pub struct FetchActor {
+    id: ProcessId,
+    digest: Option<[u8; DIGEST_LEN]>,
+    /// The provisionally reconstructed payload, if any; fetched bytes
+    /// land here after digest verification.
+    payload: Option<Bytes>,
+    /// The agreed availability set, as this node derived it from the vote
+    /// instances (identical at every correct node).
+    available: Vec<ProcessId>,
+    /// Whether the collective vote decided (`|available| ≥ t + 1`).
+    outcome_decide: bool,
+    t: usize,
+    fetch_requests: Vec<ProcessId>,
+    asked: usize,
+    decision: Option<ExtDecision>,
+    board: Arc<Board<ExtDecision>>,
+}
+
+impl FetchActor {
+    /// Voters this node would ask, in order: the availability set rotated
+    /// by the node's own id (spreading fetch load across voters), self
+    /// excluded.
+    fn fetch_order(&self) -> Vec<ProcessId> {
+        let len = self.available.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let start = self.id.index() % len;
+        (0..len)
+            .map(|j| self.available[(start + j) % len])
+            .filter(|&p| p != self.id)
+            .collect()
+    }
+
+    fn needs_payload(&self) -> bool {
+        self.outcome_decide && self.payload.is_none()
+    }
+
+    fn absorb(&mut self, inbox: &[Envelope<ExtMsg>]) {
+        for env in inbox {
+            match &env.payload {
+                ExtMsg::Fetch => self.fetch_requests.push(env.from),
+                ExtMsg::Full(bytes) => {
+                    if self.payload.is_none()
+                        && self.digest.is_some_and(|d| Sha256::digest(bytes) == d)
+                    {
+                        self.payload = Some(bytes.clone());
+                    }
+                }
+                // Chunk traffic belongs to the dissemination round.
+                ExtMsg::Chunk(_) | ExtMsg::Bundle(_) | ExtMsg::Repair(_) => {}
+            }
+        }
+    }
+
+    fn respond(&mut self, out: &mut Outbox<ExtMsg>) {
+        let requests = std::mem::take(&mut self.fetch_requests);
+        if let Some(payload) = &self.payload {
+            for requester in requests {
+                out.send(requester, ExtMsg::Full(payload.clone()));
+            }
+        }
+    }
+}
+
+impl Actor<ExtMsg> for FetchActor {
+    fn step(&mut self, phase: usize, inbox: &[Envelope<ExtMsg>], out: &mut Outbox<ExtMsg>) {
+        self.absorb(inbox);
+        match phase {
+            // Ask the designated voter.
+            1 if self.needs_payload() => {
+                if let Some(&designated) = self.fetch_order().first() {
+                    self.asked = 1;
+                    out.send(designated, ExtMsg::Fetch);
+                }
+            }
+            // Holders answer.
+            2 => self.respond(out),
+            // Escalate to the next t voters if the designated reply never
+            // landed (its voter was faulty or withheld).
+            3 if self.needs_payload() => {
+                let order = self.fetch_order();
+                let escalation = &order[1.min(order.len())..(1 + self.t).min(order.len())];
+                self.asked += escalation.len();
+                for &voter in escalation {
+                    out.send(voter, ExtMsg::Fetch);
+                }
+            }
+            // Escalation responses.
+            4 => self.respond(out),
+            _ => {}
+        }
+    }
+
+    fn finalize(&mut self, inbox: &[Envelope<ExtMsg>]) {
+        self.absorb(inbox);
+        let decision = if !self.outcome_decide {
+            ExtDecision::Abort(AbortReason::InsufficientAvailability {
+                available: self.available.len(),
+                needed: self.t + 1,
+            })
+        } else {
+            match &self.payload {
+                Some(payload) => ExtDecision::Decide(payload.clone()),
+                None => ExtDecision::Abort(AbortReason::FetchFailed { asked: self.asked }),
+            }
+        };
+        self.board.post(self.id, decision.clone());
+        self.decision = Some(decision);
+    }
+
+    fn decision(&self) -> Option<Value> {
+        match (&self.decision, self.digest) {
+            (Some(ExtDecision::Decide(_)), Some(digest)) => Some(Value(u64::from_be_bytes(
+                digest[..8].try_into().expect("digest has 8-byte prefix"),
+            ))),
             _ => None,
         }
     }
@@ -473,6 +705,12 @@ pub struct ExtOptions {
     /// Name of the inner-BA target for digest agreement (must be
     /// multi-valued; see [`ba_algos::checkable::targets`]).
     pub inner: &'static str,
+    /// Name of the inner-BA target for the `n` availability-vote
+    /// instances (must be multi-valued — each instance transmits from a
+    /// different node). Defaults to the committee-relay variant: the vote
+    /// runs `n` parallel one-word instances, so its O(nt)-message shape
+    /// keeps total vote traffic at O(n²t) instead of O(n³).
+    pub vote_inner: &'static str,
 }
 
 impl Default for ExtOptions {
@@ -485,6 +723,7 @@ impl Default for ExtOptions {
             pooled: false,
             scheme: SchemeKind::Fast,
             inner: "ds-broadcast",
+            vote_inner: "ds-relay",
         }
     }
 }
@@ -537,6 +776,12 @@ impl ExtOptions {
         self
     }
 
+    /// Sets the inner-BA target for the availability vote.
+    pub fn with_vote_inner(mut self, vote_inner: &'static str) -> Self {
+        self.vote_inner = vote_inner;
+        self
+    }
+
     /// Grid side `m = √n`.
     pub fn grid_side(&self) -> usize {
         (self.n as f64).sqrt().round() as usize
@@ -545,6 +790,12 @@ impl ExtOptions {
     /// Chunks required to reconstruct: `k = n − 2t`.
     pub fn data_chunks(&self) -> usize {
         self.n - 2 * self.t
+    }
+
+    /// Availability votes required for a collective decide: `t + 1`, so
+    /// any quorum contains at least one correct holder.
+    pub fn vote_needed(&self) -> usize {
+        self.t + 1
     }
 
     /// Validates the geometry and inner-target choice.
@@ -568,20 +819,22 @@ impl ExtOptions {
                 self.n, self.t
             ));
         }
-        let Some(target) = find_target(self.inner) else {
-            return Err(format!("unknown inner target {:?}", self.inner));
-        };
-        if !target.multi_valued {
-            return Err(format!(
-                "inner target {:?} is binary-only; digest words need a multi-valued target",
-                self.inner
-            ));
-        }
-        if self.t >= 1 && !target.supports(self.n, self.t) {
-            return Err(format!(
-                "inner target {:?} rejects n = {}, t = {}",
-                self.inner, self.n, self.t
-            ));
+        for (role, name) in [("inner", self.inner), ("vote inner", self.vote_inner)] {
+            let Some(target) = find_target(name) else {
+                return Err(format!("unknown {role} target {name:?}"));
+            };
+            if !target.multi_valued {
+                return Err(format!(
+                    "{role} target {name:?} is binary-only; the extension layer needs a \
+                     multi-valued target (digest words / per-node vote transmitters)",
+                ));
+            }
+            if self.t >= 1 && !target.supports(self.n, self.t) {
+                return Err(format!(
+                    "{role} target {name:?} rejects n = {}, t = {}",
+                    self.n, self.t
+                ));
+            }
         }
         Ok(())
     }
@@ -589,36 +842,63 @@ impl ExtOptions {
     fn inner_target(&self) -> &'static CheckTarget {
         find_target(self.inner).expect("validated inner target")
     }
+
+    fn vote_target(&self) -> &'static CheckTarget {
+        find_target(self.vote_inner).expect("validated vote target")
+    }
 }
 
 /// What one extension-protocol run produced.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct ExtReport {
     /// Payload length ℓ in bytes.
     pub payload_len: usize,
     /// The sender's payload digest (what honest runs agree on).
     pub digest: [u8; DIGEST_LEN],
-    /// Per-node outcomes (index = processor id; `None` only if a faulty
-    /// actor never posted).
+    /// Per-node *agreed* outcomes (index = processor id; `None` only if a
+    /// faulty actor never posted). Every correct node's entry carries the
+    /// same variant — all `Decide(payload)` or all `Abort` with the
+    /// identical reason.
     pub decisions: Vec<Option<ExtDecision>>,
     /// Which processors were modeled correct.
     pub correct: Vec<bool>,
+    /// The agreed availability set (nodes whose vote instance decided 1),
+    /// as derived by the lowest-id correct node; empty when no node is
+    /// correct.
+    pub availability: Vec<ProcessId>,
     /// Merged metrics of the four digest-word inner-BA runs.
     pub inner_metrics: Metrics,
     /// Dissemination-phase metrics (chunk traffic).
     pub dissemination: Metrics,
+    /// Merged metrics of the `n` availability-vote inner-BA runs.
+    pub vote: Metrics,
+    /// Payload-fetch round metrics.
+    pub fetch: Metrics,
+    /// Repair/fetch requests sent by correct nodes (dissemination repair
+    /// phases 4 and 6, fetch phases 1 and 3). Fault-free: zero.
+    pub repair_requests: u64,
+    /// Bytes of repair/fetch responses sent by correct nodes
+    /// (dissemination phases 5 and 7, fetch phases 2 and 4).
+    pub repair_response_bytes: u64,
 }
 
 impl ExtReport {
     /// Total wire bytes sent by correct processors, across digest
-    /// agreement and dissemination.
+    /// agreement, dissemination, the availability vote and the fetch
+    /// round.
     pub fn total_wire_bytes(&self) -> u64 {
-        self.inner_metrics.wire_bytes() + self.dissemination.wire_bytes()
+        self.inner_metrics.wire_bytes()
+            + self.dissemination.wire_bytes()
+            + self.vote.wire_bytes()
+            + self.fetch.wire_bytes()
     }
 
     /// The payload portion of [`total_wire_bytes`](Self::total_wire_bytes).
     pub fn payload_wire_bytes(&self) -> u64 {
-        self.inner_metrics.payload_bytes_by_correct + self.dissemination.payload_bytes_by_correct
+        self.inner_metrics.payload_bytes_by_correct
+            + self.dissemination.payload_bytes_by_correct
+            + self.vote.payload_bytes_by_correct
+            + self.fetch.payload_bytes_by_correct
     }
 
     /// Correct-sender wire volume relative to the `ℓ·n` lower-bound
@@ -670,19 +950,224 @@ pub fn agree_on_payload(payload: &Bytes, opts: &ExtOptions) -> Result<ExtReport,
     run_extension(payload, opts, &ScheduleSpec::default(), |actors| actors)
 }
 
-/// [`agree_on_payload`] with a fault schedule compiled onto both layers
-/// (the spec's faulty processors are faulty for digest agreement *and*
-/// dissemination), plus a hook rewriting the dissemination actors (the
-/// check layer injects chunk-withholding / garbling adversaries there).
+/// Seed for the `w`-th digest-word inner-BA run.
+pub(crate) fn word_seed(seed: u64, w: usize) -> u64 {
+    seed ^ (0xE87_0000 + w as u64)
+}
+
+/// Seed shared by the `n` availability-vote inner-BA runs (one cluster
+/// identity — the instances differ by transmitter and vote value, which
+/// is what lets the service layer multiplex them over one wire).
+pub(crate) fn vote_seed(seed: u64) -> u64 {
+    seed ^ 0xA0BA_0001
+}
+
+/// Seed for the dissemination/fetch chunk-signature registry.
+pub(crate) fn chunk_seed(seed: u64) -> u64 {
+    seed ^ 0xD15E_0001
+}
+
+/// Applies a schedule's generic fault behaviours onto extension actors
+/// (equivocation is not mappable here — the sender's "equivocation" is
+/// signing inconsistent chunks, which the check layer injects through
+/// the rewrite hook).
+pub(crate) fn apply_spec_faults(
+    actors: &mut [Box<dyn Actor<ExtMsg>>],
+    spec: &ScheduleSpec,
+) -> Result<(), ScheduleError> {
+    for (p, behavior) in &spec.faults {
+        let honest = std::mem::replace(
+            &mut actors[p.index()],
+            Box::new(NullActor) as Box<dyn Actor<ExtMsg>>,
+        );
+        actors[p.index()] = behavior.apply(honest)?;
+    }
+    Ok(())
+}
+
+/// Per-node digest views assembled from each node's OWN word decisions —
+/// agreement on the full digest follows from agreement on every word.
+pub(crate) fn assemble_digest_views(
+    word_views: &[Vec<Option<u64>>],
+    n: usize,
+) -> Vec<Option<[u8; DIGEST_LEN]>> {
+    (0..n)
+        .map(|i| {
+            let mut out = [0u8; DIGEST_LEN];
+            let mut complete = true;
+            for (w, view) in word_views.iter().enumerate() {
+                match view[i] {
+                    Some(word) => out[w * 8..(w + 1) * 8].copy_from_slice(&word.to_be_bytes()),
+                    None => complete = false,
+                }
+            }
+            complete.then_some(out)
+        })
+        .collect()
+}
+
+/// The state shared by the lock-step and ba-net drivers: chunk-signing
+/// registry, signed outgoing chunks, and the run-A actor builder.
+pub(crate) struct ExtSetup {
+    pub(crate) grid: Grid,
+    pub(crate) coder: Coder,
+    pub(crate) registry: KeyRegistry,
+}
+
+impl ExtSetup {
+    pub(crate) fn new(opts: &ExtOptions) -> ExtSetup {
+        ExtSetup {
+            grid: Grid::new(opts.n).expect("validated geometry"),
+            coder: Coder::new(opts.data_chunks(), opts.n),
+            registry: KeyRegistry::new(opts.n, chunk_seed(opts.seed), opts.scheme),
+        }
+    }
+
+    pub(crate) fn sign_chunks(&self, payload: &Bytes) -> Vec<SignedChunk> {
+        let sender_signer = self.registry.signer(ExtActor::SENDER);
+        self.coder
+            .encode(payload)
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| {
+                SignedChunk::sign(&sender_signer, i as u16, payload.len() as u64, data)
+            })
+            .collect()
+    }
+
+    /// The dissemination (run A) actors, posting provisional decisions to
+    /// `board`.
+    pub(crate) fn dissemination_actors(
+        &self,
+        opts: &ExtOptions,
+        payload: &Bytes,
+        digest_views: &[Option<[u8; DIGEST_LEN]>],
+        outgoing: &[SignedChunk],
+        board: &Arc<Board<ExtDecision>>,
+    ) -> Vec<Box<dyn Actor<ExtMsg>>> {
+        (0..opts.n)
+            .map(|i| {
+                Box::new(ExtActor {
+                    id: ProcessId(i as u32),
+                    grid: self.grid,
+                    coder: self.coder,
+                    digest: digest_views[i],
+                    payload_len: (i == 0).then_some(payload.len() as u64),
+                    verifier: self.registry.verifier(),
+                    chunks: vec![None; opts.n],
+                    outgoing: (i == 0).then(|| outgoing.to_vec()),
+                    repair_requests: Vec::new(),
+                    decision: None,
+                    board: Arc::clone(board),
+                }) as Box<dyn Actor<ExtMsg>>
+            })
+            .collect()
+    }
+
+    /// The post-vote fetch (run B) actors, posting the agreed decisions
+    /// to `board`. `provisional` is run A's board snapshot; `vote_views`
+    /// holds per-instance per-node vote decisions
+    /// (`vote_views[instance][node]`).
+    pub(crate) fn fetch_actors(
+        &self,
+        opts: &ExtOptions,
+        digest_views: &[Option<[u8; DIGEST_LEN]>],
+        provisional: &[Option<ExtDecision>],
+        vote_views: &[Vec<Option<Value>>],
+        board: &Arc<Board<ExtDecision>>,
+    ) -> Vec<Box<dyn Actor<ExtMsg>>> {
+        (0..opts.n)
+            .map(|i| {
+                let available: Vec<ProcessId> = (0..opts.n)
+                    .filter(|&v| vote_views[v][i] == Some(Value::ONE))
+                    .map(|v| ProcessId(v as u32))
+                    .collect();
+                let outcome_decide = available.len() >= opts.vote_needed();
+                Box::new(FetchActor {
+                    id: ProcessId(i as u32),
+                    digest: digest_views[i],
+                    payload: provisional[i].as_ref().and_then(|d| d.payload().cloned()),
+                    available,
+                    outcome_decide,
+                    t: opts.t,
+                    fetch_requests: Vec::new(),
+                    asked: 0,
+                    decision: None,
+                    board: Arc::clone(board),
+                }) as Box<dyn Actor<ExtMsg>>
+            })
+            .collect()
+    }
+}
+
+/// Availability votes derived from run A's provisional board: node `v`
+/// votes 1 iff it provisionally decided (reconstructed a digest-matching
+/// payload). Faulty nodes that never posted vote 0. Public so
+/// [`net::multiplex_votes`] callers can derive vote inputs from a
+/// provisional snapshot.
+pub fn vote_inputs(provisional: &[Option<ExtDecision>]) -> Vec<Value> {
+    provisional
+        .iter()
+        .map(|d| match d {
+            Some(ExtDecision::Decide(_)) => Value::ONE,
+            _ => Value::ZERO,
+        })
+        .collect()
+}
+
+/// The inner-BA config for availability-vote instance `v`: node `v`
+/// transmits its own vote.
+pub(crate) fn vote_cfg(
+    opts: &ExtOptions,
+    spec: &ScheduleSpec,
+    v: usize,
+    vote: Value,
+) -> CheckConfig {
+    let mut cfg = CheckConfig::new(
+        opts.n,
+        opts.t.max(1),
+        vote,
+        vote_seed(opts.seed),
+        opts.threads,
+        spec.clone(),
+    );
+    cfg.transmitter = ProcessId(v as u32);
+    cfg
+}
+
+/// Sums the demand-driven request messages (dissemination phases 4 and 6,
+/// fetch phases 1 and 3) sent by correct nodes.
+pub(crate) fn count_repair_requests(dissemination: &Metrics, fetch: &Metrics) -> u64 {
+    let phase = |m: &Metrics, p: usize| {
+        m.per_phase
+            .get(p - 1)
+            .map_or(0, |ph| ph.messages_by_correct)
+    };
+    phase(dissemination, 4) + phase(dissemination, 6) + phase(fetch, 1) + phase(fetch, 3)
+}
+
+/// Sums the response bytes (dissemination phases 5 and 7, fetch phases 2
+/// and 4) sent by correct nodes.
+pub(crate) fn count_repair_response_bytes(dissemination: &Metrics, fetch: &Metrics) -> u64 {
+    let phase = |m: &Metrics, p: usize| m.per_phase.get(p - 1).map_or(0, |ph| ph.bytes_by_correct);
+    phase(dissemination, 5) + phase(dissemination, 7) + phase(fetch, 2) + phase(fetch, 4)
+}
+
+/// [`agree_on_payload`] with a fault schedule compiled onto every stage
+/// (the spec's faulty processors are faulty for digest agreement,
+/// dissemination, the availability vote *and* the fetch round), plus a
+/// hook rewriting the dissemination and fetch actors (the check layer
+/// injects chunk-withholding / garbling adversaries there; it is invoked
+/// once per stage, so it must be callable twice).
 ///
 /// # Errors
 /// [`ExtError::BadOptions`] on invalid geometry, [`ExtError::Schedule`]
-/// when the spec cannot be mapped onto the dissemination actors.
+/// when the spec cannot be mapped onto the actors.
 pub fn run_extension(
     payload: &Bytes,
     opts: &ExtOptions,
     spec: &ScheduleSpec,
-    rewrite: impl FnOnce(Vec<Box<dyn Actor<ExtMsg>>>) -> Vec<Box<dyn Actor<ExtMsg>>>,
+    rewrite: impl Fn(Vec<Box<dyn Actor<ExtMsg>>>) -> Vec<Box<dyn Actor<ExtMsg>>>,
 ) -> Result<ExtReport, ExtError> {
     opts.validate().map_err(ExtError::BadOptions)?;
     spec.validate(opts.n, opts.t)
@@ -693,104 +1178,110 @@ pub fn run_extension(
         .map(|w| u64::from_be_bytes(w.try_into().expect("8-byte digest word")))
         .collect();
 
-    // Digest agreement: one inner-BA run per digest word. Each node's
-    // digest view is assembled from its OWN four decisions — agreement on
-    // the full digest follows from agreement on every word.
-    let target = opts.inner_target();
-    let mut inner_metrics = Metrics::default();
-    let mut word_views: Vec<Vec<Option<u64>>> = Vec::with_capacity(words.len());
-    for (w, &word) in words.iter().enumerate() {
-        let cfg = CheckConfig {
-            n: opts.n,
-            t: opts.t.max(1),
-            value: Value(word),
-            seed: opts.seed ^ (0xE87_0000 + w as u64),
-            threads: opts.threads,
-            spec: spec.clone(),
-        };
-        let setup = target.build(&cfg).map_err(ExtError::Schedule)?;
+    let run_inner = |target: &CheckTarget, cfg: &CheckConfig| -> Result<_, ExtError> {
+        let setup = target.build(cfg).map_err(ExtError::Schedule)?;
         let mut sim = Simulation::new(setup.actors)
             .with_threads(opts.threads)
             .with_registry(&setup.registry)
             .with_link_drops(spec.link_drops.iter().copied());
-        let outcome = sim.run(setup.phases);
+        Ok(sim.run(setup.phases))
+    };
+
+    // Stage 1 — digest agreement: one inner-BA run per digest word.
+    let target = opts.inner_target();
+    let mut inner_metrics = Metrics::default();
+    let mut word_views: Vec<Vec<Option<u64>>> = Vec::with_capacity(words.len());
+    for (w, &word) in words.iter().enumerate() {
+        let cfg = CheckConfig::new(
+            opts.n,
+            opts.t.max(1),
+            Value(word),
+            word_seed(opts.seed, w),
+            opts.threads,
+            spec.clone(),
+        );
+        let outcome = run_inner(target, &cfg)?;
         inner_metrics.merge(&outcome.metrics);
         word_views.push(outcome.decisions.iter().map(|d| d.map(|v| v.0)).collect());
     }
+    let digest_views = assemble_digest_views(&word_views, opts.n);
 
-    // Dissemination: encode, sign, run the grid exchange.
-    let grid = Grid::new(opts.n).expect("validated geometry");
-    let coder = Coder::new(opts.data_chunks(), opts.n);
-    let registry = KeyRegistry::new(opts.n, opts.seed ^ 0xD15E_0001, opts.scheme);
-    let board = Board::new(opts.n);
-    let sender_signer = registry.signer(ExtActor::SENDER);
-    let outgoing: Vec<SignedChunk> = coder
-        .encode(payload)
-        .into_iter()
-        .enumerate()
-        .map(|(i, data)| SignedChunk::sign(&sender_signer, i as u16, payload.len() as u64, data))
-        .collect();
-
-    let mut actors: Vec<Box<dyn Actor<ExtMsg>>> = (0..opts.n)
-        .map(|i| {
-            let digest_view: Option<[u8; DIGEST_LEN]> = {
-                let mut out = [0u8; DIGEST_LEN];
-                let mut complete = true;
-                for (w, view) in word_views.iter().enumerate() {
-                    match view[i] {
-                        Some(word) => out[w * 8..(w + 1) * 8].copy_from_slice(&word.to_be_bytes()),
-                        None => complete = false,
-                    }
-                }
-                complete.then_some(out)
-            };
-            Box::new(ExtActor {
-                id: ProcessId(i as u32),
-                grid,
-                coder,
-                digest: digest_view,
-                payload_len: (i == 0).then_some(payload.len() as u64),
-                verifier: registry.verifier(),
-                chunks: vec![None; opts.n],
-                outgoing: (i == 0).then(|| outgoing.clone()),
-                repair_requests: Vec::new(),
-                decision: None,
-                board: Arc::clone(&board),
-            }) as Box<dyn Actor<ExtMsg>>
-        })
-        .collect();
-
-    // Compile the schedule's generic fault behaviours onto the actors
-    // (equivocation is not mappable here — the sender's "equivocation" is
-    // signing inconsistent chunks, which the check layer injects through
-    // `rewrite`).
-    for (p, behavior) in &spec.faults {
-        let honest = std::mem::replace(
-            &mut actors[p.index()],
-            Box::new(NullActor) as Box<dyn Actor<ExtMsg>>,
-        );
-        actors[p.index()] = behavior.apply(honest).map_err(ExtError::Schedule)?;
-    }
+    // Stage 2 — dissemination: encode, sign, run the grid exchange into
+    // provisional decisions.
+    let setup = ExtSetup::new(opts);
+    let outgoing = setup.sign_chunks(payload);
+    let provisional_board = Board::new(opts.n);
+    let mut actors =
+        setup.dissemination_actors(opts, payload, &digest_views, &outgoing, &provisional_board);
+    apply_spec_faults(&mut actors, spec).map_err(ExtError::Schedule)?;
     let actors = rewrite(actors);
 
-    let shared_pool;
-    let mut sim = Simulation::new(actors)
-        .with_threads(opts.threads)
-        .with_registry(&registry)
-        .with_link_drops(spec.link_drops.iter().copied());
-    if opts.pooled {
-        shared_pool = WorkerPool::shared();
-        sim = sim.with_pool(&shared_pool);
+    let run_grid = |actors: Vec<Box<dyn Actor<ExtMsg>>>, phases: usize| {
+        let shared_pool;
+        let mut sim = Simulation::new(actors)
+            .with_threads(opts.threads)
+            .with_registry(&setup.registry)
+            .with_link_drops(spec.link_drops.iter().copied());
+        if opts.pooled {
+            shared_pool = WorkerPool::shared();
+            sim = sim.with_pool(&shared_pool);
+        }
+        sim.run(phases)
+    };
+    let dissemination_outcome = run_grid(actors, DISSEMINATION_PHASES);
+    let provisional = provisional_board.snapshot();
+
+    // Stage 3 — availability vote: n parallel one-word inner-BA
+    // instances, instance v transmitted by node v.
+    let votes = vote_inputs(&provisional);
+    let vote_target = opts.vote_target();
+    let mut vote_metrics = Metrics::default();
+    let mut vote_views: Vec<Vec<Option<Value>>> = Vec::with_capacity(opts.n);
+    for (v, &vote) in votes.iter().enumerate() {
+        let cfg = vote_cfg(opts, spec, v, vote);
+        let outcome = run_inner(vote_target, &cfg)?;
+        vote_metrics.merge(&outcome.metrics);
+        vote_views.push(outcome.decisions);
     }
-    let outcome = sim.run(DISSEMINATION_PHASES);
+
+    // Stage 4 — payload fetch: nodes lacking the payload pull it from
+    // available voters; everyone finalizes the agreed decision.
+    let board = Board::new(opts.n);
+    let mut actors = setup.fetch_actors(opts, &digest_views, &provisional, &vote_views, &board);
+    apply_spec_faults(&mut actors, spec).map_err(ExtError::Schedule)?;
+    let actors = rewrite(actors);
+    let fetch_outcome = run_grid(actors, FETCH_PHASES);
+
+    let correct = fetch_outcome.correct;
+    let availability = correct
+        .iter()
+        .position(|&c| c)
+        .map(|i| {
+            (0..opts.n)
+                .filter(|&v| vote_views[v][i] == Some(Value::ONE))
+                .map(|v| ProcessId(v as u32))
+                .collect()
+        })
+        .unwrap_or_default();
 
     Ok(ExtReport {
         payload_len: payload.len(),
         digest,
         decisions: board.snapshot(),
-        correct: outcome.correct,
+        correct,
+        availability,
+        repair_requests: count_repair_requests(
+            &dissemination_outcome.metrics,
+            &fetch_outcome.metrics,
+        ),
+        repair_response_bytes: count_repair_response_bytes(
+            &dissemination_outcome.metrics,
+            &fetch_outcome.metrics,
+        ),
         inner_metrics,
-        dissemination: outcome.metrics,
+        dissemination: dissemination_outcome.metrics,
+        vote: vote_metrics,
+        fetch: fetch_outcome.metrics,
     })
 }
 
@@ -884,11 +1375,20 @@ mod tests {
                 other => panic!("{id} did not decide: {other:?}"),
             }
         }
-        // Fault-free repair rounds are silent: phases 4 and 5 carry no
-        // correct-sender traffic.
+        // Fault-free repair rounds are silent: phases 4–7 carry no
+        // correct-sender traffic, and the counters agree.
         let per_phase = &report.dissemination.per_phase;
-        assert_eq!(per_phase[3].messages_by_correct, 0);
-        assert_eq!(per_phase[4].messages_by_correct, 0);
+        for (repair_phase, metrics) in per_phase.iter().enumerate().skip(3) {
+            assert_eq!(metrics.messages_by_correct, 0, "phase {}", repair_phase + 1);
+        }
+        assert_eq!(report.repair_requests, 0);
+        assert_eq!(report.repair_response_bytes, 0);
+        // Everyone reconstructed, so every node is in the availability set
+        // and the fetch round is silent.
+        assert_eq!(report.availability.len(), report.correct.len());
+        assert_eq!(report.fetch.messages_by_correct, 0);
+        // The vote ran: n inner-BA instances moved real traffic.
+        assert!(report.vote.messages_by_correct > 0);
         // The column-bundle phase dominates the byte volume.
         assert!(per_phase[2].bytes_by_correct > per_phase[1].bytes_by_correct);
         // Wire volume is within the gated constant of ℓ·n.
@@ -920,6 +1420,13 @@ mod tests {
         assert!(opts.validate().is_err(), "binary-only inner target");
         opts.inner = "nope";
         assert!(opts.validate().is_err(), "unknown inner target");
+        opts.inner = "ds-broadcast";
+        opts.vote_inner = "algorithm1";
+        assert!(opts.validate().is_err(), "binary-only vote target");
+        opts.vote_inner = "nope";
+        assert!(opts.validate().is_err(), "unknown vote target");
+        opts.vote_inner = "ds-broadcast";
+        assert!(opts.validate().is_ok(), "any multi-valued vote target");
     }
 
     #[test]
@@ -957,6 +1464,9 @@ mod tests {
                 report.inner_metrics, base.inner_metrics,
                 "threads {threads}"
             );
+            assert_eq!(report.vote, base.vote, "threads {threads}");
+            assert_eq!(report.fetch, base.fetch, "threads {threads}");
+            assert_eq!(report.availability, base.availability, "threads {threads}");
         }
     }
 }

@@ -53,6 +53,9 @@ fn reassembly_is_byte_identical_across_worker_counts() {
                     "metrics diverge at threads={threads} pooled={pooled} n={n}"
                 );
                 assert_eq!(report.inner_metrics, base.inner_metrics);
+                assert_eq!(report.vote, base.vote);
+                assert_eq!(report.fetch, base.fetch);
+                assert_eq!(report.availability, base.availability);
             }
         }
     }
@@ -146,10 +149,13 @@ fn scenario_sweep_never_yields_wrong_payload() {
     assert!(failures.is_empty(), "property violations: {failures:?}");
 }
 
-/// A Byzantine sender that stays silent forces a *structured* abort at
-/// every correct node — decisions never fabricate a payload.
+/// A Byzantine sender that stays silent forces the *same* structured
+/// abort at every correct node — the availability vote falls short of
+/// `t + 1`, so everyone lands on the identical attributed
+/// `InsufficientAvailability` reason, never a fabricated payload and
+/// never a split outcome.
 #[test]
-fn silent_sender_aborts_everywhere_with_reason() {
+fn silent_sender_aborts_everywhere_with_identical_reason() {
     let opts = ExtOptions {
         n: 9,
         t: 2,
@@ -167,14 +173,43 @@ fn silent_sender_aborts_everywhere_with_reason() {
     };
     let outcome = run_scenario(&p, &opts, &scenario);
     assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
-    for (id, decision) in outcome.report.expect("ran").correct_decisions() {
+    let report = outcome.report.expect("ran");
+    for (id, decision) in report.correct_decisions() {
         match decision {
-            Some(ExtDecision::Abort(
-                AbortReason::InsufficientChunks { .. } | AbortReason::MissingDigest,
-            )) => {}
-            other => panic!("{id}: expected a structured abort, got {other:?}"),
+            Some(ExtDecision::Abort(AbortReason::InsufficientAvailability {
+                available,
+                needed,
+            })) => {
+                assert_eq!(*available, 0, "{id}: nobody reconstructs without chunks");
+                assert_eq!(*needed, opts.t + 1, "{id}");
+            }
+            other => panic!("{id}: expected the agreed abort, got {other:?}"),
         }
     }
+    ba_ext::net::outcome_agreement(&report).expect("identical outcome everywhere");
+}
+
+/// The acceptance invariant: across ≥200 seeded random within-budget
+/// schedules (Byzantine sender included — position 0 is a candidate fault
+/// slot), no run leaves two correct nodes with differing `ExtDecision`
+/// variants or payloads. The strict judge inside the sweep enforces full
+/// outcome equality including abort reasons.
+#[test]
+fn outcome_agreement_holds_across_200_random_schedules() {
+    let opts = ExtOptions {
+        n: 9,
+        t: 2,
+        seed: 2_026,
+        ..ExtOptions::default()
+    };
+    let p = payload(2_048, 55);
+    let report = sweep(&p, &opts, 200);
+    assert!(report.len() >= 200, "family too small: {}", report.len());
+    let failures: Vec<_> = report
+        .failures()
+        .map(|o| (o.label.clone(), o.failure.clone()))
+        .collect();
+    assert!(failures.is_empty(), "outcome disagreements: {failures:?}");
 }
 
 /// Fault-free wire volume stays within the gated constant (4×) of ℓ·n

@@ -94,7 +94,7 @@ pub fn run_target(
         metrics: Metrics::default(),
         trace: Trace::default(),
     };
-    let agreement = check_byzantine_agreement(&shim, ProcessId(0), cfg.value);
+    let agreement = check_byzantine_agreement(&shim, cfg.transmitter, cfg.value);
     Ok(NetRun {
         decisions: outcome.decisions,
         correct: outcome.correct,
@@ -195,7 +195,7 @@ pub fn run_target_multiplexed(
                 metrics: Metrics::default(),
                 trace: Trace::default(),
             };
-            let agreement = check_byzantine_agreement(&shim, ProcessId(0), cfg.value);
+            let agreement = check_byzantine_agreement(&shim, cfg.transmitter, cfg.value);
             NetRun {
                 decisions: run.decisions,
                 correct: run.correct,

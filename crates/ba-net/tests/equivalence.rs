@@ -17,14 +17,7 @@ fn cfg_for(target_name: &str, spec: ScheduleSpec) -> CheckConfig {
     } else {
         (4, 1)
     };
-    CheckConfig {
-        n,
-        t,
-        value: Value::ONE,
-        seed: 11,
-        threads: 1,
-        spec,
-    }
+    CheckConfig::new(n, t, Value::ONE, 11, 1, spec)
 }
 
 fn splitting_spec() -> ScheduleSpec {

@@ -23,14 +23,7 @@ fn cfg_for(target_name: &str, value: Value, spec: ScheduleSpec) -> CheckConfig {
     } else {
         (4, 1)
     };
-    CheckConfig {
-        n,
-        t,
-        value,
-        seed: 11,
-        threads: 1,
-        spec,
-    }
+    CheckConfig::new(n, t, value, 11, 1, spec)
 }
 
 fn splitting_spec() -> ScheduleSpec {
